@@ -1,0 +1,189 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation. Each benchmark runs the
+// corresponding experiment (at quick scale so `go test -bench=.` stays
+// tractable) and reports its headline numbers as custom benchmark metrics.
+//
+// For the full-scale regeneration used in EXPERIMENTS.md, run:
+//
+//	go run ./cmd/xlink-bench -scale full
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const benchSeed = 20210823
+
+// reportMetrics attaches an experiment's key numbers to the benchmark.
+func reportMetrics(b *testing.B, r experiments.Report) {
+	b.Helper()
+	for name, v := range r.KeyMetrics {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkFig1_VanillaMPDynamics regenerates Fig 1a/1b: vanilla-MP
+// in-flight/cwnd vs capacity on fast-varying campus-walk traces.
+func BenchmarkFig1_VanillaMPDynamics(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig1Dynamics(benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig1c_Table1_VanillaABTest regenerates Fig 1c and Table 1: the
+// vanilla-MP vs SP deployment study (RCT and rebuffer-rate reduction).
+func BenchmarkFig1c_Table1_VanillaABTest(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig1cTable1(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkSec32_PathDelays regenerates the Sec 3.2 path-delay ratios.
+func BenchmarkSec32_PathDelays(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sec32PathDelays(benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkTable4_CrossISP regenerates the Appendix A inflation matrix.
+func BenchmarkTable4_CrossISP(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4CrossISP()
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig6_ReinjectionDynamics regenerates Fig 6: buffer level and
+// re-injected bytes under the three control regimes.
+func BenchmarkFig6_ReinjectionDynamics(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6Reinjection(benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig7_PrimaryPath regenerates Fig 7: first-frame delivery vs
+// primary path choice.
+func BenchmarkFig7_PrimaryPath(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7PrimaryPath(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig8_AckPath regenerates Fig 8: ACK_MP return-path policy vs
+// RTT ratio.
+func BenchmarkFig8_AckPath(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8AckPath(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig10_Table2_Thresholds regenerates the Sec 7.1 threshold
+// sweep: buffer levels vs redundancy cost.
+func BenchmarkFig10_Table2_Thresholds(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10Table2(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig11_Table3_XlinkABTest regenerates the headline A/B test:
+// XLINK vs SP RCT and rebuffer rate.
+func BenchmarkFig11_Table3_XlinkABTest(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11Table3(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig12_FirstFrame regenerates Fig 12: first-video-frame latency
+// with/without acceleration.
+func BenchmarkFig12_FirstFrame(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12FirstFrame(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig13_ExtremeMobility regenerates Fig 13: SP/CM/MPTCP/
+// vanilla-MP/XLINK download times on mobility traces.
+func BenchmarkFig13_ExtremeMobility(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13ExtremeMobility(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig14_Energy regenerates Fig 14: energy per bit vs throughput.
+func BenchmarkFig14_Energy(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14Energy(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkFig15_Traces regenerates the Appendix B example traces.
+func BenchmarkFig15_Traces(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig15Traces(benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblation_ReinjectionModes compares the Fig 4 re-injection
+// placements (none/appending/stream/frame priority).
+func BenchmarkAblation_ReinjectionModes(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationReinjectionModes(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblation_SingleThreshold compares double vs single vs always-on
+// re-injection control.
+func BenchmarkAblation_SingleThreshold(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSingleThreshold(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblation_CC compares Cubic vs NewReno under the XLINK scheduler.
+func BenchmarkAblation_CC(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationCC(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}
+
+// BenchmarkAblation_DeltaT compares the play-time-left estimators.
+func BenchmarkAblation_DeltaT(b *testing.B) {
+	var r experiments.Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationDeltaT(experiments.QuickScale(), benchSeed)
+	}
+	reportMetrics(b, r)
+}

@@ -1,0 +1,55 @@
+// Command tracegen emits synthetic Mahimahi-format packet-delivery traces
+// for the environments the paper measures:
+//
+//	tracegen -kind walking-wifi|walking-lte|subway-cell|subway-wifi|hsr-cell|hsr-wifi|constant \
+//	         [-seconds 60] [-seed 1] [-mbps 10] > trace.txt
+//
+// The output format is one millisecond timestamp per line, each an
+// opportunity to deliver one 1500-byte packet — directly loadable by
+// Mahimahi's mm-link or by this repository's netem package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "walking-wifi", "trace kind")
+	seconds := flag.Int("seconds", 60, "trace duration in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	mbps := flag.Float64("mbps", 10, "rate for -kind constant")
+	flag.Parse()
+
+	dur := time.Duration(*seconds) * time.Second
+	rng := sim.NewRNG(*seed)
+	var tr *trace.Trace
+	switch *kind {
+	case "walking-wifi":
+		tr = trace.WalkingWiFi(rng, dur)
+	case "walking-lte":
+		tr = trace.WalkingLTE(rng, dur)
+	case "subway-cell":
+		tr = trace.SubwayCellular(rng, dur)
+	case "subway-wifi":
+		tr = trace.SubwayWiFi(rng, dur)
+	case "hsr-cell":
+		tr = trace.HSRCellular(rng, dur)
+	case "hsr-wifi":
+		tr = trace.HSRWiFi(rng, dur)
+	case "constant":
+		tr = trace.ConstantRate("constant", *mbps, dur)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := tr.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Command xlink-bench regenerates the paper's tables and figures from the
+// emulated system. Run with no arguments to execute every experiment, or
+// name specific ones:
+//
+//	xlink-bench [-scale quick|full] [-seed N] [exp ...]
+//
+// Experiments: fig1, fig1c, rtt, crossisp, fig6, fig7, fig8, fig10,
+// fig11, fig12, fig13, fig14, traces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 20210823, "base random seed")
+	flag.Parse()
+
+	scale := experiments.FullScale()
+	if *scaleFlag == "quick" {
+		scale = experiments.QuickScale()
+	}
+
+	runners := map[string]func() experiments.Report{
+		"fig1":                 func() experiments.Report { return experiments.Fig1Dynamics(*seed) },
+		"fig1c":                func() experiments.Report { return experiments.Fig1cTable1(scale, *seed) },
+		"table1":               func() experiments.Report { return experiments.Fig1cTable1(scale, *seed) },
+		"rtt":                  func() experiments.Report { return experiments.Sec32PathDelays(*seed) },
+		"crossisp":             func() experiments.Report { return experiments.Table4CrossISP() },
+		"fig6":                 func() experiments.Report { return experiments.Fig6Reinjection(*seed) },
+		"fig7":                 func() experiments.Report { return experiments.Fig7PrimaryPath(scale, *seed) },
+		"fig8":                 func() experiments.Report { return experiments.Fig8AckPath(scale, *seed) },
+		"fig10":                func() experiments.Report { return experiments.Fig10Table2(scale, *seed) },
+		"table2":               func() experiments.Report { return experiments.Fig10Table2(scale, *seed) },
+		"fig11":                func() experiments.Report { return experiments.Fig11Table3(scale, *seed) },
+		"table3":               func() experiments.Report { return experiments.Fig11Table3(scale, *seed) },
+		"fig12":                func() experiments.Report { return experiments.Fig12FirstFrame(scale, *seed) },
+		"fig13":                func() experiments.Report { return experiments.Fig13ExtremeMobility(scale, *seed) },
+		"fig14":                func() experiments.Report { return experiments.Fig14Energy(scale, *seed) },
+		"traces":               func() experiments.Report { return experiments.Fig15Traces(*seed) },
+		"ablation-reinjection": func() experiments.Report { return experiments.AblationReinjectionModes(scale, *seed) },
+		"ablation-threshold":   func() experiments.Report { return experiments.AblationSingleThreshold(scale, *seed) },
+		"ablation-cc":          func() experiments.Report { return experiments.AblationCC(scale, *seed) },
+		"ablation-deltat":      func() experiments.Report { return experiments.AblationDeltaT(scale, *seed) },
+	}
+	defaultOrder := []string{
+		"fig1", "fig1c", "rtt", "crossisp", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "traces",
+		"ablation-reinjection", "ablation-threshold", "ablation-cc", "ablation-deltat",
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = defaultOrder
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println(run().String())
+	}
+}

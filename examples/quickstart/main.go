@@ -1,0 +1,42 @@
+// Quickstart: play one short video over an emulated two-path network with
+// XLINK and with single-path QUIC, and compare the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/xlink"
+)
+
+func main() {
+	video := xlink.Video{
+		ID:             "quickstart",
+		Size:           3 << 20, // 3 MiB
+		BitrateBps:     2_000_000,
+		FPS:            30,
+		FirstFrameSize: 96 << 10,
+	}
+	// A Wi-Fi path and an LTE path with realistic delays.
+	paths := xlink.TwoPathNetwork(12, 8, 32*time.Millisecond, 88*time.Millisecond)
+
+	for _, scheme := range []xlink.Scheme{xlink.SchemeSinglePath, xlink.SchemeXLINK} {
+		res, err := xlink.RunEmulatedSession(xlink.SessionConfig{
+			Scheme: scheme,
+			Paths:  paths,
+			Video:  video,
+			Seed:   1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s download=%v first-frame=%v startup=%v rebuffers=%d redundancy=%.2f%%\n",
+			scheme, res.DownloadTime.Round(time.Millisecond),
+			res.Metrics.FirstFrameLatency.Round(time.Millisecond),
+			res.Metrics.StartupLatency.Round(time.Millisecond),
+			res.Metrics.RebufferCount, res.Redundancy*100)
+	}
+}

@@ -1,0 +1,55 @@
+// Shortvideo: the Fig 6 scenario end to end — a short video played over a
+// fast-varying Wi-Fi path (with a deep outage) plus an LTE path, under
+// three schemes: vanilla multi-path, re-injection without QoE control, and
+// full XLINK. Prints the buffer-level and re-injection dynamics plus the
+// session QoE so the trade-off (smoothness vs redundant traffic) is
+// visible.
+//
+//	go run ./examples/shortvideo
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/xlink"
+)
+
+func main() {
+	video := xlink.Video{
+		ID:             "shorts-1080p",
+		Size:           8 << 20,
+		BitrateBps:     4_000_000,
+		FPS:            30,
+		FirstFrameSize: 128 << 10,
+	}
+	schemes := []xlink.Scheme{xlink.SchemeVanillaMP, xlink.SchemeReinjNoQoE, xlink.SchemeXLINK}
+	for _, scheme := range schemes {
+		res, err := xlink.RunEmulatedSession(xlink.SessionConfig{
+			Scheme:   scheme,
+			Paths:    xlink.WalkingTracePaths(42, 20*time.Second),
+			Video:    video,
+			Seed:     42,
+			Deadline: 60 * time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", scheme)
+		fmt.Printf("  download time:    %v\n", res.DownloadTime.Round(time.Millisecond))
+		fmt.Printf("  rebuffers:        %d (total %v)\n",
+			res.Metrics.RebufferCount, res.Metrics.RebufferTime.Round(time.Millisecond))
+		fmt.Printf("  redundant bytes:  %d (%.2f%% of traffic)\n",
+			res.ServerStats.ReinjectedBytesSent, res.Redundancy*100)
+		fmt.Printf("  buffer level every second (KB):\n    ")
+		buf := res.BufferSeries.Resample(time.Second, 12*time.Second, 0)
+		for _, v := range buf.Values {
+			fmt.Printf("%7.0f", v/1024)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected: vanilla-MP stalls during the Wi-Fi outage;")
+	fmt.Println("re-injection w/o QoE control avoids stalls but wastes bytes;")
+	fmt.Println("XLINK avoids stalls at a fraction of the redundancy.")
+}

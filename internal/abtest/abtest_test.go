@@ -1,0 +1,104 @@
+package abtest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func smallPop(day, sessions int) Population {
+	return Population{Day: day, Sessions: sessions, Seed: 77}
+}
+
+func TestRunPairedArms(t *testing.T) {
+	arms := []Arm{
+		{Name: "SP", Scheme: core.SchemeSinglePath},
+		{Name: "XLINK", Scheme: core.SchemeXLINK},
+	}
+	res := Run(smallPop(1, 4), arms)
+	if len(res) != 2 {
+		t.Fatalf("arm results %d", len(res))
+	}
+	for name, r := range res {
+		if r.Sessions != 4 {
+			t.Fatalf("%s: sessions %d", name, r.Sessions)
+		}
+		if r.Completed == 0 {
+			t.Fatalf("%s: nothing completed", name)
+		}
+		if len(r.RCTs) == 0 {
+			t.Fatalf("%s: no RCTs", name)
+		}
+		if r.PlayTime <= 0 {
+			t.Fatalf("%s: no play time", name)
+		}
+		if len(r.BufferLevels) == 0 {
+			t.Fatalf("%s: no buffer samples", name)
+		}
+	}
+	if res["SP"].ReinjBytes != 0 {
+		t.Fatal("SP must not re-inject")
+	}
+}
+
+func TestDayVariation(t *testing.T) {
+	arms := []Arm{{Name: "SP", Scheme: core.SchemeSinglePath}}
+	d1 := Run(smallPop(1, 3), arms)["SP"]
+	d2 := Run(smallPop(2, 3), arms)["SP"]
+	same := len(d1.RCTs) == len(d2.RCTs)
+	if same {
+		for i := range d1.RCTs {
+			if d1.RCTs[i] != d2.RCTs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different days must draw different populations")
+	}
+	// Same day must be reproducible.
+	d1b := Run(smallPop(1, 3), arms)["SP"]
+	if len(d1.RCTs) != len(d1b.RCTs) {
+		t.Fatal("same-day run not reproducible")
+	}
+	for i := range d1.RCTs {
+		if d1.RCTs[i] != d1b.RCTs[i] {
+			t.Fatal("same-day run not reproducible")
+		}
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	r := &ArmResult{
+		RebufferTime:  time.Second,
+		PlayTime:      10 * time.Second,
+		DangerSamples: 5,
+		TotalSamples:  50,
+		StreamBytes:   850,
+		ReinjBytes:    150,
+	}
+	if got := r.RebufferRate(); got != 0.1 {
+		t.Fatalf("rebuffer rate %v", got)
+	}
+	if got := r.CostOverhead(); got != 0.15 {
+		t.Fatalf("cost overhead %v", got)
+	}
+	if got := r.DangerFraction(); got != 0.1 {
+		t.Fatalf("danger fraction %v", got)
+	}
+	var empty ArmResult
+	if empty.RebufferRate() != 0 || empty.CostOverhead() != 0 || empty.DangerFraction() != 0 {
+		t.Fatal("empty results should be zero")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	base := &ArmResult{RebufferTime: 2 * time.Second, PlayTime: 10 * time.Second}
+	arm := &ArmResult{RebufferTime: time.Second, PlayTime: 10 * time.Second}
+	got := Improvement(base, arm, func(r *ArmResult) float64 { return r.RebufferRate() })
+	if got != 50 {
+		t.Fatalf("improvement %v", got)
+	}
+}

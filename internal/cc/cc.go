@@ -1,0 +1,63 @@
+package cc
+
+import "time"
+
+// MaxDatagramSize is the assumed UDP payload size for window arithmetic.
+const MaxDatagramSize = 1350
+
+// InitialWindow is the initial congestion window (10 datagrams, RFC 9002).
+const InitialWindow = 10 * MaxDatagramSize
+
+// MinWindow is the minimum congestion window (2 datagrams).
+const MinWindow = 2 * MaxDatagramSize
+
+// Controller is a per-path congestion controller. Implementations are
+// driven by the loss-recovery machinery: packets are reported sent, acked,
+// or lost, and the controller exposes the current window.
+type Controller interface {
+	// OnPacketSent informs the controller bytes left the path.
+	OnPacketSent(now time.Duration, bytes int)
+	// OnPacketAcked credits newly acknowledged bytes. rtt is the
+	// path's smoothed RTT at ack time.
+	OnPacketAcked(now time.Duration, bytes int, rtt time.Duration)
+	// OnPacketLost debits lost bytes and reacts to the loss event.
+	// sentAt is when the lost packet was sent.
+	OnPacketLost(now, sentAt time.Duration, bytes int)
+	// OnRetransmissionTimeout signals a persistent timeout; the window
+	// collapses to the minimum.
+	OnRetransmissionTimeout(now time.Duration)
+	// Window returns the congestion window in bytes.
+	Window() int
+	// BytesInFlight returns the unacknowledged bytes on the path.
+	BytesInFlight() int
+	// CanSend reports whether another packet of the given size fits the
+	// window.
+	CanSend(bytes int) bool
+	// InSlowStart reports the slow-start state, for instrumentation.
+	InSlowStart() bool
+	// Reset returns the controller to its initial state (used by the
+	// connection-migration baseline, which must restart from slow start
+	// after migrating, Sec 2 "Better mobility support").
+	Reset()
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}
+
+// Algorithm selects a congestion control algorithm.
+type Algorithm int
+
+// Supported algorithms. The paper's experiments use Cubic (Sec 7).
+const (
+	AlgCubic Algorithm = iota
+	AlgNewReno
+)
+
+// New creates a controller of the selected algorithm.
+func New(alg Algorithm) Controller {
+	switch alg {
+	case AlgNewReno:
+		return NewNewReno()
+	default:
+		return NewCubic()
+	}
+}

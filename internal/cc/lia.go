@@ -1,0 +1,170 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// LIAGroup couples the congestion controllers of one connection's paths
+// with the Linked Increases Algorithm of RFC 6356 — the "coupled variant"
+// the paper recommends when paths share a bottleneck (Sec 9, "Congestion
+// control fairness"). The coupled flows collectively take no more capacity
+// on a shared bottleneck than a single TCP flow, while still preferring
+// the better path.
+type LIAGroup struct {
+	flows []*LIA
+}
+
+// NewLIAGroup creates an empty coupling group.
+func NewLIAGroup() *LIAGroup {
+	return &LIAGroup{}
+}
+
+// NewFlow adds a path's controller to the group.
+func (g *LIAGroup) NewFlow() *LIA {
+	f := &LIA{
+		group:    g,
+		window:   InitialWindow,
+		ssthresh: 1 << 30,
+		rtt:      DefaultInitialRTT,
+	}
+	g.flows = append(g.flows, f)
+	return f
+}
+
+// alpha computes the RFC 6356 aggressiveness factor:
+//
+//	alpha = cwnd_total * max_i(cwnd_i/rtt_i^2) / (sum_i cwnd_i/rtt_i)^2
+//
+// in units where windows are bytes and rtts seconds.
+func (g *LIAGroup) alpha() float64 {
+	var total, maxTerm, sumTerm float64
+	for _, f := range g.flows {
+		if f.window <= 0 {
+			continue
+		}
+		rtt := f.rtt.Seconds()
+		if rtt <= 0 {
+			rtt = DefaultInitialRTT.Seconds()
+		}
+		w := float64(f.window)
+		total += w
+		if term := w / (rtt * rtt); term > maxTerm {
+			maxTerm = term
+		}
+		sumTerm += w / rtt
+	}
+	if sumTerm == 0 {
+		return 1
+	}
+	a := total * maxTerm / (sumTerm * sumTerm)
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return 1
+	}
+	return a
+}
+
+// totalWindow sums the group's windows.
+func (g *LIAGroup) totalWindow() int {
+	var t int
+	for _, f := range g.flows {
+		t += f.window
+	}
+	return t
+}
+
+// LIA is one path's controller within a coupled group. Slow start and
+// decrease behave like NewReno; congestion-avoidance increase is linked
+// across the group.
+type LIA struct {
+	group    *LIAGroup
+	window   int
+	ssthresh int
+	inFlight int
+	rtt      time.Duration
+
+	recoveryStart time.Duration
+	hasRecovery   bool
+}
+
+// Name implements Controller.
+func (c *LIA) Name() string { return "lia" }
+
+// Reset implements Controller.
+func (c *LIA) Reset() {
+	c.window = InitialWindow
+	c.ssthresh = 1 << 30
+	c.inFlight = 0
+	c.hasRecovery = false
+}
+
+// Window implements Controller.
+func (c *LIA) Window() int { return c.window }
+
+// BytesInFlight implements Controller.
+func (c *LIA) BytesInFlight() int { return c.inFlight }
+
+// CanSend implements Controller.
+func (c *LIA) CanSend(bytes int) bool { return c.inFlight+bytes <= c.window }
+
+// InSlowStart implements Controller.
+func (c *LIA) InSlowStart() bool { return c.window < c.ssthresh }
+
+// OnPacketSent implements Controller.
+func (c *LIA) OnPacketSent(now time.Duration, bytes int) { c.inFlight += bytes }
+
+// OnPacketAcked implements Controller.
+func (c *LIA) OnPacketAcked(now time.Duration, bytes int, rtt time.Duration) {
+	c.inFlight -= bytes
+	if c.inFlight < 0 {
+		c.inFlight = 0
+	}
+	if rtt > 0 {
+		c.rtt = rtt
+	}
+	if c.InSlowStart() {
+		c.window += bytes
+		return
+	}
+	// Linked increase: min(alpha * acked * MSS / total, acked * MSS / cwnd).
+	alpha := c.group.alpha()
+	total := c.group.totalWindow()
+	if total <= 0 {
+		total = c.window
+	}
+	linked := alpha * float64(bytes) * MaxDatagramSize / float64(total)
+	uncoupled := float64(bytes) * MaxDatagramSize / float64(c.window)
+	inc := linked
+	if uncoupled < inc {
+		inc = uncoupled
+	}
+	c.window += int(inc)
+}
+
+// OnPacketLost implements Controller.
+func (c *LIA) OnPacketLost(now, sentAt time.Duration, bytes int) {
+	c.inFlight -= bytes
+	if c.inFlight < 0 {
+		c.inFlight = 0
+	}
+	if c.hasRecovery && sentAt <= c.recoveryStart {
+		return
+	}
+	c.recoveryStart = now
+	c.hasRecovery = true
+	c.window /= 2
+	if c.window < MinWindow {
+		c.window = MinWindow
+	}
+	c.ssthresh = c.window
+}
+
+// OnRetransmissionTimeout implements Controller.
+func (c *LIA) OnRetransmissionTimeout(now time.Duration) {
+	c.ssthresh = c.window / 2
+	if c.ssthresh < MinWindow {
+		c.ssthresh = MinWindow
+	}
+	c.window = MinWindow
+	c.hasRecovery = false
+}

@@ -1,0 +1,147 @@
+// Package cm implements the QUIC connection migration (CM) baseline of the
+// Fig 13 mobility experiment: a single-path connection whose client probes
+// for path degradation and migrates the connection to another interface
+// when the current one goes quiet. Migration resets the congestion window
+// (slow start restarts), and detection itself takes several round trips —
+// the two costs the paper identifies that make CM insufficient under
+// frequent hand-offs.
+package cm
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Config tunes the migration controller.
+type Config struct {
+	// DetectTimeout is how long the primary path must be silent (while a
+	// transfer is active) before the client migrates. The paper notes
+	// probing a path "could take several round-trips"; this models that
+	// detection latency.
+	DetectTimeout time.Duration
+	// CheckInterval is the poll cadence.
+	CheckInterval time.Duration
+	// Cooldown bounds migration frequency.
+	Cooldown time.Duration
+}
+
+// DefaultConfig returns detection settings in line with client-side
+// network-change monitors (a few hundred milliseconds of silence).
+func DefaultConfig() Config {
+	return Config{
+		DetectTimeout: 400 * time.Millisecond,
+		CheckInterval: 100 * time.Millisecond,
+		Cooldown:      time.Second,
+	}
+}
+
+// Interface names a candidate interface for migration.
+type Interface struct {
+	NetIdx int
+	Tech   trace.Technology
+}
+
+// Controller watches a single-path client connection and migrates it
+// between interfaces when the active one degrades — either total silence
+// or throughput collapsing to a small fraction of what the path recently
+// sustained (tunnels rarely go fully silent; they trickle).
+type Controller struct {
+	loop       *sim.Loop
+	conn       *transport.Conn
+	cfg        Config
+	interfaces []Interface
+
+	lastProgress time.Duration
+	lastSeen     uint64
+	lastMigrate  time.Duration
+	bestRate     float64 // bytes per check interval, best observed
+	degradedFor  time.Duration
+	active       bool
+
+	// Migrations counts completed migrations.
+	Migrations int
+}
+
+// NewController attaches a migration controller. interfaces lists every
+// usable local interface including the initial one.
+func NewController(loop *sim.Loop, conn *transport.Conn, cfg Config, interfaces []Interface) *Controller {
+	if cfg.CheckInterval == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{loop: loop, conn: conn, cfg: cfg, interfaces: interfaces}
+}
+
+// Start begins monitoring. Run the controller only while a transfer is
+// outstanding: an idle connection is indistinguishable from a dead path at
+// this layer, so the application calls Stop when its request completes.
+func (c *Controller) Start() {
+	c.active = true
+	c.lastProgress = c.loop.Now()
+	c.loop.After(c.cfg.CheckInterval, c.check)
+}
+
+// Stop ends monitoring.
+func (c *Controller) Stop() { c.active = false }
+
+// check polls receive progress and migrates on silence or on sustained
+// throughput collapse relative to the path's recent best.
+func (c *Controller) check(now time.Duration) {
+	if !c.active || c.conn.Closed() {
+		return
+	}
+	defer c.loop.After(c.cfg.CheckInterval, c.check)
+
+	recv := c.conn.Stats().RecvBytes
+	delta := float64(recv - c.lastSeen)
+	c.lastSeen = recv
+	if delta > 0 {
+		c.lastProgress = now
+	}
+	if delta > c.bestRate {
+		c.bestRate = delta
+	}
+	// Degradation: this interval moved less than 15% of the best interval
+	// seen on this path.
+	if c.bestRate > 0 && delta < 0.15*c.bestRate {
+		c.degradedFor += c.cfg.CheckInterval
+	} else {
+		c.degradedFor = 0
+	}
+	silent := now-c.lastProgress >= c.cfg.DetectTimeout
+	degraded := c.degradedFor >= c.cfg.DetectTimeout
+	if !silent && !degraded {
+		return
+	}
+	if now-c.lastMigrate < c.cfg.Cooldown {
+		return
+	}
+	c.migrate(now)
+}
+
+// migrate moves the connection to the next interface in round-robin order.
+func (c *Controller) migrate(now time.Duration) {
+	paths := c.conn.Paths()
+	if len(paths) == 0 {
+		return
+	}
+	cur := paths[0].NetIdx
+	next := -1
+	for i, itf := range c.interfaces {
+		if itf.NetIdx == cur {
+			next = (i + 1) % len(c.interfaces)
+			break
+		}
+	}
+	if next < 0 || c.interfaces[next].NetIdx == cur {
+		return
+	}
+	c.conn.MigratePrimary(c.interfaces[next].NetIdx, c.interfaces[next].Tech)
+	c.Migrations++
+	c.lastMigrate = now
+	c.lastProgress = now
+	c.bestRate = 0 // the new path sets its own baseline
+	c.degradedFor = 0
+}

@@ -1,0 +1,87 @@
+package energy
+
+import (
+	"testing"
+)
+
+func TestWiFiMostEfficient(t *testing.T) {
+	const bytes = 30 << 20
+	cfgs := StandardConfigurations(30)
+	results := map[string]Result{}
+	for _, c := range cfgs {
+		results[c.Name] = MeasureEven(c, bytes)
+	}
+	if !(results["WiFi"].EnergyPerBitNJ < results["LTE"].EnergyPerBitNJ) {
+		t.Fatal("WiFi must beat LTE in energy per bit")
+	}
+	if !(results["LTE"].EnergyPerBitNJ < results["NR"].EnergyPerBitNJ) {
+		t.Fatal("LTE must beat NR in energy per bit (capped rate)")
+	}
+}
+
+func TestMultipathBeatsSingleCellular(t *testing.T) {
+	const bytes = 30 << 20
+	cfgs := StandardConfigurations(30)
+	results := map[string]Result{}
+	for _, c := range cfgs {
+		results[c.Name] = MeasureEven(c, bytes)
+	}
+	// Fig 14: WiFi-LTE improves on LTE alone, WiFi-NR on NR alone.
+	if !(results["WiFi-LTE"].EnergyPerBitNJ < results["LTE"].EnergyPerBitNJ) {
+		t.Fatalf("WiFi-LTE (%.1f) should beat LTE (%.1f) nJ/bit",
+			results["WiFi-LTE"].EnergyPerBitNJ, results["LTE"].EnergyPerBitNJ)
+	}
+	if !(results["WiFi-NR"].EnergyPerBitNJ < results["NR"].EnergyPerBitNJ) {
+		t.Fatal("WiFi-NR should beat NR in energy per bit")
+	}
+	// Throughput doubles with two capped links.
+	if results["WiFi-LTE"].ThroughputMbps != 2*results["LTE"].ThroughputMbps {
+		t.Fatal("multipath throughput should aggregate")
+	}
+}
+
+func TestTransferEnergyEdges(t *testing.T) {
+	if WiFiRadio.TransferEnergy(0, 30) != 0 {
+		t.Fatal("zero bytes = zero energy")
+	}
+	if WiFiRadio.TransferEnergy(1<<20, 0) != 0 {
+		t.Fatal("zero throughput = zero energy (undefined transfer)")
+	}
+	e1 := WiFiRadio.TransferEnergy(10<<20, 30)
+	e2 := WiFiRadio.TransferEnergy(20<<20, 30)
+	if e2 <= e1 {
+		t.Fatal("more bytes must cost more energy")
+	}
+}
+
+func TestMeasureWithMeasuredThroughputs(t *testing.T) {
+	cfg := Configuration{Name: "WiFi-LTE", Radios: []RadioModel{WiFiRadio, LTERadio}}
+	r := Measure(cfg, 10<<20, []float64{22, 14})
+	if r.ThroughputMbps != 36 {
+		t.Fatalf("agg throughput %v", r.ThroughputMbps)
+	}
+	if r.EnergyPerBitNJ <= 0 {
+		t.Fatal("energy per bit must be positive")
+	}
+	empty := Measure(cfg, 10<<20, []float64{0, 0})
+	if empty.EnergyJ != 0 {
+		t.Fatal("no throughput = no transfer")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	rs := []Result{
+		{Name: "a", ThroughputMbps: 30, EnergyPerBitNJ: 100},
+		{Name: "b", ThroughputMbps: 60, EnergyPerBitNJ: 50},
+	}
+	n := Normalize(rs)
+	if n[0].ThroughputMbps != 0.5 || n[1].ThroughputMbps != 1.0 {
+		t.Fatalf("throughput normalization: %+v", n)
+	}
+	if n[0].EnergyPerBitNJ != 1.0 || n[1].EnergyPerBitNJ != 0.5 {
+		t.Fatalf("energy normalization: %+v", n)
+	}
+	if len(Normalize(nil)) != 0 {
+		t.Fatal("empty normalize")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Sec32PathDelays reproduces the Sec 3.2 path-delay study: RTT
+// distributions per wireless technology and the ratios the paper reports
+// (LTE median 2.7x Wi-Fi and 5.5x 5G SA; LTE p90 3.3x Wi-Fi).
+func Sec32PathDelays(seed int64) Report {
+	rng := sim.NewRNG(seed)
+	const n = 20000
+	sample := func(m trace.DelayModel) stats.Summary {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = m.SampleRTT(rng).Seconds() * 1000
+		}
+		return stats.Summarize(vals)
+	}
+	models := []trace.DelayModel{trace.Delay5GSA, trace.Delay5GNSA, trace.DelayWiFi, trace.DelayLTE}
+	summaries := map[trace.Technology]stats.Summary{}
+	tab := stats.Table{Header: []string{"Technology", "p50(ms)", "p90(ms)", "p99(ms)"}}
+	for _, m := range models {
+		s := sample(m)
+		summaries[m.Tech] = s
+		tab.AddRow(m.Tech.String(),
+			fmt.Sprintf("%.1f", s.P50), fmt.Sprintf("%.1f", s.P90), fmt.Sprintf("%.1f", s.P99))
+	}
+	lte, wifi, sa := summaries[trace.TechLTE], summaries[trace.TechWiFi], summaries[trace.Tech5GSA]
+	var b strings.Builder
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\nLTE/WiFi median ratio:  %.2f (paper: 2.7)\n", lte.P50/wifi.P50)
+	fmt.Fprintf(&b, "LTE/5G-SA median ratio: %.2f (paper: 5.5)\n", lte.P50/sa.P50)
+	fmt.Fprintf(&b, "LTE/WiFi p90 ratio:     %.2f (paper: 3.3)\n", lte.P90/wifi.P90)
+	return Report{
+		ID:    "sec3.2",
+		Title: "Path delays across wireless technologies (Sec 3.2)",
+		Body:  b.String(),
+		KeyMetrics: map[string]float64{
+			"lte_over_wifi_median": lte.P50 / wifi.P50,
+			"lte_over_5gsa_median": lte.P50 / sa.P50,
+			"lte_over_wifi_p90":    lte.P90 / wifi.P90,
+		},
+	}
+}
+
+// Table4CrossISP prints the cross-ISP delay inflation matrix (Appendix A)
+// and demonstrates its effect on a median LTE path delay.
+func Table4CrossISP() Report {
+	tab := stats.Table{Header: []string{"from\\to", "A", "B", "C"}}
+	for from := trace.ISPA; from <= trace.ISPC; from++ {
+		row := []string{from.String()}
+		for to := trace.ISPA; to <= trace.ISPC; to++ {
+			row = append(row, fmt.Sprintf("%.0f%%", trace.CrossISPInflation[from][to]))
+		}
+		tab.AddRow(row...)
+	}
+	var b strings.Builder
+	b.WriteString("Relative increase of cross-ISP LTE delay (Table 4):\n")
+	b.WriteString(tab.String())
+	base := trace.DelayLTE.MedianRTT
+	worst := trace.InflateCrossISP(base, trace.ISPB, trace.ISPC)
+	fmt.Fprintf(&b, "\nmedian LTE RTT %.0fms -> %.0fms when crossing B->C (worst case, +54%%)\n",
+		float64(base)/float64(time.Millisecond), float64(worst)/float64(time.Millisecond))
+	return Report{
+		ID:    "table4",
+		Title: "Cross-ISP path delay inflation (Appendix A)",
+		Body:  b.String(),
+		KeyMetrics: map[string]float64{
+			"worst_inflation_pct": 54,
+		},
+	}
+}
+
+// Fig15Traces emits example extreme-mobility traces in the style of
+// Appendix B's Fig 15 (per-second throughput of cellular and onboard
+// Wi-Fi collected on high-speed rail).
+func Fig15Traces(seed int64) Report {
+	rng := sim.NewRNG(seed)
+	dur := 60 * time.Second
+	cell := trace.HSRCellular(rng, dur)
+	wifi := trace.HSRWiFi(rng, dur)
+	var b strings.Builder
+	emit := func(name string, tr *trace.Trace) {
+		times, mbps := tr.ThroughputSeries(time.Second)
+		fmt.Fprintf(&b, "%s (Mbit/s per second):\n", name)
+		for i := range times {
+			fmt.Fprintf(&b, "%5.1f", mbps[i])
+			if (i+1)%15 == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		b.WriteString("\n\n")
+	}
+	emit("HSR cellular", cell)
+	emit("HSR onboard WiFi", wifi)
+	return Report{
+		ID:    "fig15",
+		Title: "Example extreme-mobility traces (Appendix B)",
+		Body:  b.String(),
+		KeyMetrics: map[string]float64{
+			"cellular_mean_mbps": cell.MeanThroughputBps() / 1e6,
+			"wifi_mean_mbps":     wifi.MeanThroughputBps() / 1e6,
+		},
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+// fig6Paths builds the Fig 6a trace pair: Path 1 deteriorates mid-play,
+// Path 2 stays moderate.
+func fig6Paths(seed int64, dur time.Duration) []netem.PathConfig {
+	rng := sim.NewRNG(seed)
+	p1 := trace.WalkingWiFi(rng, dur) // deep outage mid-trace
+	p2 := trace.WalkingLTE(rng, dur)
+	return []netem.PathConfig{
+		{Name: "path1", Tech: trace.TechWiFi, Up: p1, OneWayDelay: 10 * time.Millisecond},
+		{Name: "path2", Tech: trace.TechLTE, Up: p2, OneWayDelay: 25 * time.Millisecond},
+	}
+}
+
+// Fig6Reinjection reproduces Fig 6: the dynamics of the client buffer
+// level and cumulative re-injected bytes for vanilla-MP, re-injection
+// without QoE control, and re-injection with QoE control, replayed on the
+// same trace pair.
+func Fig6Reinjection(seed int64) Report {
+	const dur = 6 * time.Second
+	v := video.Video{
+		ID:             "fig6",
+		Size:           8 << 20, // keep the transfer active the whole window
+		BitrateBps:     4_000_000,
+		FPS:            30,
+		FirstFrameSize: 96 << 10,
+	}
+	arms := []struct {
+		name   string
+		scheme core.Scheme
+	}{
+		{"vanilla-MP", core.SchemeVanillaMP},
+		{"reinj-no-qoe", core.SchemeReinjNoQoE},
+		{"reinj-qoe (XLINK)", core.SchemeXLINK},
+	}
+	var b strings.Builder
+	metrics := map[string]float64{}
+	for _, arm := range arms {
+		res, err := core.RunSession(core.SessionConfig{
+			Scheme:   arm.scheme,
+			Paths:    fig6Paths(seed, dur),
+			Video:    v,
+			Seed:     seed,
+			Deadline: dur,
+		})
+		if err != nil {
+			continue
+		}
+		buf := res.BufferSeries.Resample(500*time.Millisecond, dur, 0)
+		rein := res.ReinjectSeries.Resample(500*time.Millisecond, dur, 0)
+		tab := stats.Table{Header: []string{"t(s)", "buffer(MB)", "reinject(MB)"}}
+		for i := range buf.Times {
+			tab.AddRow(fmt.Sprintf("%.1f", buf.Times[i].Seconds()),
+				fmt.Sprintf("%.3f", buf.Values[i]/1e6),
+				fmt.Sprintf("%.3f", rein.Values[i]/1e6))
+		}
+		fmt.Fprintf(&b, "--- %s ---\n%s", arm.name, tab.String())
+		fmt.Fprintf(&b, "rebuffers=%d rebuffer_time=%s redundancy=%s\n\n",
+			res.Metrics.RebufferCount, res.Metrics.RebufferTime, pct(res.Redundancy*100))
+		key := strings.ReplaceAll(strings.Fields(arm.name)[0], "-", "_")
+		metrics[key+"_rebuffers"] = float64(res.Metrics.RebufferCount)
+		metrics[key+"_reinject_mb"] = float64(res.ServerStats.ReinjectedBytesSent) / 1e6
+	}
+	return Report{
+		ID:         "fig6",
+		Title:      "Buffer level & re-injection dynamics under QoE control (Fig 6)",
+		Body:       b.String(),
+		KeyMetrics: metrics,
+	}
+}

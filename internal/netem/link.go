@@ -1,0 +1,221 @@
+// Package netem emulates network paths in the Mahimahi mpshell model used by
+// the paper's controlled experiments (Appendix B): each direction of a path
+// is a trace-driven link with a droptail queue, where every trace timestamp
+// is an opportunity to deliver one MTU-sized packet, followed by a fixed
+// propagation delay, with optional random ingress loss.
+//
+// Links run on a sim.Loop, so whole experiments execute in virtual time and
+// are fully deterministic for a given seed.
+package netem
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DeliverFunc receives a packet that finished traversing a link.
+type DeliverFunc func(now time.Duration, data []byte)
+
+// LinkConfig configures one direction of an emulated path.
+type LinkConfig struct {
+	// Trace is the packet-delivery trace driving the link's capacity.
+	Trace *trace.Trace
+	// Delay is the one-way propagation delay added after the packet
+	// leaves the queue.
+	Delay time.Duration
+	// QueueBytes is the droptail queue limit. Zero means the Mahimahi
+	// default of one bandwidth-delay-ish buffer (60 MTU).
+	QueueBytes int
+	// LossRate is the independent ingress drop probability in [0,1].
+	LossRate float64
+	// PacketGranular, when true, mimics Mahimahi exactly: every delivery
+	// opportunity carries one packet regardless of its size, so a 40-byte
+	// ACK costs as much as a 1500-byte data packet. The default (false)
+	// converts opportunities to byte credit, which models mixed packet
+	// sizes faithfully and avoids pps-saturation artifacts on ACK-heavy
+	// reverse paths.
+	PacketGranular bool
+	// JitterMax adds a uniform random extra delay in [0, JitterMax) per
+	// packet after the queue, which reorders arrivals — wireless links
+	// under MAC retries do this routinely.
+	JitterMax time.Duration
+	// CorruptRate flips one random bit of a delivered packet with this
+	// probability, exercising the receiver's packet authentication.
+	CorruptRate float64
+}
+
+// DefaultQueueBytes is the droptail limit used when LinkConfig.QueueBytes is
+// zero; 60 full-size packets, mirroring common mpshell configurations.
+const DefaultQueueBytes = 60 * trace.MTU
+
+// LinkStats counts link activity for experiment output.
+type LinkStats struct {
+	SentPackets    uint64 // packets accepted into the queue
+	SentBytes      uint64
+	DeliveredPkts  uint64 // packets handed to the receiver
+	DeliveredBytes uint64
+	DroppedPkts    uint64 // droptail + random loss
+	DroppedBytes   uint64
+	CorruptedPkts  uint64
+}
+
+type queuedPacket struct {
+	data       []byte
+	enqueuedAt time.Duration
+}
+
+// Link is one direction of an emulated path. It is not safe for concurrent
+// use; drive it from the owning sim.Loop only.
+type Link struct {
+	loop    *sim.Loop
+	cfg     LinkConfig
+	rng     *sim.RNG
+	deliver DeliverFunc
+
+	queue      []queuedPacket
+	queueBytes int
+
+	// Opportunity cursor into the unrolled trace stream.
+	cycle   uint64
+	idx     int
+	pending bool // a delivery event is scheduled
+	// credit is unspent opportunity bytes (byte-granular mode).
+	credit int
+
+	stats LinkStats
+	down  bool // administratively down (interface off)
+}
+
+// NewLink creates a link on loop delivering packets to deliver.
+func NewLink(loop *sim.Loop, cfg LinkConfig, rng *sim.RNG, deliver DeliverFunc) *Link {
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.ConstantRate("default-10mbps", 10, time.Second)
+	}
+	return &Link{loop: loop, cfg: cfg, rng: rng, deliver: deliver}
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueLen returns the number of queued packets.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// QueueBytes returns the queued byte count.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// SetDown administratively disables (true) or enables (false) the link.
+// While down, all ingress packets are dropped, emulating an interface
+// being switched off (Sec 6 "client's 4G/Wi-Fi is turned off").
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Send offers a packet to the link. It is dropped on loss, droptail
+// overflow, or when the link is down; otherwise it is delivered to the far
+// end after queueing and propagation delay.
+func (l *Link) Send(data []byte) {
+	l.stats.SentPackets++
+	l.stats.SentBytes += uint64(len(data))
+	if l.down || (l.cfg.LossRate > 0 && l.rng != nil && l.rng.Bool(l.cfg.LossRate)) {
+		l.stats.DroppedPkts++
+		l.stats.DroppedBytes += uint64(len(data))
+		return
+	}
+	if l.queueBytes+len(data) > l.cfg.QueueBytes {
+		l.stats.DroppedPkts++
+		l.stats.DroppedBytes += uint64(len(data))
+		return
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	l.queue = append(l.queue, queuedPacket{data: buf, enqueuedAt: l.loop.Now()})
+	l.queueBytes += len(buf)
+	if !l.pending {
+		l.scheduleNext()
+	}
+}
+
+// opportunityTime returns the absolute time of the opportunity under the
+// cursor.
+func (l *Link) opportunityTime() time.Duration {
+	tr := l.cfg.Trace
+	period := tr.Period()
+	ms := l.cycle*period + tr.DeliveriesMS[l.idx]
+	return time.Duration(ms) * time.Millisecond
+}
+
+// advanceCursor moves to the next delivery opportunity.
+func (l *Link) advanceCursor() {
+	l.idx++
+	if l.idx >= len(l.cfg.Trace.DeliveriesMS) {
+		l.idx = 0
+		l.cycle++
+	}
+}
+
+// scheduleNext arms a delivery event for the head-of-queue packet at the
+// first unused opportunity at or after now.
+func (l *Link) scheduleNext() {
+	now := l.loop.Now()
+	for l.opportunityTime() < now {
+		l.advanceCursor()
+	}
+	at := l.opportunityTime()
+	l.pending = true
+	l.loop.At(at, l.onOpportunity)
+}
+
+// onOpportunity consumes the cursor opportunity to deliver queued packets:
+// one packet in strict Mahimahi mode, or up to MTU bytes of credit in
+// byte-granular mode.
+func (l *Link) onOpportunity(now time.Duration) {
+	l.pending = false
+	l.advanceCursor() // this opportunity is consumed regardless
+	if len(l.queue) == 0 {
+		l.credit = 0
+		return
+	}
+	if l.cfg.PacketGranular {
+		l.deliverHead()
+	} else {
+		l.credit += trace.MTU
+		for len(l.queue) > 0 && l.credit >= len(l.queue[0].data) {
+			l.credit -= len(l.queue[0].data)
+			l.deliverHead()
+		}
+		if len(l.queue) == 0 {
+			l.credit = 0 // no banking capacity across idle periods
+		}
+	}
+	if len(l.queue) > 0 {
+		l.scheduleNext()
+	}
+}
+
+// deliverHead dequeues and delivers the head packet after the propagation
+// delay (plus jitter), applying bit corruption if configured.
+func (l *Link) deliverHead() {
+	pkt := l.queue[0]
+	l.queue = l.queue[1:]
+	l.queueBytes -= len(pkt.data)
+	l.stats.DeliveredPkts++
+	l.stats.DeliveredBytes += uint64(len(pkt.data))
+	data := pkt.data
+	delay := l.cfg.Delay
+	if l.cfg.JitterMax > 0 && l.rng != nil {
+		delay += time.Duration(l.rng.Uniform(0, float64(l.cfg.JitterMax)))
+	}
+	if l.cfg.CorruptRate > 0 && l.rng != nil && l.rng.Bool(l.cfg.CorruptRate) && len(data) > 0 {
+		idx := l.rng.Intn(len(data))
+		data[idx] ^= 1 << uint(l.rng.Intn(8))
+		l.stats.CorruptedPkts++
+	}
+	l.loop.After(delay, func(arrive time.Duration) {
+		if l.deliver != nil {
+			l.deliver(arrive, data)
+		}
+	})
+}

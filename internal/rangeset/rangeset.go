@@ -1,0 +1,166 @@
+// Package rangeset provides a sorted set of disjoint half-open uint64
+// ranges, used for stream reassembly, packet-number tracking and
+// acknowledgement construction.
+package rangeset
+
+// Range is a half-open interval [Start, End).
+type Range struct {
+	Start, End uint64
+}
+
+// Len returns the number of values in the range.
+func (r Range) Len() uint64 { return r.End - r.Start }
+
+// Set is a sorted set of disjoint, non-adjacent ranges. The zero value is
+// an empty set.
+type Set struct {
+	ranges []Range
+}
+
+// Add inserts [start, end), merging as needed, and returns the number of
+// values that were not already present.
+func (s *Set) Add(start, end uint64) uint64 {
+	if start >= end {
+		return 0
+	}
+	added := end - start
+	merged := Range{start, end}
+	var out []Range
+	placed := false
+	for _, r := range s.ranges {
+		switch {
+		case r.End < merged.Start:
+			out = append(out, r)
+		case r.Start > merged.End:
+			if !placed {
+				out = append(out, merged)
+				placed = true
+			}
+			out = append(out, r)
+		default:
+			os, oe := max64(merged.Start, r.Start), min64(merged.End, r.End)
+			if oe > os {
+				added -= oe - os
+			}
+			merged.Start = min64(merged.Start, r.Start)
+			merged.End = max64(merged.End, r.End)
+		}
+	}
+	if !placed {
+		out = append(out, merged)
+	}
+	s.ranges = out
+	return added
+}
+
+// Contains reports whether every value in [start, end) is present.
+func (s *Set) Contains(start, end uint64) bool {
+	if start >= end {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.Start <= start && end <= r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// CoveredPrefix returns the end of the contiguous covered region starting
+// at from (from itself if not covered).
+func (s *Set) CoveredPrefix(from uint64) uint64 {
+	for _, r := range s.ranges {
+		if r.Start <= from && from < r.End {
+			return r.End
+		}
+	}
+	return from
+}
+
+// FirstMissing returns the first gap at or after from within [from, limit).
+// If everything is covered it returns limit, limit.
+func (s *Set) FirstMissing(from, limit uint64) (start, end uint64) {
+	cur := from
+	for _, r := range s.ranges {
+		if r.End <= cur {
+			continue
+		}
+		if r.Start > cur {
+			e := r.Start
+			if e > limit {
+				e = limit
+			}
+			if cur < e {
+				return cur, e
+			}
+			return limit, limit
+		}
+		cur = r.End
+		if cur >= limit {
+			return limit, limit
+		}
+	}
+	if cur < limit {
+		return cur, limit
+	}
+	return limit, limit
+}
+
+// Subtract removes [start, end) from the set.
+func (s *Set) Subtract(start, end uint64) {
+	if start >= end {
+		return
+	}
+	var out []Range
+	for _, r := range s.ranges {
+		if r.End <= start || r.Start >= end {
+			out = append(out, r)
+			continue
+		}
+		if r.Start < start {
+			out = append(out, Range{r.Start, start})
+		}
+		if r.End > end {
+			out = append(out, Range{end, r.End})
+		}
+	}
+	s.ranges = out
+}
+
+// Empty reports whether the set has no ranges.
+func (s *Set) Empty() bool { return len(s.ranges) == 0 }
+
+// Size returns the total number of values in the set.
+func (s *Set) Size() uint64 {
+	var n uint64
+	for _, r := range s.ranges {
+		n += r.Len()
+	}
+	return n
+}
+
+// First returns the lowest range; ok is false when empty.
+func (s *Set) First() (Range, bool) {
+	if len(s.ranges) == 0 {
+		return Range{}, false
+	}
+	return s.ranges[0], true
+}
+
+// All returns the ranges in ascending order. The slice must not be
+// mutated.
+func (s *Set) All() []Range { return s.ranges }
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

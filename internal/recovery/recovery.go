@@ -1,0 +1,329 @@
+// Package recovery implements per-path loss detection in the RFC 9002
+// style: sent-packet tracking per packet number space (XLINK keeps one
+// space per path, Sec 6), ACK processing with RTT sampling, packet- and
+// time-threshold loss declaration, and probe timeouts with exponential
+// backoff.
+package recovery
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/wire"
+)
+
+// Loss detection constants from RFC 9002 §6.1.
+const (
+	// PacketThreshold declares a packet lost when this many later packets
+	// are acknowledged.
+	PacketThreshold = 3
+	// timeThresholdNum/Den express the 9/8 RTT time threshold.
+	timeThresholdNum = 9
+	timeThresholdDen = 8
+)
+
+// SentPacket records one transmitted packet awaiting acknowledgement.
+type SentPacket struct {
+	// PN is the packet number within the path's space.
+	PN uint64
+	// SentAt is the transmission time.
+	SentAt time.Duration
+	// Bytes is the full UDP payload size (for congestion accounting).
+	Bytes int
+	// AckEliciting reports whether the packet must be acknowledged.
+	AckEliciting bool
+	// Frames are the retransmittable frames carried, so lost data can be
+	// re-queued by the transport.
+	Frames []wire.Frame
+	// Meta is opaque scheduler metadata (e.g. stream priority bookkeeping
+	// for re-injection decisions).
+	Meta any
+
+	declaredLost bool
+	acked        bool
+}
+
+// AckResult reports the outcome of processing one ACK frame.
+type AckResult struct {
+	// Acked are newly acknowledged packets, ascending by PN.
+	Acked []*SentPacket
+	// Lost are packets newly declared lost, ascending by PN.
+	Lost []*SentPacket
+	// LatestRTT is the RTT sample taken, or 0 if the ack did not cover a
+	// newly acknowledged largest packet.
+	LatestRTT time.Duration
+}
+
+// Space tracks in-flight packets for one path's packet number space and
+// runs loss detection over them.
+type Space struct {
+	rtt *cc.RTTEstimator
+
+	sent         []*SentPacket // ascending PN
+	byPN         map[uint64]*SentPacket
+	largestAcked int64
+	nextPN       uint64
+
+	lossTime    time.Duration // earliest pending time-threshold loss, 0 = none
+	ptoCount    int
+	lastProbeAt time.Duration // when OnPTO last fired, anchoring backoff
+
+	// Counters for instrumentation.
+	stats Stats
+}
+
+// Stats counts recovery activity on one path.
+type Stats struct {
+	SentPackets  uint64
+	SentBytes    uint64
+	AckedPackets uint64
+	LostPackets  uint64
+	LostBytes    uint64
+	PTOs         uint64
+}
+
+// NewSpace creates a Space reporting RTT samples to rtt.
+func NewSpace(rtt *cc.RTTEstimator) *Space {
+	return &Space{rtt: rtt, byPN: make(map[uint64]*SentPacket), largestAcked: -1}
+}
+
+// Stats returns a copy of the counters.
+func (s *Space) Stats() Stats { return s.stats }
+
+// NextPN allocates the next packet number.
+func (s *Space) NextPN() uint64 {
+	pn := s.nextPN
+	s.nextPN++
+	return pn
+}
+
+// PeekPN returns the packet number the next NextPN call will allocate.
+func (s *Space) PeekPN() uint64 { return s.nextPN }
+
+// LargestAcked returns the largest acknowledged PN, or -1.
+func (s *Space) LargestAcked() int64 { return s.largestAcked }
+
+// OnPacketSent records a transmitted packet. PN must come from NextPN.
+func (s *Space) OnPacketSent(sp *SentPacket) {
+	s.sent = append(s.sent, sp)
+	s.byPN[sp.PN] = sp
+	s.stats.SentPackets++
+	s.stats.SentBytes += uint64(sp.Bytes)
+}
+
+// InFlight returns the ack-eliciting packets not yet acked or lost,
+// ascending by PN.
+func (s *Space) InFlight() []*SentPacket {
+	var out []*SentPacket
+	for _, sp := range s.sent {
+		if !sp.acked && !sp.declaredLost && sp.AckEliciting {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// HasUnacked reports whether any ack-eliciting packet is outstanding — the
+// paper's exist_no_unack_pkts(p) predicate (Alg. 1 line 8), inverted.
+func (s *Space) HasUnacked() bool {
+	for _, sp := range s.sent {
+		if !sp.acked && !sp.declaredLost && sp.AckEliciting {
+			return true
+		}
+	}
+	return false
+}
+
+// Unacked returns the unacknowledged, not-lost packet with the given PN if
+// it exists.
+func (s *Space) Unacked(pn uint64) (*SentPacket, bool) {
+	sp, ok := s.byPN[pn]
+	if !ok || sp.acked || sp.declaredLost {
+		return nil, false
+	}
+	return sp, true
+}
+
+// lossDelay returns the time threshold for declaring loss.
+func (s *Space) lossDelay() time.Duration {
+	rtt := s.rtt.Smoothed()
+	if l := s.rtt.Latest(); l > rtt {
+		rtt = l
+	}
+	d := rtt * timeThresholdNum / timeThresholdDen
+	if d < cc.Granularity {
+		d = cc.Granularity
+	}
+	return d
+}
+
+// OnAck processes an ACK/ACK_MP covering ranges, received at now with the
+// peer's reported ackDelay. It returns newly acked and newly lost packets
+// and resets the PTO backoff if progress was made.
+func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.Duration) AckResult {
+	var res AckResult
+	if len(ranges) == 0 {
+		return res
+	}
+	largest := ranges[0].Largest
+	newlyAckedLargest := false
+	for _, r := range ranges {
+		for pn := r.Smallest; ; pn++ {
+			if sp, ok := s.byPN[pn]; ok && !sp.acked {
+				sp.acked = true
+				if !sp.declaredLost {
+					res.Acked = append(res.Acked, sp)
+					s.stats.AckedPackets++
+				}
+				if sp.PN == largest {
+					newlyAckedLargest = true
+					res.LatestRTT = now - sp.SentAt
+				}
+			}
+			if pn == r.Largest {
+				break
+			}
+		}
+	}
+	if len(res.Acked) == 0 {
+		return res
+	}
+	sort.Slice(res.Acked, func(i, j int) bool { return res.Acked[i].PN < res.Acked[j].PN })
+	if int64(largest) > s.largestAcked {
+		s.largestAcked = int64(largest)
+	}
+	if newlyAckedLargest && res.LatestRTT > 0 {
+		s.rtt.Update(res.LatestRTT, ackDelay)
+	}
+	s.ptoCount = 0
+	res.Lost = s.detectLost(now)
+	s.gc()
+	return res
+}
+
+// detectLost applies packet- and time-threshold loss detection.
+func (s *Space) detectLost(now time.Duration) []*SentPacket {
+	if s.largestAcked < 0 {
+		return nil
+	}
+	s.lossTime = 0
+	delay := s.lossDelay()
+	var lost []*SentPacket
+	for _, sp := range s.sent {
+		if sp.acked || sp.declaredLost || int64(sp.PN) > s.largestAcked {
+			continue
+		}
+		pktLost := s.largestAcked-int64(sp.PN) >= PacketThreshold
+		timeLost := now >= sp.SentAt+delay
+		if pktLost || timeLost {
+			sp.declaredLost = true
+			lost = append(lost, sp)
+			s.stats.LostPackets++
+			s.stats.LostBytes += uint64(sp.Bytes)
+		} else if s.lossTime == 0 || sp.SentAt+delay < s.lossTime {
+			// Not lost yet, but will be at sentAt+delay unless acked.
+			s.lossTime = sp.SentAt + delay
+		}
+	}
+	return lost
+}
+
+// OnLossTimeout runs time-threshold loss detection when the loss timer
+// fires; it returns newly lost packets.
+func (s *Space) OnLossTimeout(now time.Duration) []*SentPacket {
+	lost := s.detectLost(now)
+	s.gc()
+	return lost
+}
+
+// LossTime returns the deadline of the pending time-threshold loss, or 0.
+func (s *Space) LossTime() time.Duration { return s.lossTime }
+
+// PTODeadline returns when the probe timeout fires, or 0 if nothing is in
+// flight.
+func (s *Space) PTODeadline() time.Duration {
+	var earliest time.Duration
+	var lastSent time.Duration
+	found := false
+	for _, sp := range s.sent {
+		if sp.acked || sp.declaredLost || !sp.AckEliciting {
+			continue
+		}
+		if sp.SentAt > lastSent {
+			lastSent = sp.SentAt
+		}
+		found = true
+	}
+	if !found {
+		return 0
+	}
+	exp := s.ptoCount
+	if exp > 6 {
+		exp = 6 // cap the backoff so dead paths keep getting probed
+	}
+	backoff := time.Duration(1 << exp)
+	anchor := lastSent
+	if s.lastProbeAt > anchor {
+		// A probe may not result in a tracked transmission (e.g. its
+		// retransmittable data was moved to another path); anchoring on
+		// the probe time keeps the deadline moving forward.
+		anchor = s.lastProbeAt
+	}
+	earliest = anchor + s.rtt.PTO()*backoff
+	return earliest
+}
+
+// OnPTO handles a probe timeout at now: it backs off and returns up to two
+// of the oldest unacked packets whose frames should be probed
+// (retransmitted). The packets are not declared lost.
+func (s *Space) OnPTO(now time.Duration) []*SentPacket {
+	s.ptoCount++
+	s.stats.PTOs++
+	s.lastProbeAt = now
+	var probes []*SentPacket
+	for _, sp := range s.sent {
+		if sp.acked || sp.declaredLost || !sp.AckEliciting {
+			continue
+		}
+		probes = append(probes, sp)
+		if len(probes) == 2 {
+			break
+		}
+	}
+	return probes
+}
+
+// DeclareAllLost marks every outstanding ack-eliciting packet as lost and
+// returns them. It is used when a path is abandoned or demoted so its
+// stranded data can be rescheduled onto surviving paths.
+func (s *Space) DeclareAllLost(now time.Duration) []*SentPacket {
+	var lost []*SentPacket
+	for _, sp := range s.sent {
+		if sp.acked || sp.declaredLost || !sp.AckEliciting {
+			continue
+		}
+		sp.declaredLost = true
+		lost = append(lost, sp)
+		s.stats.LostPackets++
+		s.stats.LostBytes += uint64(sp.Bytes)
+	}
+	s.lossTime = 0
+	s.gc()
+	return lost
+}
+
+// PTOCount returns the current backoff exponent.
+func (s *Space) PTOCount() int { return s.ptoCount }
+
+// gc trims fully resolved packets from the front of the send history.
+func (s *Space) gc() {
+	i := 0
+	for i < len(s.sent) && (s.sent[i].acked || s.sent[i].declaredLost) {
+		delete(s.byPN, s.sent[i].PN)
+		i++
+	}
+	if i > 0 {
+		s.sent = append([]*SentPacket(nil), s.sent[i:]...)
+	}
+}

@@ -1,0 +1,218 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/wire"
+)
+
+func sent(s *Space, at time.Duration, n int) []*SentPacket {
+	var out []*SentPacket
+	for i := 0; i < n; i++ {
+		sp := &SentPacket{PN: s.NextPN(), SentAt: at, Bytes: 1200, AckEliciting: true}
+		s.OnPacketSent(sp)
+		out = append(out, sp)
+	}
+	return out
+}
+
+func TestAckBasics(t *testing.T) {
+	rtt := cc.NewRTTEstimator()
+	s := NewSpace(rtt)
+	sent(s, 0, 3)
+	res := s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 2}}, 0, 50*time.Millisecond)
+	if len(res.Acked) != 3 {
+		t.Fatalf("acked %d, want 3", len(res.Acked))
+	}
+	if res.LatestRTT != 50*time.Millisecond {
+		t.Fatalf("rtt sample = %v", res.LatestRTT)
+	}
+	if !rtt.HasSample() || rtt.Smoothed() != 50*time.Millisecond {
+		t.Fatal("rtt estimator not updated")
+	}
+	if s.HasUnacked() {
+		t.Fatal("all packets acked")
+	}
+	if s.LargestAcked() != 2 {
+		t.Fatalf("largestAcked = %d", s.LargestAcked())
+	}
+}
+
+func TestDuplicateAckIgnored(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sent(s, 0, 2)
+	r1 := s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 1}}, 0, 10*time.Millisecond)
+	if len(r1.Acked) != 2 {
+		t.Fatal("first ack")
+	}
+	r2 := s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 1}}, 0, 20*time.Millisecond)
+	if len(r2.Acked) != 0 {
+		t.Fatal("duplicate ack must ack nothing")
+	}
+}
+
+func TestPacketThresholdLoss(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	pkts := sent(s, 0, 5)
+	// Ack 3 and 4; pn 0 and 1 are >=3 behind → lost; pn 2 not yet.
+	res := s.OnAck([]wire.AckRange{{Smallest: 3, Largest: 4}}, 0, 20*time.Millisecond)
+	if len(res.Acked) != 2 {
+		t.Fatalf("acked %d", len(res.Acked))
+	}
+	if len(res.Lost) != 2 || res.Lost[0].PN != 0 || res.Lost[1].PN != 1 {
+		t.Fatalf("lost %v", res.Lost)
+	}
+	_ = pkts
+	// pn 2 should have a pending time-threshold deadline.
+	if s.LossTime() == 0 {
+		t.Fatal("expected loss timer for pn 2")
+	}
+}
+
+func TestTimeThresholdLoss(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sent(s, 0, 2)
+	// Ack pn 1 at 40ms → rtt 40ms; pn 0 is 1 behind (below packet threshold).
+	res := s.OnAck([]wire.AckRange{{Smallest: 1, Largest: 1}}, 0, 40*time.Millisecond)
+	if len(res.Lost) != 0 {
+		t.Fatal("no loss yet")
+	}
+	deadline := s.LossTime()
+	if deadline == 0 {
+		t.Fatal("loss timer must be armed")
+	}
+	// 9/8 * 40ms = 45ms.
+	if deadline != 45*time.Millisecond {
+		t.Fatalf("loss deadline %v, want 45ms", deadline)
+	}
+	lost := s.OnLossTimeout(deadline)
+	if len(lost) != 1 || lost[0].PN != 0 {
+		t.Fatalf("lost %v", lost)
+	}
+}
+
+func TestLostPacketAckedLater(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sent(s, 0, 5)
+	res := s.OnAck([]wire.AckRange{{Smallest: 4, Largest: 4}}, 0, 20*time.Millisecond)
+	if len(res.Lost) != 2 { // pn 0, 1 by packet threshold
+		t.Fatalf("lost %d", len(res.Lost))
+	}
+	// Late ack for a declared-lost packet must not re-ack it.
+	res2 := s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 0}}, 0, 30*time.Millisecond)
+	if len(res2.Acked) != 0 {
+		t.Fatal("spurious re-ack of lost packet")
+	}
+}
+
+func TestPTODeadlineAndBackoff(t *testing.T) {
+	rtt := cc.NewRTTEstimator()
+	rtt.Update(100*time.Millisecond, 0)
+	s := NewSpace(rtt)
+	sent(s, 10*time.Millisecond, 1)
+	d1 := s.PTODeadline()
+	if d1 == 0 {
+		t.Fatal("PTO must be armed with packets in flight")
+	}
+	want := 10*time.Millisecond + rtt.PTO()
+	if d1 != want {
+		t.Fatalf("PTO deadline %v, want %v", d1, want)
+	}
+	probes := s.OnPTO(d1)
+	if len(probes) != 1 || probes[0].PN != 0 {
+		t.Fatalf("probes %v", probes)
+	}
+	if s.PTOCount() != 1 {
+		t.Fatal("backoff count")
+	}
+	// The next deadline anchors at the probe time with doubled backoff.
+	d2 := s.PTODeadline()
+	if d2 != d1+2*rtt.PTO() {
+		t.Fatalf("second deadline %v, want %v (probe time + doubled PTO)", d2, d1+2*rtt.PTO())
+	}
+	// Progress resets backoff.
+	s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 0}}, 0, 200*time.Millisecond)
+	if s.PTOCount() != 0 {
+		t.Fatal("ack must reset PTO count")
+	}
+	if s.PTODeadline() != 0 {
+		t.Fatal("no in-flight packets: no PTO")
+	}
+}
+
+func TestUnackedLookup(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sent(s, 0, 3)
+	if _, ok := s.Unacked(1); !ok {
+		t.Fatal("pn 1 should be unacked")
+	}
+	s.OnAck([]wire.AckRange{{Smallest: 1, Largest: 1}}, 0, 10*time.Millisecond)
+	if _, ok := s.Unacked(1); ok {
+		t.Fatal("pn 1 was acked")
+	}
+	if _, ok := s.Unacked(99); ok {
+		t.Fatal("unknown pn")
+	}
+}
+
+func TestInFlightExcludesNonEliciting(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sp := &SentPacket{PN: s.NextPN(), SentAt: 0, Bytes: 50, AckEliciting: false}
+	s.OnPacketSent(sp)
+	if len(s.InFlight()) != 0 || s.HasUnacked() {
+		t.Fatal("ack-only packets are not in flight")
+	}
+	if s.PTODeadline() != 0 {
+		t.Fatal("no PTO for non-eliciting packets")
+	}
+}
+
+func TestGCKeepsMapConsistent(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	for round := 0; round < 50; round++ {
+		pkts := sent(s, time.Duration(round)*time.Millisecond, 4)
+		s.OnAck([]wire.AckRange{{Smallest: pkts[0].PN, Largest: pkts[3].PN}}, 0,
+			time.Duration(round+1)*time.Millisecond)
+	}
+	if len(s.byPN) != 0 || len(s.sent) != 0 {
+		t.Fatalf("gc left %d/%d entries", len(s.byPN), len(s.sent))
+	}
+	if s.Stats().AckedPackets != 200 {
+		t.Fatalf("acked counter %d", s.Stats().AckedPackets)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := NewSpace(cc.NewRTTEstimator())
+	sent(s, 0, 5)
+	s.OnAck([]wire.AckRange{{Smallest: 4, Largest: 4}}, 0, 20*time.Millisecond)
+	st := s.Stats()
+	if st.SentPackets != 5 || st.AckedPackets != 1 || st.LostPackets != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	s.OnPTO(30 * time.Millisecond)
+	if s.Stats().PTOs != 1 {
+		t.Fatal("pto counter")
+	}
+}
+
+func TestNoRTTSampleWhenLargestNotNewlyAcked(t *testing.T) {
+	rtt := cc.NewRTTEstimator()
+	s := NewSpace(rtt)
+	sent(s, 0, 3)
+	s.OnAck([]wire.AckRange{{Smallest: 2, Largest: 2}}, 0, 30*time.Millisecond)
+	first := rtt.Smoothed()
+	// Ack covering already-acked largest: no new sample.
+	res := s.OnAck([]wire.AckRange{{Smallest: 0, Largest: 2}}, 0, 90*time.Millisecond)
+	if res.LatestRTT != 0 {
+		t.Fatal("no RTT sample for stale largest")
+	}
+	if rtt.Smoothed() != first {
+		t.Fatal("estimator should be unchanged")
+	}
+	if len(res.Acked) != 2 {
+		t.Fatalf("acked %d, want 2 (pn 0,1)", len(res.Acked))
+	}
+}

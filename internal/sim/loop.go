@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time instant.
+type Event func(now time.Duration)
+
+type scheduledEvent struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   Event
+	dead bool
+	idx  int
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled.
+type Timer struct {
+	ev   *scheduledEvent
+	loop *Loop
+}
+
+// Stop cancels the timer. It is a no-op if the event already fired or was
+// already stopped. It reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// When returns the virtual time the event will fire at.
+func (t *Timer) When() time.Duration { return t.ev.at }
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Loop is a single-threaded discrete-event simulation loop with its own
+// virtual clock. It is not safe for concurrent use; all simulated components
+// must be driven from loop callbacks.
+type Loop struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewLoop returns an empty loop at virtual time zero.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now implements Clock.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Fired returns the number of events executed so far.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Pending returns the number of events still scheduled (including stopped
+// timers not yet collected).
+func (l *Loop) Pending() int { return len(l.events) }
+
+// At schedules fn to run at the absolute virtual time at. Events scheduled
+// in the past run at the current time, never rewinding the clock.
+func (l *Loop) At(at time.Duration, fn Event) *Timer {
+	if at < l.now {
+		at = l.now
+	}
+	ev := &scheduledEvent{at: at, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, ev)
+	return &Timer{ev: ev, loop: l}
+}
+
+// After schedules fn to run d from now.
+func (l *Loop) After(d time.Duration, fn Event) *Timer {
+	return l.At(l.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	for len(l.events) > 0 {
+		ev := heap.Pop(&l.events).(*scheduledEvent)
+		if ev.dead {
+			continue
+		}
+		l.now = ev.at
+		l.fired++
+		ev.fn(l.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass deadline or no events
+// remain. Events at exactly deadline are executed. The clock finishes at
+// deadline if it was reached.
+func (l *Loop) RunUntil(deadline time.Duration) {
+	for len(l.events) > 0 {
+		// Peek.
+		next := l.events[0]
+		if next.dead {
+			heap.Pop(&l.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		l.Step()
+	}
+	if l.now < deadline {
+		l.now = deadline
+	}
+}
+
+// Run executes events until none remain or maxEvents is hit (0 = unlimited).
+// It returns the number of events executed in this call.
+func (l *Loop) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for l.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}

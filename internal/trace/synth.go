@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Synthetic trace generators modelled on the environments measured in the
+// paper: a campus walk (Fig 1a/1b), subway and high-speed-rail commutes
+// (Sec 7.3 / Appendix B, Fig 15), and stable reference links.
+//
+// Each generator composes a slowly varying base rate, wireless fading noise,
+// and environment-specific outage structure (Wi-Fi AP hand-offs, HSR tunnel
+// outages), then quantizes to delivery opportunities.
+
+// WalkingWiFi produces a Wi-Fi trace like Fig 1a: nominal ~20-30 Mbit/s with
+// fast fading and a deep outage window where throughput collapses to ~0
+// (the paper's trace drops out between 1.7 s and 2.2 s of a 3 s window).
+func WalkingWiFi(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("walking-wifi")
+	outStart := duration.Seconds() * 0.55
+	outEnd := duration.Seconds() * 0.75
+	base := r.Uniform(18, 28)
+	return FromRateFunc("walking-wifi", duration, func(t time.Duration) float64 {
+		s := t.Seconds()
+		if s >= outStart && s < outEnd {
+			return r.Uniform(0, 0.4) // near-total outage
+		}
+		fade := 1 + 0.45*math.Sin(2*math.Pi*s/1.3) + r.Normal(0, 0.18)
+		if fade < 0.05 {
+			fade = 0.05
+		}
+		return base * fade
+	})
+}
+
+// WalkingLTE produces an LTE trace like Fig 1b: comparatively stable
+// ~15-25 Mbit/s with mild variation and no outage.
+func WalkingLTE(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("walking-lte")
+	base := r.Uniform(15, 24)
+	return FromRateFunc("walking-lte", duration, func(t time.Duration) float64 {
+		s := t.Seconds()
+		fade := 1 + 0.12*math.Sin(2*math.Pi*s/2.1) + r.Normal(0, 0.08)
+		if fade < 0.2 {
+			fade = 0.2
+		}
+		return base * fade
+	})
+}
+
+// SubwayCellular produces a cellular trace with periodic deep fades as the
+// train enters and leaves stations and inter-station tunnels.
+func SubwayCellular(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("subway-cellular")
+	base := r.Uniform(6, 12)
+	stationPeriod := r.Uniform(18, 32) // seconds between stations
+	return FromRateFunc("subway-cellular", duration, func(t time.Duration) float64 {
+		s := t.Seconds()
+		phase := math.Mod(s, stationPeriod) / stationPeriod
+		// Good signal at stations (phase near 0 or 1), bad mid-tunnel.
+		tunnel := math.Exp(-math.Pow((phase-0.5)/0.18, 2))
+		rate := base * (1 - 0.92*tunnel)
+		rate *= 1 + r.Normal(0, 0.15)
+		if rate < 0 {
+			rate = 0
+		}
+		return rate
+	})
+}
+
+// SubwayWiFi produces an onboard/metro Wi-Fi trace: bursty with hand-off
+// gaps every few tens of seconds as the train passes trackside APs.
+func SubwayWiFi(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("subway-wifi")
+	base := r.Uniform(3, 8)
+	hoPeriod := r.Uniform(7, 14)
+	return FromRateFunc("subway-wifi", duration, func(t time.Duration) float64 {
+		s := t.Seconds()
+		phase := math.Mod(s, hoPeriod)
+		if phase < r.Uniform(0.8, 2.0) { // hand-off gap
+			return 0
+		}
+		rate := base * (1 + 0.5*math.Sin(2*math.Pi*s/4.7) + r.Normal(0, 0.25))
+		if rate < 0 {
+			rate = 0
+		}
+		return rate
+	})
+}
+
+// HSRCellular produces a high-speed-rail cellular trace like Fig 15a:
+// ~5-12 Mbit/s with frequent sharp drops and multi-second outages in
+// tunnels, reflecting hand-offs at 300 km/h.
+func HSRCellular(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("hsr-cellular")
+	type outage struct{ start, end float64 }
+	var outages []outage
+	t := r.Uniform(2, 8)
+	for t < duration.Seconds() {
+		length := r.Uniform(0.5, 4.0) // tunnels and hand-off storms
+		outages = append(outages, outage{t, t + length})
+		t += length + r.Uniform(3, 12)
+	}
+	base := r.Uniform(5, 11)
+	return FromRateFunc("hsr-cellular", duration, func(tt time.Duration) float64 {
+		s := tt.Seconds()
+		for _, o := range outages {
+			if s >= o.start && s < o.end {
+				return r.Uniform(0, 0.2)
+			}
+		}
+		rate := base * (1 + 0.4*math.Sin(2*math.Pi*s/7.3) + r.Normal(0, 0.3))
+		if rate < 0.1 {
+			rate = 0.1
+		}
+		return rate
+	})
+}
+
+// HSRWiFi produces an onboard Wi-Fi trace like Fig 15b: low-rate
+// (~2-7 Mbit/s), highly variable, backhauled over the train's own cellular
+// links so it degrades at different instants than the passenger's own LTE.
+func HSRWiFi(rng *sim.RNG, duration time.Duration) *Trace {
+	r := rng.Fork("hsr-wifi")
+	type outage struct{ start, end float64 }
+	var outages []outage
+	t := r.Uniform(4, 12)
+	for t < duration.Seconds() {
+		length := r.Uniform(1.0, 6.0)
+		outages = append(outages, outage{t, t + length})
+		t += length + r.Uniform(5, 18)
+	}
+	base := r.Uniform(2.5, 6.5)
+	return FromRateFunc("hsr-wifi", duration, func(tt time.Duration) float64 {
+		s := tt.Seconds()
+		for _, o := range outages {
+			if s >= o.start && s < o.end {
+				return r.Uniform(0, 0.15)
+			}
+		}
+		rate := base * (1 + 0.6*math.Sin(2*math.Pi*s/11.1) + r.Normal(0, 0.35))
+		if rate < 0.05 {
+			rate = 0.05
+		}
+		return rate
+	})
+}
+
+// MobilityPair is a pair of traces collected in the same environment,
+// replayed on the two paths of a multi-path connection (Appendix B: "we
+// always replayed different traces collected in the same environment on
+// different paths").
+type MobilityPair struct {
+	Name     string
+	Cellular *Trace
+	WiFi     *Trace
+}
+
+// ExtremeMobilitySet generates n trace pairs alternating subway and
+// high-speed-rail environments, for the Fig 13 experiment.
+func ExtremeMobilitySet(rng *sim.RNG, n int, duration time.Duration) []MobilityPair {
+	pairs := make([]MobilityPair, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Fork(fmt.Sprintf("mobility-%d", i))
+		var p MobilityPair
+		if i%2 == 0 {
+			p = MobilityPair{
+				Name:     fmt.Sprintf("subway-%d", i/2+1),
+				Cellular: SubwayCellular(r, duration),
+				WiFi:     SubwayWiFi(r, duration),
+			}
+		} else {
+			p = MobilityPair{
+				Name:     fmt.Sprintf("hsr-%d", i/2+1),
+				Cellular: HSRCellular(r, duration),
+				WiFi:     HSRWiFi(r, duration),
+			}
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/wire"
+)
+
+// AckPolicy selects the return path for ACK_MP frames (Sec 5.3,
+// "Fastest-path Multi-path ACK").
+type AckPolicy int
+
+// ACK_MP path selection strategies evaluated in Fig 8.
+const (
+	// AckMinRTT returns acknowledgements on the lowest-RTT active path —
+	// XLINK's choice.
+	AckMinRTT AckPolicy = iota
+	// AckOriginalPath returns acknowledgements on the path the packets
+	// arrived on, like MPTCP sub-flow ACKs.
+	AckOriginalPath
+)
+
+// String returns the policy name.
+func (p AckPolicy) String() string {
+	if p == AckMinRTT {
+		return "minRTT"
+	}
+	return "original"
+}
+
+// ReinjectionMode selects the re-injection strategy (Fig 4).
+type ReinjectionMode int
+
+// Re-injection modes, in increasing video-awareness.
+const (
+	// ReinjectNone disables re-injection (vanilla-MP).
+	ReinjectNone ReinjectionMode = iota
+	// ReinjectAppending is the traditional mode: duplicates are appended
+	// behind all unsent data (Fig 4a).
+	ReinjectAppending
+	// ReinjectStreamPriority inserts duplicates of an early stream before
+	// unsent data of later streams (Fig 4b).
+	ReinjectStreamPriority
+	// ReinjectFramePriority additionally orders duplicates by the
+	// application's video-frame priorities within a stream, accelerating
+	// the first video frame (Fig 4c).
+	ReinjectFramePriority
+)
+
+// String returns the mode name.
+func (m ReinjectionMode) String() string {
+	switch m {
+	case ReinjectNone:
+		return "none"
+	case ReinjectAppending:
+		return "appending"
+	case ReinjectStreamPriority:
+		return "stream-priority"
+	default:
+		return "frame-priority"
+	}
+}
+
+// ReinjectionGate decides, at pull time, whether re-injection is currently
+// allowed. XLINK installs the double-thresholding controller here;
+// "re-injection w/o QoE control" installs an always-true gate.
+// maxDeliverTime is Eq. 1: the maximum RTT+δ over paths with unacked data.
+type ReinjectionGate func(now, maxDeliverTime time.Duration) bool
+
+// PathSelector picks the path for the next data packet among usable paths
+// with congestion window space. The default is min-RTT, as in MPQUIC's
+// default scheduler.
+type PathSelector func(now time.Duration, candidates []*Path) *Path
+
+// MinRTTSelector returns the lowest-smoothed-RTT candidate.
+func MinRTTSelector(now time.Duration, candidates []*Path) *Path {
+	var best *Path
+	for _, p := range candidates {
+		if best == nil || p.RTT.Smoothed() < best.RTT.Smoothed() {
+			best = p
+		}
+	}
+	return best
+}
+
+// Config parameterizes a connection.
+type Config struct {
+	// IsClient selects the connection role.
+	IsClient bool
+	// PSK is the pre-shared secret standing in for the TLS handshake
+	// (see DESIGN.md substitutions). Both endpoints must agree.
+	PSK []byte
+	// CIDLen is the connection ID length used by this endpoint (4..20).
+	CIDLen int
+	// Params are the local transport parameters.
+	Params wire.TransportParams
+	// CCAlgorithm selects congestion control (Cubic in the paper).
+	CCAlgorithm cc.Algorithm
+	// CCFactory, when set, overrides CCAlgorithm with a custom controller
+	// per path — e.g. flows of a cc.LIAGroup for the coupled variant the
+	// paper recommends on shared bottlenecks (Sec 9).
+	CCFactory func() cc.Controller
+	// AckPolicy selects the ACK_MP return path.
+	AckPolicy AckPolicy
+	// ReinjectionMode selects the re-injection strategy (server side).
+	ReinjectionMode ReinjectionMode
+	// ReinjectionGate gates re-injection; nil means always allowed when
+	// ReinjectionMode != ReinjectNone.
+	ReinjectionGate ReinjectionGate
+	// PathSelector picks the send path; nil means MinRTTSelector.
+	PathSelector PathSelector
+	// MaxAckDelay bounds how long an ack may be withheld.
+	MaxAckDelay time.Duration
+	// AckElicitingThreshold sends an ack after this many ack-eliciting
+	// packets (default 2).
+	AckElicitingThreshold int
+	// QoEProvider, on the client, supplies the current player signal to
+	// piggyback on outgoing ACK_MP frames.
+	QoEProvider func() wire.QoESignal
+	// QoEFeedbackInterval throttles QoE piggybacks (0 = every ACK_MP).
+	QoEFeedbackInterval time.Duration
+	// QoEStandaloneInterval, when non-zero, additionally sends the
+	// draft's independent QOE_CONTROL_SIGNALS frame at this cadence, so
+	// feedback frequency is not bound to ACK frequency (Sec 6, "Frame
+	// extension").
+	QoEStandaloneInterval time.Duration
+	// OnQoE, on the server, observes client QoE signals.
+	OnQoE func(now time.Duration, sig wire.QoESignal)
+	// OnStreamData delivers in-order stream data to the application.
+	OnStreamData func(now time.Duration, s *RecvStream, data []byte, fin bool)
+	// OnStreamOpen announces a peer-initiated stream.
+	OnStreamOpen func(now time.Duration, s *RecvStream)
+	// OnHandshakeDone fires when the handshake completes.
+	OnHandshakeDone func(now time.Duration)
+	// ServerID is encoded into issued CIDs for QUIC-LB routing (Sec 6,
+	// "Work with Load Balancers"); zero is fine outside LB deployments.
+	ServerID byte
+	// SecondaryPathDelay models interface bring-up latency: secondary
+	// paths are initiated this long after the handshake completes
+	// (cellular radio attach takes hundreds of milliseconds on phones).
+	SecondaryPathDelay time.Duration
+	// DisablePathHealth turns off XLINK's QoE-aware path management
+	// (suspicion on repeated timeouts, receive/ack staleness demotion,
+	// PATH_STATUS standby signalling, evacuation with congestion reset).
+	// The vanilla-MP baseline runs with it disabled, reproducing the
+	// Sec 3 pathology: the min-RTT scheduler keeps trusting a dying path
+	// and recovers stranded data only at RTO cadence.
+	DisablePathHealth bool
+	// ForcePrimary overrides wireless-aware primary path selection and
+	// starts the connection on PrimaryNetIdx instead — used by the Fig 7
+	// experiment to contrast primary-path choices.
+	ForcePrimary  bool
+	PrimaryNetIdx int
+	// Seed randomizes CIDs and challenge payloads deterministically.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.CIDLen == 0 {
+		c.CIDLen = 8
+	}
+	if len(c.PSK) == 0 {
+		c.PSK = []byte("xlink-reproduction-default-psk!!")
+	}
+	if c.Params == (wire.TransportParams{}) {
+		c.Params = wire.DefaultTransportParams()
+	}
+	if c.MaxAckDelay == 0 {
+		c.MaxAckDelay = 25 * time.Millisecond
+	}
+	if c.AckElicitingThreshold == 0 {
+		c.AckElicitingThreshold = 2
+	}
+	if c.PathSelector == nil {
+		c.PathSelector = MinRTTSelector
+	}
+	return c
+}

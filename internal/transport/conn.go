@@ -1,0 +1,993 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/crypto"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// connState tracks the connection lifecycle.
+type connState int
+
+const (
+	stateHandshake connState = iota
+	stateEstablished
+	stateClosed
+)
+
+// Interface describes one local network interface available to a client.
+type Interface struct {
+	// NetIdx is the index the DatagramSender understands.
+	NetIdx int
+	// Tech is the wireless technology, driving primary path selection.
+	Tech trace.Technology
+}
+
+// packetMeta is the scheduler bookkeeping attached to each sent packet.
+type packetMeta struct {
+	chunks []chunk
+	ctrl   []wire.Frame
+	// reinjected marks that this packet's data was already duplicated
+	// onto another path, so it is not re-injected twice.
+	reinjected bool
+}
+
+// ctrlItem is a queued control frame, optionally pinned to a path.
+type ctrlItem struct {
+	frame wire.Frame
+	// pathID pins the frame to a path (-1 = any path).
+	pathID int64
+	// reliable frames are re-queued when the carrying packet is lost.
+	reliable bool
+}
+
+// ConnStats aggregates connection counters for experiments.
+type ConnStats struct {
+	SentPackets uint64
+	RecvPackets uint64
+	SentBytes   uint64
+	RecvBytes   uint64
+	// StreamBytesSent counts first transmissions of stream data.
+	StreamBytesSent uint64
+	// RtxBytesSent counts loss-triggered retransmissions.
+	RtxBytesSent uint64
+	// ReinjectedBytesSent counts re-injection duplicates — the paper's
+	// cost overhead metric.
+	ReinjectedBytesSent uint64
+	// DuplicateBytesRecv counts received bytes already present.
+	DuplicateBytesRecv uint64
+	// HandshakeRTT is when the handshake completed.
+	HandshakeRTT time.Duration
+}
+
+// RedundancyRatio returns re-injected bytes over all stream bytes sent, the
+// paper's traffic-cost metric.
+func (s ConnStats) RedundancyRatio() float64 {
+	total := s.StreamBytesSent + s.RtxBytesSent + s.ReinjectedBytesSent
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReinjectedBytesSent) / float64(total)
+}
+
+// Conn is one endpoint of a multi-path connection. It is event-driven and
+// must only be touched from its Env's event loop.
+type Conn struct {
+	env    Env
+	sender DatagramSender
+	cfg    Config
+	rng    *sim.RNG
+
+	state     connState
+	multipath bool
+
+	// Handshake.
+	initialDCID     wire.ConnectionID
+	initTxSealer    *crypto.Sealer
+	initRxSealer    *crypto.Sealer
+	initSpace       *recovery.Space
+	initRTT         *cc.RTTEstimator
+	initLargestRecv int64
+	localRandom     [32]byte
+	helloPayload    []byte // our CRYPTO payload, for retransmission
+	handshakeDone   bool   // peer's 1-RTT (or server initial) confirmed
+
+	txSealer *crypto.Sealer
+	rxSealer *crypto.Sealer
+
+	localCIDs []wire.ConnectionID
+	peerCIDs  []wire.ConnectionID
+
+	interfaces []Interface
+	paths      map[uint64]*Path
+	pathOrder  []uint64
+
+	sendStreams  map[uint64]*SendStream
+	recvStreams  map[uint64]*RecvStream
+	nextStreamID uint64
+
+	// Connection-level flow control.
+	connSent      uint64 // sum of stream send offsets (new data)
+	peerMaxData   uint64
+	localMaxData  uint64
+	connDelivered uint64
+
+	ctrlQ        []ctrlItem
+	globalReinjQ []chunk
+
+	// QoE piggyback throttling (client).
+	lastQoEAt  time.Duration
+	qoeSentAny bool
+	// Standalone QOE_CONTROL_SIGNALS scheduling.
+	nextStandaloneQoE time.Duration
+	qoeSeq            uint64
+
+	timerCancel         func()
+	inSend              bool
+	secondaryTimerArmed bool
+
+	stats     ConnStats
+	closeCode uint64
+}
+
+// NewConn creates a connection. Clients must AddInterface then Start;
+// servers receive their first datagram via HandleDatagram.
+func NewConn(env Env, sender DatagramSender, cfg Config) *Conn {
+	cfg = cfg.withDefaults()
+	c := &Conn{
+		env:         env,
+		sender:      sender,
+		cfg:         cfg,
+		rng:         sim.NewRNG(cfg.Seed ^ 0x5eed),
+		paths:       make(map[uint64]*Path),
+		sendStreams: make(map[uint64]*SendStream),
+		recvStreams: make(map[uint64]*RecvStream),
+		initRTT:     cc.NewRTTEstimator(),
+		peerMaxData: 0,
+	}
+	c.initSpace = recovery.NewSpace(c.initRTT)
+	c.initLargestRecv = -1
+	c.localMaxData = cfg.Params.InitialMaxData
+	return c
+}
+
+// Stats returns a copy of the connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// SetOnStreamData installs the in-order stream data callback. Call before
+// traffic flows.
+func (c *Conn) SetOnStreamData(fn func(now time.Duration, s *RecvStream, data []byte, fin bool)) {
+	c.cfg.OnStreamData = fn
+}
+
+// SetOnStreamOpen installs the peer-initiated stream callback.
+func (c *Conn) SetOnStreamOpen(fn func(now time.Duration, s *RecvStream)) {
+	c.cfg.OnStreamOpen = fn
+}
+
+// SetOnHandshakeDone installs the handshake-completion callback.
+func (c *Conn) SetOnHandshakeDone(fn func(now time.Duration)) {
+	c.cfg.OnHandshakeDone = fn
+}
+
+// SetQoEProvider installs the client-side QoE signal source piggybacked on
+// outgoing ACK_MP frames.
+func (c *Conn) SetQoEProvider(fn func() wire.QoESignal) {
+	c.cfg.QoEProvider = fn
+}
+
+// SetOnQoE installs the server-side QoE feedback observer.
+func (c *Conn) SetOnQoE(fn func(now time.Duration, sig wire.QoESignal)) {
+	c.cfg.OnQoE = fn
+}
+
+// SetReinjectionGate installs the re-injection gate (e.g. the
+// double-thresholding controller).
+func (c *Conn) SetReinjectionGate(g ReinjectionGate) {
+	c.cfg.ReinjectionGate = g
+}
+
+// SetReinjectionMode switches the re-injection strategy at runtime.
+func (c *Conn) SetReinjectionMode(m ReinjectionMode) {
+	c.cfg.ReinjectionMode = m
+}
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Closed reports whether the connection is closed.
+func (c *Conn) Closed() bool { return c.state == stateClosed }
+
+// MultipathEnabled reports whether multi-path was negotiated.
+func (c *Conn) MultipathEnabled() bool { return c.multipath }
+
+// IsClient reports the connection role.
+func (c *Conn) IsClient() bool { return c.cfg.IsClient }
+
+// Paths returns the paths in creation order.
+func (c *Conn) Paths() []*Path {
+	out := make([]*Path, 0, len(c.pathOrder))
+	for _, id := range c.pathOrder {
+		out = append(out, c.paths[id])
+	}
+	return out
+}
+
+// Path returns the path with the given ID, or nil.
+func (c *Conn) Path(id uint64) *Path { return c.paths[id] }
+
+// AddInterface registers a local interface (client side). Call before
+// Start.
+func (c *Conn) AddInterface(netIdx int, tech trace.Technology) {
+	c.interfaces = append(c.interfaces, Interface{NetIdx: netIdx, Tech: tech})
+}
+
+// newCID mints a fresh connection ID, embedding the configured server ID in
+// the first byte for QUIC-LB routing.
+func (c *Conn) newCID() wire.ConnectionID {
+	cid := make(wire.ConnectionID, c.cfg.CIDLen)
+	cid[0] = c.cfg.ServerID
+	for i := 1; i < len(cid); i++ {
+		cid[i] = byte(c.rng.Intn(256))
+	}
+	return cid
+}
+
+// newPath creates a path with the configured congestion controller.
+func (c *Conn) newPath(id uint64, netIdx int, tech trace.Technology) *Path {
+	p := newPath(id, netIdx, tech, c.cfg.CCAlgorithm)
+	if c.cfg.CCFactory != nil {
+		p.CC = c.cfg.CCFactory()
+	}
+	return p
+}
+
+// selectPrimaryInterface implements wireless-aware primary path selection
+// (Sec 5.3): prefer the interface whose technology ranks best, unless the
+// configuration pins a specific interface.
+func (c *Conn) selectPrimaryInterface() Interface {
+	if c.cfg.ForcePrimary {
+		for _, itf := range c.interfaces {
+			if itf.NetIdx == c.cfg.PrimaryNetIdx {
+				return itf
+			}
+		}
+	}
+	best := c.interfaces[0]
+	for _, itf := range c.interfaces[1:] {
+		if itf.Tech.PrimaryPreference() < best.Tech.PrimaryPreference() {
+			best = itf
+		}
+	}
+	return best
+}
+
+// Start begins the client handshake. The primary path uses the
+// wireless-aware best interface.
+func (c *Conn) Start() error {
+	if !c.cfg.IsClient {
+		return fmt.Errorf("transport: Start is client-only")
+	}
+	if len(c.interfaces) == 0 {
+		return fmt.Errorf("transport: no interfaces")
+	}
+	primary := c.selectPrimaryInterface()
+	p := c.newPath(0, primary.NetIdx, primary.Tech)
+	p.State = PathActive // primary is validated by the handshake itself
+	c.paths[0] = p
+	c.pathOrder = append(c.pathOrder, 0)
+
+	c.localCIDs = []wire.ConnectionID{c.newCID()}
+	c.initialDCID = c.newCID()
+	var err error
+	if c.initTxSealer, err = crypto.NewSealer(c.initialDCID, "client-initial"); err != nil {
+		return err
+	}
+	if c.initRxSealer, err = crypto.NewSealer(c.initialDCID, "server-initial"); err != nil {
+		return err
+	}
+	for i := range c.localRandom {
+		c.localRandom[i] = byte(c.rng.Intn(256))
+	}
+	c.helloPayload = append(append([]byte(nil), c.localRandom[:]...), c.cfg.Params.Append(nil)...)
+	c.sendInitial()
+	c.rearmTimer()
+	return nil
+}
+
+// sendInitial (re)transmits the handshake CRYPTO payload.
+func (c *Conn) sendInitial() {
+	now := c.env.Now()
+	var payload []byte
+	cf := &wire.CryptoFrame{Offset: 0, Data: c.helloPayload}
+	payload = cf.Append(payload)
+	pn := c.initSpace.NextPN()
+	var scid wire.ConnectionID
+	if len(c.localCIDs) > 0 {
+		scid = c.localCIDs[0]
+	}
+	dcid := c.initialDCID
+	if !c.cfg.IsClient && len(c.peerCIDs) > 0 {
+		dcid = c.peerCIDs[0]
+	}
+	pkt := sealLong(c.initTxSealer, dcid, scid, pn, c.initSpace.LargestAcked(), payload)
+	c.initSpace.OnPacketSent(&recovery.SentPacket{
+		PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
+		Frames: []wire.Frame{cf},
+	})
+	netIdx := 0
+	if p := c.paths[0]; p != nil {
+		netIdx = p.NetIdx
+	}
+	c.sender.SendDatagram(netIdx, pkt)
+	c.stats.SentPackets++
+	c.stats.SentBytes += uint64(len(pkt))
+}
+
+// deriveSessionKeys computes 1-RTT sealers from the PSK and both randoms.
+func (c *Conn) deriveSessionKeys(clientRandom, serverRandom []byte) error {
+	secret := append(append(append([]byte(nil), c.cfg.PSK...), clientRandom...), serverRandom...)
+	txLabel, rxLabel := "client", "server"
+	if !c.cfg.IsClient {
+		txLabel, rxLabel = "server", "client"
+	}
+	var err error
+	if c.txSealer, err = crypto.NewSealer(secret, txLabel); err != nil {
+		return err
+	}
+	if c.rxSealer, err = crypto.NewSealer(secret, rxLabel); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HandleDatagram ingests a received UDP payload that arrived on local
+// interface netIdx.
+func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
+	if c.state == stateClosed || len(data) == 0 {
+		return
+	}
+	c.stats.RecvPackets++
+	c.stats.RecvBytes += uint64(len(data))
+	if wire.IsLongHeader(data[0]) {
+		c.handleInitialDatagram(now, netIdx, data)
+	} else {
+		c.handleShortPacket(now, netIdx, data)
+	}
+	c.maybeSend(now)
+	c.rearmTimer()
+}
+
+// handleInitialDatagram processes a long-header (handshake) packet.
+func (c *Conn) handleInitialDatagram(now time.Duration, netIdx int, data []byte) {
+	if c.cfg.IsClient {
+		c.clientHandleServerInitial(now, data)
+		return
+	}
+	c.serverHandleClientInitial(now, netIdx, data)
+}
+
+func (c *Conn) serverHandleClientInitial(now time.Duration, netIdx int, data []byte) {
+	if c.initRxSealer == nil {
+		// Derive initial keys from the client's chosen DCID.
+		pnOff, _, err := longPNOffset(data)
+		if err != nil || pnOff < 7 {
+			return
+		}
+		dcidLen := int(data[5])
+		if 6+dcidLen > len(data) {
+			return
+		}
+		initialDCID := wire.ConnectionID(data[6 : 6+dcidLen])
+		if c.initRxSealer, err = crypto.NewSealer(initialDCID, "client-initial"); err != nil {
+			return
+		}
+		if c.initTxSealer, err = crypto.NewSealer(initialDCID, "server-initial"); err != nil {
+			return
+		}
+	}
+	hdr, payload, _, err := openLong(c.initRxSealer, data, c.initLargestRecv)
+	if err != nil {
+		return
+	}
+	if int64(hdr.PacketNumber) > c.initLargestRecv {
+		c.initLargestRecv = int64(hdr.PacketNumber)
+	}
+	frames, err := wire.ParseAll(payload)
+	if err != nil {
+		return
+	}
+	for _, f := range frames {
+		cf, ok := f.(*wire.CryptoFrame)
+		if !ok || len(cf.Data) < 32 {
+			continue
+		}
+		if c.state != stateHandshake || c.handshakeDone {
+			continue // duplicate hello
+		}
+		clientRandom := cf.Data[:32]
+		peerParams, err := wire.ParseTransportParams(cf.Data[32:])
+		if err != nil {
+			return
+		}
+		c.multipath = peerParams.EnableMultipath && c.cfg.Params.EnableMultipath
+		c.peerCIDs = []wire.ConnectionID{hdr.SCID.Clone()}
+		c.localCIDs = []wire.ConnectionID{c.newCID()}
+		c.peerMaxData = peerParams.InitialMaxData
+		p := c.newPath(0, netIdx, trace.TechWiFi)
+		p.State = PathActive
+		p.DCID = c.peerCIDs[0]
+		c.paths[0] = p
+		c.pathOrder = append(c.pathOrder, 0)
+		for i := range c.localRandom {
+			c.localRandom[i] = byte(c.rng.Intn(256))
+		}
+		if err := c.deriveSessionKeys(clientRandom, c.localRandom[:]); err != nil {
+			return
+		}
+		c.helloPayload = append(append([]byte(nil), c.localRandom[:]...), c.cfg.Params.Append(nil)...)
+		c.sendInitial()
+		c.becomeEstablished(now)
+		// Announce additional CIDs so the client can open paths, and
+		// confirm the handshake.
+		c.queueCtrl(&wire.HandshakeDoneFrame{}, -1, true)
+		c.issueCIDs()
+	}
+}
+
+func (c *Conn) clientHandleServerInitial(now time.Duration, data []byte) {
+	hdr, payload, _, err := openLong(c.initRxSealer, data, c.initLargestRecv)
+	if err != nil {
+		return
+	}
+	if int64(hdr.PacketNumber) > c.initLargestRecv {
+		c.initLargestRecv = int64(hdr.PacketNumber)
+	}
+	frames, err := wire.ParseAll(payload)
+	if err != nil {
+		return
+	}
+	for _, f := range frames {
+		cf, ok := f.(*wire.CryptoFrame)
+		if !ok || len(cf.Data) < 32 {
+			continue
+		}
+		if c.state != stateHandshake {
+			continue
+		}
+		serverRandom := cf.Data[:32]
+		peerParams, err := wire.ParseTransportParams(cf.Data[32:])
+		if err != nil {
+			return
+		}
+		c.multipath = peerParams.EnableMultipath && c.cfg.Params.EnableMultipath
+		c.peerCIDs = []wire.ConnectionID{hdr.SCID.Clone()}
+		c.peerMaxData = peerParams.InitialMaxData
+		c.paths[0].DCID = c.peerCIDs[0]
+		if err := c.deriveSessionKeys(c.localRandom[:], serverRandom); err != nil {
+			return
+		}
+		c.handshakeDone = true // server initial received: stop retransmitting
+		c.becomeEstablished(now)
+		c.issueCIDs()
+		c.maybeInitSecondaryPaths(now)
+	}
+}
+
+// becomeEstablished transitions to the established state once.
+func (c *Conn) becomeEstablished(now time.Duration) {
+	if c.state != stateHandshake {
+		return
+	}
+	c.state = stateEstablished
+	c.stats.HandshakeRTT = now
+	if c.cfg.OnHandshakeDone != nil {
+		c.cfg.OnHandshakeDone(now)
+	}
+}
+
+// issueCIDs provisions the peer with additional CIDs for path setup.
+func (c *Conn) issueCIDs() {
+	if !c.multipath {
+		return
+	}
+	limit := int(c.cfg.Params.ActiveCIDLimit)
+	if limit > 8 {
+		limit = 8
+	}
+	for seq := len(c.localCIDs); seq < limit; seq++ {
+		cid := c.newCID()
+		c.localCIDs = append(c.localCIDs, cid)
+		c.queueCtrl(&wire.NewConnectionIDFrame{
+			Sequence:     uint64(seq),
+			ConnectionID: cid,
+		}, -1, true)
+	}
+}
+
+// maybeInitSecondaryPaths opens a path for each remaining client interface
+// once peer CIDs are available (Fig 9's path initialization).
+func (c *Conn) maybeInitSecondaryPaths(now time.Duration) {
+	if !c.cfg.IsClient || !c.multipath || c.state != stateEstablished {
+		return
+	}
+	if d := c.cfg.SecondaryPathDelay; d > 0 {
+		ready := c.stats.HandshakeRTT + d
+		if now < ready {
+			if !c.secondaryTimerArmed {
+				c.secondaryTimerArmed = true
+				c.env.Schedule(ready, func(at time.Duration) {
+					c.maybeInitSecondaryPaths(at)
+					c.maybeSend(at)
+					c.rearmTimer()
+				})
+			}
+			return
+		}
+	}
+	primaryNet := c.paths[0].NetIdx
+	for _, itf := range c.interfaces {
+		if itf.NetIdx == primaryNet {
+			continue
+		}
+		if c.pathForNetIdx(itf.NetIdx) != nil {
+			continue
+		}
+		seq := uint64(len(c.pathOrder))
+		if seq >= uint64(len(c.peerCIDs)) || seq >= uint64(len(c.localCIDs)) {
+			continue // need more CIDs first
+		}
+		p := c.newPath(seq, itf.NetIdx, itf.Tech)
+		p.DCID = c.peerCIDs[seq]
+		c.paths[seq] = p
+		c.pathOrder = append(c.pathOrder, seq)
+		c.startPathValidation(now, p)
+	}
+}
+
+// pathForNetIdx finds the path bound to a local interface.
+func (c *Conn) pathForNetIdx(netIdx int) *Path {
+	for _, id := range c.pathOrder {
+		if c.paths[id].NetIdx == netIdx {
+			return c.paths[id]
+		}
+	}
+	return nil
+}
+
+// startPathValidation sends a PATH_CHALLENGE on the path.
+func (c *Conn) startPathValidation(now time.Duration, p *Path) {
+	for i := range p.pendingChallenge {
+		p.pendingChallenge[i] = byte(c.rng.Intn(256))
+	}
+	p.challengeSent = true
+	ch := &wire.PathChallengeFrame{Data: p.pendingChallenge}
+	c.queueCtrl(ch, int64(p.ID), true)
+	c.wakeSend()
+}
+
+// queueCtrl enqueues a control frame.
+func (c *Conn) queueCtrl(f wire.Frame, pathID int64, reliable bool) {
+	c.ctrlQ = append(c.ctrlQ, ctrlItem{frame: f, pathID: pathID, reliable: reliable})
+	c.wakeSend()
+}
+
+// handleShortPacket processes a 1-RTT packet.
+func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
+	if c.rxSealer == nil {
+		return // keys not ready
+	}
+	if len(data) < 1+c.cfg.CIDLen {
+		return
+	}
+	dcid := wire.ConnectionID(data[1 : 1+c.cfg.CIDLen])
+	seq := c.localCIDSeq(dcid)
+	if seq < 0 {
+		return // not our CID
+	}
+	pathID := uint64(seq)
+	p := c.paths[pathID]
+	if p == nil {
+		if !c.multipath {
+			return
+		}
+		// New path discovered (server side): create and validate it.
+		p = c.newPath(pathID, netIdx, trace.TechLTE)
+		if pathID < uint64(len(c.peerCIDs)) && c.peerCIDs[pathID] != nil {
+			// The matching peer CID is known: replies can flow at once.
+			p.DCID = c.peerCIDs[pathID]
+		}
+		// Otherwise leave DCID nil; the pending NEW_CONNECTION_ID for this
+		// sequence number fills it in. Replying with a mismatched CID
+		// sequence would be sealed under the wrong per-path nonce.
+		c.paths[pathID] = p
+		c.pathOrder = append(c.pathOrder, pathID)
+	}
+	p.NetIdx = netIdx // follow the packet (handles migration)
+	pn, payload, err := openShort(c.rxSealer, data, c.cfg.CIDLen, uint32(pathID), p.largestRecvPN)
+	if err != nil {
+		return
+	}
+	if !c.handshakeDone {
+		// Receiving 1-RTT confirms the peer has our keys.
+		c.handshakeDone = true
+	}
+	frames, err := wire.ParseAll(payload)
+	if err != nil {
+		return
+	}
+	eliciting := false
+	for _, f := range frames {
+		if wire.AckEliciting(f) {
+			eliciting = true
+			break
+		}
+	}
+	dup := p.recordRecv(pn, now, eliciting)
+	c.unsuspectPath(now, p) // receiving on the path proves it alive
+	if dup {
+		return
+	}
+	p.RecvPackets++
+	p.RecvBytes += uint64(len(data))
+	for _, f := range frames {
+		c.handleFrame(now, p, f)
+	}
+}
+
+// localCIDSeq resolves one of our CIDs to its sequence number, -1 if
+// unknown.
+func (c *Conn) localCIDSeq(cid wire.ConnectionID) int {
+	for i, lc := range c.localCIDs {
+		if lc.Equal(cid) {
+			return i
+		}
+	}
+	return -1
+}
+
+// handleFrame dispatches one received frame on path p.
+func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
+	switch fr := f.(type) {
+	case *wire.PaddingFrame, *wire.PingFrame:
+		// Nothing beyond ack-eliciting bookkeeping.
+	case *wire.HandshakeDoneFrame:
+		c.handshakeDone = true
+		c.maybeInitSecondaryPaths(now)
+	case *wire.NewConnectionIDFrame:
+		for uint64(len(c.peerCIDs)) <= fr.Sequence {
+			c.peerCIDs = append(c.peerCIDs, nil)
+		}
+		c.peerCIDs[fr.Sequence] = fr.ConnectionID.Clone()
+		if pp := c.paths[fr.Sequence]; pp != nil && pp.DCID == nil {
+			pp.DCID = c.peerCIDs[fr.Sequence]
+		}
+		c.maybeInitSecondaryPaths(now)
+	case *wire.RetireConnectionIDFrame:
+		// CID rotation is out of scope; accept silently.
+	case *wire.PathChallengeFrame:
+		// Respond on the same path, as required for validation.
+		c.queueCtrl(&wire.PathResponseFrame{Data: fr.Data}, int64(p.ID), false)
+		if !p.validatedPeer && !p.challengeSent {
+			// Validate the reverse direction too.
+			c.startPathValidation(now, p)
+		}
+	case *wire.PathResponseFrame:
+		if p.challengeSent && fr.Data == p.pendingChallenge {
+			p.validatedPeer = true
+			if p.State == PathProbing {
+				p.State = PathActive
+			}
+			c.wakeSend()
+		}
+	case *wire.PathStatusFrame:
+		c.handlePathStatus(now, fr)
+	case *wire.AckFrame:
+		c.processAck(now, c.paths[0], fr.Ranges, fr.AckDelay)
+	case *wire.AckMPFrame:
+		target := c.paths[fr.PathID]
+		if target == nil {
+			return
+		}
+		c.processAck(now, target, fr.Ranges, fr.AckDelay)
+		if fr.HasQoE && c.cfg.OnQoE != nil {
+			c.cfg.OnQoE(now, fr.QoE)
+		}
+	case *wire.QoEControlSignalsFrame:
+		if c.cfg.OnQoE != nil {
+			c.cfg.OnQoE(now, fr.QoE)
+		}
+	case *wire.StreamFrame:
+		c.handleStreamFrame(now, fr)
+	case *wire.MaxDataFrame:
+		if fr.MaxData > c.peerMaxData {
+			c.peerMaxData = fr.MaxData
+			c.wakeSend()
+		}
+	case *wire.MaxStreamDataFrame:
+		if s := c.sendStreams[fr.StreamID]; s != nil && fr.MaxStreamData > s.peerMaxData {
+			s.peerMaxData = fr.MaxStreamData
+			c.wakeSend()
+		}
+	case *wire.DataBlockedFrame, *wire.StreamDataBlockedFrame:
+		// Informational; our auto-tuned limits react via MAX_DATA below.
+	case *wire.ResetStreamFrame:
+		if rs := c.recvStreams[fr.StreamID]; rs != nil {
+			rs.finished = true
+		}
+	case *wire.StopSendingFrame:
+		// The peer no longer wants this stream: abort our sending side
+		// with RESET_STREAM, as RFC 9000 §3.5 requires.
+		if s := c.sendStreams[fr.StreamID]; s != nil {
+			s.Reset(fr.ErrorCode)
+		}
+	case *wire.ConnectionCloseFrame:
+		c.state = stateClosed
+		c.cancelTimer()
+	case *wire.CryptoFrame:
+		// CRYPTO in 1-RTT unused in the simplified handshake.
+	}
+}
+
+// unsuspectPath clears a path's suspicion and, if we had advertised it as
+// standby, tells the peer it is available again.
+func (c *Conn) unsuspectPath(now time.Duration, p *Path) {
+	p.suspect = false
+	if p.advertisedStandby && p.State == PathActive {
+		p.advertisedStandby = false
+		p.lastStatusSeq++
+		c.queueCtrl(&wire.PathStatusFrame{
+			PathID: p.ID, StatusSeq: p.lastStatusSeq, Status: wire.PathAvailable,
+		}, -1, false)
+	}
+}
+
+// handlePathStatus applies a peer path-status update (Sec 6, "Path close").
+func (c *Conn) handlePathStatus(now time.Duration, fr *wire.PathStatusFrame) {
+	p := c.paths[fr.PathID]
+	if p == nil || fr.StatusSeq <= p.lastStatusSeq {
+		return
+	}
+	p.lastStatusSeq = fr.StatusSeq
+	switch fr.Status {
+	case wire.PathAbandon:
+		p.State = PathClosed
+		c.evacuatePath(now, p)
+	case wire.PathStandby:
+		if p.State == PathActive {
+			p.State = PathStandbyLocal
+			c.evacuatePath(now, p)
+		}
+	case wire.PathAvailable:
+		if p.State == PathStandbyLocal || p.State == PathProbing {
+			p.State = PathActive
+		}
+	}
+}
+
+// handleStreamFrame ingests stream data and delivers in-order bytes.
+func (c *Conn) handleStreamFrame(now time.Duration, fr *wire.StreamFrame) {
+	rs := c.recvStreams[fr.StreamID]
+	isNew := rs == nil
+	if isNew {
+		rs = &RecvStream{
+			id:          fr.StreamID,
+			conn:        c,
+			initialMax:  c.cfg.Params.InitialMaxStrData,
+			maxDataSent: c.cfg.Params.InitialMaxStrData,
+		}
+		c.recvStreams[fr.StreamID] = rs
+		if c.cfg.OnStreamOpen != nil {
+			c.cfg.OnStreamOpen(now, rs)
+		}
+	}
+	beforeDup := rs.DuplicateBytes
+	data, finished := rs.onFrame(fr.Offset, fr.Data, fr.Fin)
+	c.stats.DuplicateBytesRecv += rs.DuplicateBytes - beforeDup
+	if len(data) > 0 {
+		c.connDelivered += uint64(len(data))
+	}
+	if (len(data) > 0 || finished) && c.cfg.OnStreamData != nil {
+		c.cfg.OnStreamData(now, rs, data, finished)
+	}
+	// Flow control updates.
+	if rs.needsMaxDataUpdate() {
+		c.queueCtrl(&wire.MaxStreamDataFrame{StreamID: rs.id, MaxStreamData: rs.nextMaxData()}, -1, true)
+	}
+	if c.connDelivered > c.localMaxData-min64(c.localMaxData, c.cfg.Params.InitialMaxData/2) {
+		c.localMaxData = c.connDelivered + c.cfg.Params.InitialMaxData
+		c.queueCtrl(&wire.MaxDataFrame{MaxData: c.localMaxData}, -1, true)
+	}
+}
+
+// processAck applies an ACK to the target path's space.
+func (c *Conn) processAck(now time.Duration, target *Path, ranges []wire.AckRange, delay time.Duration) {
+	if target == nil {
+		return
+	}
+	res := target.Space.OnAck(ranges, delay, now)
+	if len(res.Acked) > 0 {
+		// Acked delivery proves the path works in the send direction.
+		c.unsuspectPath(now, target)
+		target.lastAckAt = now
+	}
+	for _, sp := range res.Acked {
+		if sp.AckEliciting {
+			target.CC.OnPacketAcked(now, sp.Bytes, target.RTT.Smoothed())
+		}
+		if meta, ok := sp.Meta.(*packetMeta); ok {
+			for _, ch := range meta.chunks {
+				if s := c.sendStreams[ch.streamID]; s != nil {
+					s.onChunkAcked(ch)
+				}
+			}
+		}
+	}
+	c.handleLost(now, target, res.Lost)
+	if len(res.Acked) > 0 {
+		c.wakeSend()
+	}
+}
+
+// handleLost reacts to packets declared lost on a path.
+func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacket) {
+	for _, sp := range lost {
+		if sp.AckEliciting {
+			p.CC.OnPacketLost(now, sp.SentAt, sp.Bytes)
+		}
+		meta, ok := sp.Meta.(*packetMeta)
+		if !ok {
+			continue
+		}
+		for _, ch := range meta.chunks {
+			if s := c.sendStreams[ch.streamID]; s != nil {
+				s.onChunkLost(ch)
+			}
+		}
+		for _, f := range meta.ctrl {
+			pathID := int64(-1)
+			switch f.(type) {
+			case *wire.PathChallengeFrame, *wire.PathResponseFrame:
+				// Validation frames only make sense on their own path.
+				pathID = int64(p.ID)
+			}
+			c.ctrlQ = append(c.ctrlQ, ctrlItem{frame: f, pathID: pathID, reliable: true})
+		}
+	}
+	if len(lost) > 0 {
+		c.wakeSend()
+	}
+}
+
+// evacuatePath reschedules everything stranded on a failed or demoted path
+// onto the surviving paths: all unacked packets are declared lost, their
+// stream data re-queued for retransmission, and the congestion state
+// cleared (the MPTCP-style failover re-injection the paper builds on).
+func (c *Conn) evacuatePath(now time.Duration, p *Path) {
+	lost := p.Space.DeclareAllLost(now)
+	c.handleLost(now, p, lost)
+	p.CC.Reset()
+}
+
+// OpenStream creates a new locally initiated stream.
+func (c *Conn) OpenStream() *SendStream {
+	id := c.nextStreamID
+	c.nextStreamID += 4
+	return c.Stream(id)
+}
+
+// Stream returns the send half for a stream ID, creating it if needed
+// (servers respond on the client's stream IDs this way).
+func (c *Conn) Stream(id uint64) *SendStream {
+	if s := c.sendStreams[id]; s != nil {
+		return s
+	}
+	s := &SendStream{
+		id:          id,
+		conn:        c,
+		prio:        int(id),
+		peerMaxData: c.cfg.Params.InitialMaxStrData,
+	}
+	if c.state == stateEstablished {
+		// Use the peer's advertised default once known.
+		s.peerMaxData = c.peerStreamLimit()
+	}
+	c.sendStreams[id] = s
+	return s
+}
+
+// peerStreamLimit returns the default per-stream limit learned in the
+// handshake, falling back to our own default.
+func (c *Conn) peerStreamLimit() uint64 {
+	// The simplified handshake shares InitialMaxStrData via params; the
+	// value was folded into peerMaxData bookkeeping at stream creation.
+	return c.cfg.Params.InitialMaxStrData
+}
+
+// RecvStreamFor returns the receive half of a stream if it exists.
+func (c *Conn) RecvStreamFor(id uint64) *RecvStream { return c.recvStreams[id] }
+
+// StopSending asks the peer to stop sending on a stream — how a short-video
+// client abandons chunks when the viewer swipes away.
+func (c *Conn) StopSending(id uint64, code uint64) {
+	rs := c.recvStreams[id]
+	if rs != nil && rs.finished {
+		return
+	}
+	c.queueCtrl(&wire.StopSendingFrame{StreamID: id, ErrorCode: code}, -1, true)
+	if rs != nil {
+		rs.finished = true // stop delivering further data to the app
+	}
+}
+
+// AbandonPath closes a path explicitly (Sec 6, "Path close"): the peer is
+// told via PATH_STATUS(abandon), stranded data is rescheduled onto the
+// remaining paths, and local resources are released. Used when the
+// application knows an interface went away (Wi-Fi turned off, signal
+// fading below threshold).
+func (c *Conn) AbandonPath(id uint64) {
+	p := c.paths[id]
+	if p == nil || p.State == PathClosed {
+		return
+	}
+	now := c.env.Now()
+	p.lastStatusSeq++
+	c.queueCtrl(&wire.PathStatusFrame{
+		PathID: id, StatusSeq: p.lastStatusSeq, Status: wire.PathAbandon,
+	}, -1, true)
+	p.State = PathClosed
+	c.evacuatePath(now, p)
+	c.wakeSend()
+	c.rearmTimer()
+}
+
+// MigratePrimary implements QUIC connection migration (CM baseline): the
+// primary path moves to another local interface. Congestion window and RTT
+// state are reset, forcing a fresh slow start — the cost the paper
+// highlights for CM (Sec 2, "CM requires resetting the congestion window
+// after migration"). In-flight data is evacuated for retransmission.
+func (c *Conn) MigratePrimary(netIdx int, tech trace.Technology) {
+	p := c.paths[0]
+	if p == nil || p.NetIdx == netIdx {
+		return
+	}
+	now := c.env.Now()
+	p.NetIdx = netIdx
+	p.Tech = tech
+	c.evacuatePath(now, p)
+	p.RTT.Reset()
+	p.suspect = false
+	// Announce the migration: the peer learns the new address from the
+	// first packet it receives on it (and its loss recovery restarts from
+	// the ack this elicits).
+	c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
+	c.wakeSend()
+	c.rearmTimer()
+}
+
+// Close terminates the connection, notifying the peer on every active path.
+func (c *Conn) Close(code uint64, reason string) {
+	if c.state == stateClosed {
+		return
+	}
+	frame := &wire.ConnectionCloseFrame{ErrorCode: code, Reason: reason}
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if p.State != PathActive || c.txSealer == nil {
+			continue
+		}
+		payload := frame.Append(nil)
+		pn := p.Space.NextPN()
+		pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+		c.sender.SendDatagram(p.NetIdx, pkt)
+	}
+	c.state = stateClosed
+	c.closeCode = code
+	c.cancelTimer()
+}

@@ -1,0 +1,54 @@
+// Package transport implements the multi-path QUIC-style connection that
+// XLINK extends: streams with flow control, per-path packet number spaces
+// and loss recovery, CID-based path management with validation, the
+// ACK_MP/PATH_STATUS machinery, packet protection, and the send-queue
+// plumbing (retransmission and re-injection mechanics) that the XLINK
+// scheduler in internal/core drives.
+//
+// Connections are event-driven: datagrams, timers and application writes
+// are all delivered as calls, and the connection transmits through a
+// DatagramSender. Run on a sim.Loop for deterministic experiments or on a
+// real-time environment for live UDP demos.
+package transport
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Env provides time and timer scheduling to a connection.
+type Env interface {
+	// Now returns the current time.
+	Now() time.Duration
+	// Schedule runs fn at the given absolute time, returning a cancel
+	// function.
+	Schedule(at time.Duration, fn func(now time.Duration)) func()
+}
+
+// SimEnv adapts a sim.Loop to Env.
+type SimEnv struct {
+	Loop *sim.Loop
+}
+
+// Now implements Env.
+func (e SimEnv) Now() time.Duration { return e.Loop.Now() }
+
+// Schedule implements Env.
+func (e SimEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
+	t := e.Loop.At(at, sim.Event(fn))
+	return func() { t.Stop() }
+}
+
+// DatagramSender transmits a UDP payload on a network interface. For
+// emulated runs this is netem; for live runs it writes to a UDP socket.
+// netIdx identifies the local interface/path the datagram leaves on.
+type DatagramSender interface {
+	SendDatagram(netIdx int, data []byte)
+}
+
+// SenderFunc adapts a function to DatagramSender.
+type SenderFunc func(netIdx int, data []byte)
+
+// SendDatagram implements DatagramSender.
+func (f SenderFunc) SendDatagram(netIdx int, data []byte) { f(netIdx, data) }

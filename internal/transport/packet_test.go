@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+	"repro/internal/wire"
+)
+
+func testSealer(t *testing.T) *crypto.Sealer {
+	t.Helper()
+	s, err := crypto.NewSealer([]byte("packet-test-secret-0123456789abc"), "dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealOpenShortRoundTrip(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	payload := []byte("some frames here")
+	pkt := sealShort(sealer, dcid, 3, 42, 40, payload)
+	pn, got, err := openShort(sealer, pkt, len(dcid), 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn != 42 {
+		t.Fatalf("pn = %d", pn)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestOpenShortRejectsWrongPath(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt := sealShort(sealer, dcid, 3, 42, 40, []byte("x"))
+	if _, _, err := openShort(sealer, pkt, len(dcid), 4, 41); err == nil {
+		t.Fatal("wrong path nonce must fail to decrypt")
+	}
+}
+
+func TestOpenShortRejectsCorruption(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt := sealShort(sealer, dcid, 0, 7, -1, []byte("payload"))
+	for i := 0; i < len(pkt); i++ {
+		bad := append([]byte(nil), pkt...)
+		bad[i] ^= 0xff
+		if _, _, err := openShort(sealer, bad, len(dcid), 0, -1); err == nil {
+			// Flipping a bit in the unprotected DCID changes where the
+			// receiver looks up the path; the caller resolves that before
+			// openShort, so only header/ciphertext bits must fail here.
+			if i >= 1 && i <= 8 {
+				continue
+			}
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestOpenShortTruncated(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	pkt := sealShort(sealer, dcid, 0, 7, -1, []byte("payload"))
+	for i := 0; i < len(pkt); i++ {
+		if _, _, err := openShort(sealer, pkt[:i], len(dcid), 0, -1); err == nil {
+			t.Fatalf("truncation at %d not detected", i)
+		}
+	}
+}
+
+func TestSealOpenLongRoundTrip(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{9, 9, 9, 9}
+	scid := wire.ConnectionID{8, 8, 8, 8, 8, 8}
+	payload := []byte("crypto frame contents")
+	pkt := sealLong(sealer, dcid, scid, 0, -1, payload)
+	hdr, got, consumed, err := openLong(sealer, pkt, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hdr.DCID.Equal(dcid) || !hdr.SCID.Equal(scid) || hdr.PacketNumber != 0 {
+		t.Fatalf("header %+v", hdr)
+	}
+	if consumed != len(pkt) {
+		t.Fatalf("consumed %d of %d", consumed, len(pkt))
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestSealShortTinyPayloadPadded(t *testing.T) {
+	// Header protection needs 16 bytes of sample 4 bytes past the pn;
+	// tiny payloads must be padded, never panic.
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	for size := 0; size < 8; size++ {
+		pkt := sealShort(sealer, dcid, 1, uint64(size), -1, make([]byte, size))
+		if _, _, err := openShort(sealer, pkt, len(dcid), 1, -1); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestPropertyPacketRoundTrip(t *testing.T) {
+	sealer := testSealer(t)
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	f := func(pathID uint32, pnDelta uint16, payload []byte) bool {
+		largest := int64(1000)
+		pn := uint64(largest) + 1 + uint64(pnDelta%64)
+		pkt := sealShort(sealer, dcid, pathID, pn, largest, payload)
+		gotPN, got, err := openShort(sealer, pkt, len(dcid), pathID, largest)
+		if err != nil || gotPN != pn {
+			return false
+		}
+		// Padding may extend tiny payloads with zero bytes.
+		if len(got) < len(payload) {
+			return false
+		}
+		return bytes.Equal(got[:len(payload)], payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"repro/internal/rangeset"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/recovery"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// PathStateLocal tracks the lifecycle of a path at one endpoint.
+type PathStateLocal int
+
+// Path lifecycle states.
+const (
+	// PathProbing means a PATH_CHALLENGE is outstanding.
+	PathProbing PathStateLocal = iota
+	// PathActive means the path is validated and usable for data.
+	PathActive
+	// PathStandbyLocal means the peer asked to deprioritize the path.
+	PathStandbyLocal
+	// PathClosed means the path was abandoned.
+	PathClosed
+)
+
+// String returns the state name.
+func (s PathStateLocal) String() string {
+	switch s {
+	case PathProbing:
+		return "probing"
+	case PathActive:
+		return "active"
+	case PathStandbyLocal:
+		return "standby"
+	default:
+		return "closed"
+	}
+}
+
+// Path is one bidirectional path of a connection, identified by the
+// connection ID sequence number (Sec 6: "different paths are identified by
+// the sequence number of connection IDs"). Each path carries its own packet
+// number space, RTT estimator, congestion controller and loss recovery.
+type Path struct {
+	// ID is the CID sequence number identifying the path.
+	ID uint64
+	// NetIdx is the local network interface the path uses.
+	NetIdx int
+	// Tech labels the wireless technology for primary path selection.
+	Tech trace.Technology
+
+	// DCID is the destination CID stamped on packets sent on this path.
+	DCID wire.ConnectionID
+
+	State PathStateLocal
+
+	RTT   *cc.RTTEstimator
+	CC    cc.Controller
+	Space *recovery.Space
+
+	// largestRecvPN and related track the receive side of the space.
+	largestRecvPN     int64
+	recvPNs           rangeset.Set
+	ackElicitingCount int
+	largestRecvTime   time.Duration
+	ackQueued         bool
+
+	// challenge state.
+	pendingChallenge [8]byte
+	challengeSent    bool
+	validatedPeer    bool // we validated the peer (got PATH_RESPONSE)
+
+	// lastStatusSeq orders PATH_STATUS updates.
+	lastStatusSeq uint64
+
+	// Health tracking: a suspect path is excluded from data and ACK
+	// carriage until it proves alive again (the quick local analogue of
+	// the draft's PATH_STATUS standby signalling on degraded paths).
+	suspect bool
+	// advertisedStandby records that we told the peer this path is on
+	// standby, so recovery can be advertised symmetrically.
+	advertisedStandby bool
+	lastRecvAt        time.Duration
+	// lastAckAt is the last time packets sent on this path were
+	// acknowledged — the sender-side liveness signal (acknowledgements
+	// for this path's space may arrive on another path).
+	lastAckAt time.Duration
+
+	// Stats.
+	SentBytes     uint64
+	RecvBytes     uint64
+	SentPackets   uint64
+	RecvPackets   uint64
+	ReinjectBytes uint64
+}
+
+func newPath(id uint64, netIdx int, tech trace.Technology, alg cc.Algorithm) *Path {
+	rtt := cc.NewRTTEstimator()
+	return &Path{
+		ID:            id,
+		NetIdx:        netIdx,
+		Tech:          tech,
+		RTT:           rtt,
+		CC:            cc.New(alg),
+		Space:         recovery.NewSpace(rtt),
+		largestRecvPN: -1,
+		State:         PathProbing,
+	}
+}
+
+// Usable reports whether the path can carry application data.
+func (p *Path) Usable() bool { return p.State == PathActive && !p.suspect }
+
+// Suspect reports whether the path is currently considered unresponsive.
+func (p *Path) Suspect() bool { return p.suspect }
+
+// DeliverTime returns RTT + variation, the paper's Eq. 1 term for this
+// path.
+func (p *Path) DeliverTime() time.Duration { return p.RTT.DeliverTime() }
+
+// recordRecv updates receive-side state for an arriving packet and reports
+// whether it is a duplicate.
+func (p *Path) recordRecv(pn uint64, now time.Duration, ackEliciting bool) (dup bool) {
+	p.lastRecvAt = now
+	p.suspect = false // the path is alive
+	if p.recvPNs.Contains(pn, pn+1) {
+		return true
+	}
+	p.recvPNs.Add(pn, pn+1)
+	if int64(pn) > p.largestRecvPN {
+		p.largestRecvPN = int64(pn)
+		p.largestRecvTime = now
+	}
+	if ackEliciting {
+		p.ackElicitingCount++
+		p.ackQueued = true
+	}
+	return false
+}
+
+// buildAckRanges converts received PNs into wire ACK ranges (descending),
+// capped at maxRanges.
+func (p *Path) buildAckRanges(maxRanges int) []wire.AckRange {
+	rs := p.recvPNs.All()
+	if len(rs) == 0 {
+		return nil
+	}
+	var out []wire.AckRange
+	for i := len(rs) - 1; i >= 0 && len(out) < maxRanges; i-- {
+		out = append(out, wire.AckRange{Smallest: rs[i].Start, Largest: rs[i].End - 1})
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package transport
+
+import "repro/internal/rangeset"
+
+// RecvStream is the receiving half of a stream: it reassembles out-of-order
+// STREAM frames, delivers contiguous data in order, and accounts duplicate
+// bytes (the receiver-side view of re-injection redundancy).
+type RecvStream struct {
+	id   uint64
+	conn *Conn
+
+	buf      []byte
+	received rangeset.Set
+	// delivered is the offset up to which data was handed to the app.
+	delivered uint64
+	finSeen   bool
+	finOffset uint64
+	finished  bool
+
+	// DuplicateBytes counts received bytes that were already present —
+	// redundancy from re-injection or spurious retransmission.
+	DuplicateBytes uint64
+	// TotalBytes counts all stream payload bytes received, including
+	// duplicates.
+	TotalBytes uint64
+
+	// consumed flow-control accounting.
+	maxData     uint64 // limit advertised to the peer
+	initialMax  uint64
+	maxDataSent uint64
+}
+
+// ID returns the stream ID.
+func (r *RecvStream) ID() uint64 { return r.id }
+
+// Finished reports whether the stream was fully delivered including FIN.
+func (r *RecvStream) Finished() bool { return r.finished }
+
+// Delivered returns the count of in-order bytes handed to the application.
+func (r *RecvStream) Delivered() uint64 { return r.delivered }
+
+// onFrame ingests one STREAM frame. It returns the data newly deliverable
+// in order (possibly nil) and whether the stream just finished.
+func (r *RecvStream) onFrame(offset uint64, data []byte, fin bool) ([]byte, bool) {
+	if r.finished {
+		if len(data) > 0 {
+			r.TotalBytes += uint64(len(data))
+			r.DuplicateBytes += uint64(len(data))
+		}
+		return nil, false
+	}
+	if fin {
+		r.finSeen = true
+		r.finOffset = offset + uint64(len(data))
+	}
+	if len(data) > 0 {
+		r.TotalBytes += uint64(len(data))
+		end := offset + uint64(len(data))
+		if end > uint64(len(r.buf)) {
+			if end > uint64(cap(r.buf)) {
+				// Amortized growth: doubling keeps reassembly linear in
+				// the stream size instead of O(n²) copying.
+				newCap := 2 * cap(r.buf)
+				if newCap < int(end) {
+					newCap = int(end)
+				}
+				grown := make([]byte, end, newCap)
+				copy(grown, r.buf)
+				r.buf = grown
+			} else {
+				r.buf = r.buf[:end]
+			}
+		}
+		copy(r.buf[offset:end], data)
+		added := r.received.Add(offset, end)
+		r.DuplicateBytes += uint64(len(data)) - added
+	}
+	// Deliver the newly contiguous prefix.
+	newEnd := r.received.CoveredPrefix(r.delivered)
+	var out []byte
+	if newEnd > r.delivered {
+		out = r.buf[r.delivered:newEnd]
+		r.delivered = newEnd
+	}
+	justFinished := false
+	if r.finSeen && r.delivered == r.finOffset {
+		r.finished = true
+		justFinished = true
+	}
+	return out, justFinished
+}
+
+// needsMaxDataUpdate reports whether a MAX_STREAM_DATA update should be
+// sent: the app consumed past half the advertised window.
+func (r *RecvStream) needsMaxDataUpdate() bool {
+	if r.finSeen {
+		return false
+	}
+	return r.delivered > r.maxDataSent-min64(r.maxDataSent, r.initialMax/2)
+}
+
+// nextMaxData computes the next advertised limit.
+func (r *RecvStream) nextMaxData() uint64 {
+	r.maxDataSent = r.delivered + r.initialMax
+	return r.maxDataSent
+}

@@ -1,0 +1,871 @@
+package transport
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/recovery"
+	"repro/internal/wire"
+)
+
+// shortHeaderOverhead estimates header + AEAD overhead of a 1-RTT packet.
+func (c *Conn) shortHeaderOverhead() int {
+	return 1 + c.cfg.CIDLen + 4 + 16
+}
+
+// wakeSend requests a send pass. Safe to call from any handler; the pass
+// runs inline unless we are already inside one.
+func (c *Conn) wakeSend() {
+	if c.inSend || c.state == stateClosed {
+		return
+	}
+	now := c.env.Now()
+	if c.state == stateEstablished {
+		c.maybeSend(now)
+		c.rearmTimer()
+	}
+}
+
+// maybeSend drains acknowledgements and data while congestion windows and
+// data allow.
+func (c *Conn) maybeSend(now time.Duration) {
+	if c.inSend || c.state != stateEstablished || c.txSealer == nil {
+		return
+	}
+	c.inSend = true
+	defer func() { c.inSend = false }()
+
+	c.updatePathHealth(now)
+	c.maybeSendStandaloneQoE(now)
+	c.flushAcks(now, false)
+
+	for i := 0; i < 4096; i++ { // safety bound per pass
+		if !c.sendOnePacket(now) {
+			break
+		}
+	}
+	c.sendCtrlBypass(now)
+}
+
+// sendCtrlBypass flushes queued unpinned control frames when every path is
+// congestion-blocked. Path management (PATH_STATUS, MAX_DATA, CID issuance)
+// must not deadlock behind a stalled window: these frames are tiny and, as
+// with PTO probes, may exceed the congestion window.
+func (c *Conn) sendCtrlBypass(now time.Duration) {
+	if len(c.ctrlQ) == 0 || len(c.usableSendPaths()) > 0 {
+		return
+	}
+	// Prefer a healthy active path; fall back to any active one.
+	var p *Path
+	for _, id := range c.pathOrder {
+		cand := c.paths[id]
+		if cand.State != PathActive || cand.DCID == nil {
+			continue
+		}
+		if p == nil || (!cand.suspect && p.suspect) ||
+			(cand.suspect == p.suspect && cand.RTT.Smoothed() < p.RTT.Smoothed()) {
+			p = cand
+		}
+	}
+	if p == nil {
+		return
+	}
+	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
+	var frames []wire.Frame
+	meta := &packetMeta{}
+	eliciting := false
+	frames, eliciting = c.appendCtrl(p, frames, meta, &budget, eliciting)
+	if len(frames) == 0 {
+		return
+	}
+	payload := wire.AppendAll(nil, frames)
+	pn := p.Space.NextPN()
+	pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+	if eliciting {
+		p.Space.OnPacketSent(&recovery.SentPacket{
+			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
+			Frames: frames, Meta: meta,
+		})
+	}
+	c.sender.SendDatagram(p.NetIdx, pkt)
+	p.SentPackets++
+	p.SentBytes += uint64(len(pkt))
+	c.stats.SentPackets++
+	c.stats.SentBytes += uint64(len(pkt))
+}
+
+// updatePathHealth demotes paths that have gone silent while another path
+// keeps receiving — the receive-side counterpart of PTO-based suspicion,
+// needed by endpoints (like a video client) that carry no in-flight data of
+// their own. A one-off PING is queued on a freshly suspected path so it can
+// prove itself alive again.
+func (c *Conn) updatePathHealth(now time.Duration) {
+	if !c.multipath || len(c.pathOrder) < 2 || c.cfg.DisablePathHealth {
+		return
+	}
+	// A path's liveness signal is either receiving packets on it or
+	// getting acknowledgements for packets sent on it — acks for a path's
+	// space may legitimately arrive on another path (fastest-path ACK_MP).
+	progress := func(p *Path) time.Duration {
+		if p.lastAckAt > p.lastRecvAt {
+			return p.lastAckAt
+		}
+		return p.lastRecvAt
+	}
+	var newest time.Duration
+	for _, id := range c.pathOrder {
+		if t := progress(c.paths[id]); t > newest {
+			newest = t
+		}
+	}
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		prog := progress(p)
+		if p.State != PathActive || p.suspect || prog == 0 {
+			continue
+		}
+		threshold := 3 * p.RTT.PTO()
+		if threshold < 300*time.Millisecond {
+			threshold = 300 * time.Millisecond
+		}
+		if threshold > time.Second {
+			threshold = time.Second
+		}
+		if newest > prog && now-prog > threshold {
+			p.suspect = true
+			c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
+		}
+	}
+}
+
+// usableSendPaths returns validated paths with congestion window space.
+func (c *Conn) usableSendPaths() []*Path {
+	var out []*Path
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if p.Usable() && p.CC.CanSend(cc.MaxDatagramSize) && p.DCID != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sendOnePacket builds and transmits at most one data packet. It returns
+// false when nothing further can be sent.
+func (c *Conn) sendOnePacket(now time.Duration) bool {
+	// Control frames pinned to probing paths (PATH_CHALLENGE/RESPONSE)
+	// must be able to leave before validation completes.
+	if c.sendProbePacket(now) {
+		return true
+	}
+	candidates := c.usableSendPaths()
+	if len(candidates) == 0 {
+		return false
+	}
+	p := c.cfg.PathSelector(now, candidates)
+	if p == nil {
+		return false
+	}
+	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
+	var frames []wire.Frame
+	meta := &packetMeta{}
+	eliciting := false
+
+	// Piggyback any pending acks whose policy path is p.
+	frames = c.appendAcksFor(now, p, frames, &budget)
+
+	// Control frames: pinned to p or unpinned.
+	frames, eliciting = c.appendCtrl(p, frames, meta, &budget, eliciting)
+
+	// Stream data.
+	reinjBytes := 0
+	for budget > 8 {
+		ch, ok := c.pullChunk(now, p, budget-8)
+		if !ok {
+			break
+		}
+		s := c.sendStreams[ch.streamID]
+		sf := &wire.StreamFrame{
+			StreamID: ch.streamID,
+			Offset:   ch.offset,
+			Fin:      ch.fin,
+		}
+		if ch.length > 0 && s != nil {
+			sf.Data = s.buf[ch.offset : ch.offset+ch.length]
+		}
+		frames = append(frames, sf)
+		meta.chunks = append(meta.chunks, ch)
+		budget -= sf.Len()
+		eliciting = true
+		switch {
+		case ch.reinjection:
+			reinjBytes += int(ch.length)
+			c.stats.ReinjectedBytesSent += ch.length
+		case ch.isNew:
+			c.stats.StreamBytesSent += ch.length
+		default:
+			c.stats.RtxBytesSent += ch.length
+		}
+	}
+
+	if len(frames) == 0 {
+		return false
+	}
+	payload := wire.AppendAll(nil, frames)
+	pn := p.Space.NextPN()
+	pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+	if eliciting {
+		p.Space.OnPacketSent(&recovery.SentPacket{
+			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
+			Frames: frames, Meta: meta,
+		})
+		p.CC.OnPacketSent(now, len(pkt))
+	}
+	c.sender.SendDatagram(p.NetIdx, pkt)
+	p.SentPackets++
+	p.SentBytes += uint64(len(pkt))
+	p.ReinjectBytes += uint64(reinjBytes)
+	c.stats.SentPackets++
+	c.stats.SentBytes += uint64(len(pkt))
+	return true
+}
+
+// sendProbePacket sends pending path-pinned control frames for paths not
+// yet usable (validation traffic). Returns true if a packet was sent.
+func (c *Conn) sendProbePacket(now time.Duration) bool {
+	for i, item := range c.ctrlQ {
+		if item.pathID < 0 {
+			continue
+		}
+		p := c.paths[uint64(item.pathID)]
+		if p == nil || p.DCID == nil || p.State == PathClosed {
+			continue
+		}
+		frames := []wire.Frame{item.frame}
+		meta := &packetMeta{}
+		if item.reliable {
+			meta.ctrl = append(meta.ctrl, item.frame)
+		}
+		c.ctrlQ = append(c.ctrlQ[:i], c.ctrlQ[i+1:]...)
+		payload := wire.AppendAll(nil, frames)
+		pn := p.Space.NextPN()
+		pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+		if wire.AckEliciting(item.frame) {
+			p.Space.OnPacketSent(&recovery.SentPacket{
+				PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
+				Frames: frames, Meta: meta,
+			})
+		}
+		c.sender.SendDatagram(p.NetIdx, pkt)
+		p.SentPackets++
+		p.SentBytes += uint64(len(pkt))
+		c.stats.SentPackets++
+		c.stats.SentBytes += uint64(len(pkt))
+		return true
+	}
+	return false
+}
+
+// appendCtrl moves queued control frames into the packet.
+func (c *Conn) appendCtrl(p *Path, frames []wire.Frame, meta *packetMeta, budget *int, eliciting bool) ([]wire.Frame, bool) {
+	var remaining []ctrlItem
+	for _, item := range c.ctrlQ {
+		if item.pathID >= 0 && uint64(item.pathID) != p.ID {
+			remaining = append(remaining, item)
+			continue
+		}
+		l := item.frame.Len()
+		if l > *budget {
+			remaining = append(remaining, item)
+			continue
+		}
+		frames = append(frames, item.frame)
+		*budget -= l
+		if item.reliable {
+			meta.ctrl = append(meta.ctrl, item.frame)
+		}
+		if wire.AckEliciting(item.frame) {
+			eliciting = true
+		}
+	}
+	c.ctrlQ = remaining
+	return frames, eliciting
+}
+
+// streamsInOrder returns send streams sorted by (priority, ID) — the
+// paper's early-stream-first order.
+func (c *Conn) streamsInOrder() []*SendStream {
+	out := make([]*SendStream, 0, len(c.sendStreams))
+	for _, s := range c.sendStreams {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].prio != out[j].prio {
+			return out[i].prio < out[j].prio
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// maxDeliverTime computes Eq. 1: max over paths with unacked packets of
+// RTT + δ.
+func (c *Conn) maxDeliverTime() time.Duration {
+	var m time.Duration
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if !p.Space.HasUnacked() {
+			continue
+		}
+		if dt := p.DeliverTime(); dt > m {
+			m = dt
+		}
+	}
+	return m
+}
+
+// reinjectionAllowed evaluates mode and gate.
+func (c *Conn) reinjectionAllowed(now time.Duration) bool {
+	if c.cfg.ReinjectionMode == ReinjectNone {
+		return false
+	}
+	if len(c.pathOrder) < 2 {
+		return false // nothing to decouple
+	}
+	if c.cfg.ReinjectionGate == nil {
+		return true
+	}
+	return c.cfg.ReinjectionGate(now, c.maxDeliverTime())
+}
+
+// isFastestPath reports whether p has the lowest expected delivery time of
+// the usable paths. Re-injected copies only ride the fastest path — a copy
+// on a slower path cannot beat the original and just burns its capacity
+// (Sec 5.1: "the re-injected copy can go through the fast path").
+func (c *Conn) isFastestPath(p *Path) bool {
+	for _, id := range c.pathOrder {
+		o := c.paths[id]
+		if o == p || !o.Usable() {
+			continue
+		}
+		if o.DeliverTime() < p.DeliverTime() {
+			return false
+		}
+	}
+	return true
+}
+
+// pullChunk returns the next stream chunk to send on path p, at most
+// maxLen bytes, implementing the re-injection modes of Fig 4.
+func (c *Conn) pullChunk(now time.Duration, p *Path, maxLen int) (chunk, bool) {
+	if maxLen <= 0 {
+		return chunk{}, false
+	}
+	mode := c.cfg.ReinjectionMode
+	allowReinj := c.reinjectionAllowed(now) && c.isFastestPath(p)
+	streams := c.streamsInOrder()
+	for _, s := range streams {
+		// Loss-triggered retransmissions always go first.
+		if s.hasRtx() {
+			if ch, ok := s.nextRtxChunk(maxLen); ok {
+				return ch, true
+			}
+		}
+		if mode == ReinjectFramePriority {
+			if ch, ok := c.pullFramePriority(now, s, p, maxLen, allowReinj); ok {
+				return ch, true
+			}
+			continue
+		}
+		if ch, ok := c.pullNew(s, maxLen); ok {
+			return ch, true
+		}
+		if mode == ReinjectStreamPriority && allowReinj {
+			c.scanReinjections(now, s, 0)
+			if ch, ok := popReinj(&s.reinjQ, p, s, maxLen); ok {
+				return ch, true
+			}
+		}
+	}
+	if mode == ReinjectAppending && allowReinj {
+		for _, s := range streams {
+			c.scanReinjections(now, s, 0)
+			// In appending mode all re-injections trail everything; use
+			// the shared queue to preserve enqueue order.
+			c.globalReinjQ = append(c.globalReinjQ, s.reinjQ...)
+			s.reinjQ = nil
+		}
+		if ch, ok := c.popGlobalReinj(p, maxLen); ok {
+			return ch, true
+		}
+	}
+	return chunk{}, false
+}
+
+// pullNew carves new data respecting connection flow control.
+func (c *Conn) pullNew(s *SendStream, maxLen int) (chunk, bool) {
+	if !s.hasNewData() {
+		return chunk{}, false
+	}
+	connRemaining := uint64(0)
+	if c.peerMaxData > c.connSent {
+		connRemaining = c.peerMaxData - c.connSent
+	}
+	if connRemaining == 0 {
+		return chunk{}, false
+	}
+	limit := maxLen
+	if uint64(limit) > connRemaining {
+		limit = int(connRemaining)
+	}
+	ch, ok := s.nextNewChunk(limit)
+	if !ok {
+		return chunk{}, false
+	}
+	ch.isNew = true
+	c.connSent += ch.length
+	return ch, true
+}
+
+// pullFramePriority implements Fig 4(c): within a stream, re-injections of
+// higher-priority (fully sent) video frames jump ahead of unsent data of
+// lower-priority frames.
+func (c *Conn) pullFramePriority(now time.Duration, s *SendStream, p *Path, maxLen int, allowReinj bool) (chunk, bool) {
+	if allowReinj {
+		// Only frames that are fully sent are eligible for re-injection
+		// scanning (the "after sending out the last first-frame packet"
+		// trigger).
+		c.scanReinjections(now, s, s.nextOffset)
+	}
+	nextFramePrio := defaultFramePrio
+	if s.hasNewData() {
+		nextFramePrio = s.frameAt(s.nextOffset).Prio
+	}
+	if allowReinj {
+		// A queued re-injection whose frame priority beats the next new
+		// data goes first; stale (acked) entries are discarded as found.
+		for {
+			best := -1
+			for i, ch := range s.reinjQ {
+				if ch.originPath == p.ID {
+					continue
+				}
+				if ch.framePrio < nextFramePrio && (best < 0 || ch.framePrio < s.reinjQ[best].framePrio) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if ch, ok := takeReinjAt(&s.reinjQ, best, s, maxLen); ok {
+				return ch, true
+			}
+		}
+	}
+	if ch, ok := c.pullNew(s, maxLen); ok {
+		return ch, true
+	}
+	if allowReinj {
+		if ch, ok := popReinj(&s.reinjQ, p, s, maxLen); ok {
+			return ch, true
+		}
+	}
+	return chunk{}, false
+}
+
+// scanReinjections walks every path's unacked packets and enqueues
+// re-injection copies of chunks belonging to stream s. When sentBefore is
+// non-zero, only chunks entirely below that offset (fully sent frames) are
+// eligible.
+func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uint64) {
+	if s.reset {
+		return
+	}
+	for _, id := range c.pathOrder {
+		src := c.paths[id]
+		for _, sp := range src.Space.InFlight() {
+			meta, ok := sp.Meta.(*packetMeta)
+			if !ok || meta.reinjected {
+				continue
+			}
+			match := false
+			for _, ch := range meta.chunks {
+				if ch.streamID != s.id {
+					continue
+				}
+				if sentBefore > 0 && ch.offset+ch.length > sentBefore {
+					continue
+				}
+				if ch.length == 0 && !ch.fin {
+					continue
+				}
+				// Skip fully acked chunks.
+				if ch.length > 0 && s.acked.Contains(ch.offset, ch.offset+ch.length) {
+					continue
+				}
+				dup := ch
+				dup.reinjection = true
+				dup.isNew = false
+				dup.originPath = id
+				s.reinjQ = append(s.reinjQ, dup)
+				match = true
+			}
+			if match {
+				meta.reinjected = true
+			}
+		}
+	}
+	// Keep the queue ordered by frame priority (stable for FIFO ties).
+	sort.SliceStable(s.reinjQ, func(i, j int) bool {
+		return s.reinjQ[i].framePrio < s.reinjQ[j].framePrio
+	})
+}
+
+// popReinj removes the first eligible re-injection chunk for path p,
+// discarding entries that were fully acknowledged since they were queued.
+func popReinj(q *[]chunk, p *Path, s *SendStream, maxLen int) (chunk, bool) {
+	i := 0
+	for i < len(*q) {
+		if (*q)[i].originPath == p.ID {
+			i++
+			continue
+		}
+		if ch, ok := takeReinjAt(q, i, s, maxLen); ok {
+			return ch, true
+		}
+		// Stale entry was removed at i; re-examine the same index.
+	}
+	return chunk{}, false
+}
+
+// takeReinjAt extracts (possibly part of) the queued re-injection at index
+// i, skipping data that was acknowledged in the meantime.
+func takeReinjAt(q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
+	ch := (*q)[i]
+	// Trim any prefix acked since enqueue.
+	for ch.length > 0 && s.acked.Contains(ch.offset, ch.offset+1) {
+		covered := s.acked.CoveredPrefix(ch.offset)
+		trim := min64(covered-ch.offset, ch.length)
+		ch.offset += trim
+		ch.length -= trim
+	}
+	if ch.length == 0 && !ch.fin {
+		*q = append((*q)[:i], (*q)[i+1:]...)
+		return chunk{}, false
+	}
+	if ch.length > uint64(maxLen) {
+		rest := ch
+		rest.offset += uint64(maxLen)
+		rest.length -= uint64(maxLen)
+		rest.fin = ch.fin
+		ch.length = uint64(maxLen)
+		ch.fin = false
+		(*q)[i] = rest
+	} else {
+		*q = append((*q)[:i], (*q)[i+1:]...)
+	}
+	return ch, true
+}
+
+// popGlobalReinj pulls from the appending-mode shared queue.
+func (c *Conn) popGlobalReinj(p *Path, maxLen int) (chunk, bool) {
+	i := 0
+	for i < len(c.globalReinjQ) {
+		ch := c.globalReinjQ[i]
+		if ch.originPath == p.ID {
+			i++
+			continue
+		}
+		s := c.sendStreams[ch.streamID]
+		if s == nil {
+			i++
+			continue
+		}
+		if got, ok := takeReinjAt(&c.globalReinjQ, i, s, maxLen); ok {
+			return got, true
+		}
+	}
+	return chunk{}, false
+}
+
+// --- Acknowledgements ---
+
+// ackSendPath picks the path to carry an ACK_MP for packets received on
+// `on`, per the configured policy (Fig 8).
+func (c *Conn) ackSendPath(on *Path) *Path {
+	if c.cfg.AckPolicy == AckOriginalPath || !c.multipath {
+		if on.Usable() || on.State == PathProbing {
+			return on
+		}
+	}
+	var best *Path
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if !p.Usable() || p.DCID == nil {
+			continue
+		}
+		if best == nil || p.RTT.Smoothed() < best.RTT.Smoothed() {
+			best = p
+		}
+	}
+	if best == nil {
+		return on
+	}
+	return best
+}
+
+// buildAckFrame builds the ACK or ACK_MP frame for a path's receive state,
+// attaching QoE feedback when configured.
+func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
+	ranges := p.buildAckRanges(32)
+	if len(ranges) == 0 {
+		return nil
+	}
+	delay := now - p.largestRecvTime
+	if delay < 0 {
+		delay = 0
+	}
+	if !c.multipath {
+		return &wire.AckFrame{Ranges: ranges, AckDelay: delay}
+	}
+	f := &wire.AckMPFrame{PathID: p.ID, Ranges: ranges, AckDelay: delay}
+	if c.cfg.QoEProvider != nil {
+		interval := c.cfg.QoEFeedbackInterval
+		if !c.qoeSentAny || interval == 0 || now-c.lastQoEAt >= interval {
+			sig := c.cfg.QoEProvider()
+			if !sig.Zero() {
+				f.HasQoE = true
+				f.QoE = sig
+				c.lastQoEAt = now
+				c.qoeSentAny = true
+			}
+		}
+	}
+	return f
+}
+
+// flushAcks emits pending acknowledgements as ack-only packets. If force is
+// true, timers are ignored (used on ack-delay expiry).
+func (c *Conn) flushAcks(now time.Duration, force bool) {
+	if c.txSealer == nil {
+		return
+	}
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if !p.ackQueued {
+			continue
+		}
+		due := p.ackElicitingCount >= c.cfg.AckElicitingThreshold ||
+			now >= p.largestRecvTime+c.cfg.MaxAckDelay
+		if !force && !due {
+			continue
+		}
+		f := c.buildAckFrame(now, p)
+		if f == nil {
+			p.ackQueued = false
+			continue
+		}
+		carrier := c.ackSendPath(p)
+		if carrier == nil || carrier.DCID == nil {
+			continue
+		}
+		payload := f.Append(nil)
+		pn := carrier.Space.NextPN()
+		pkt := sealShort(c.txSealer, carrier.DCID, uint32(carrier.ID), pn, carrier.Space.LargestAcked(), payload)
+		c.sender.SendDatagram(carrier.NetIdx, pkt)
+		carrier.SentPackets++
+		carrier.SentBytes += uint64(len(pkt))
+		c.stats.SentPackets++
+		c.stats.SentBytes += uint64(len(pkt))
+		p.ackQueued = false
+		p.ackElicitingCount = 0
+	}
+}
+
+// appendAcksFor piggybacks pending acks whose policy path is p onto a data
+// packet being built for p.
+func (c *Conn) appendAcksFor(now time.Duration, p *Path, frames []wire.Frame, budget *int) []wire.Frame {
+	for _, id := range c.pathOrder {
+		rp := c.paths[id]
+		if !rp.ackQueued {
+			continue
+		}
+		if c.ackSendPath(rp) != p {
+			continue
+		}
+		f := c.buildAckFrame(now, rp)
+		if f == nil || f.Len() > *budget {
+			continue
+		}
+		frames = append(frames, f)
+		*budget -= f.Len()
+		rp.ackQueued = false
+		rp.ackElicitingCount = 0
+	}
+	return frames
+}
+
+// --- Timers ---
+
+// cancelTimer stops the pending timer if any.
+func (c *Conn) cancelTimer() {
+	if c.timerCancel != nil {
+		c.timerCancel()
+		c.timerCancel = nil
+	}
+}
+
+// nextDeadline computes the earliest pending deadline.
+func (c *Conn) nextDeadline() time.Duration {
+	var deadline time.Duration
+	consider := func(d time.Duration) {
+		if d > 0 && (deadline == 0 || d < deadline) {
+			deadline = d
+		}
+	}
+	if c.state == stateHandshake || !c.handshakeDone {
+		if c.initSpace.HasUnacked() {
+			consider(c.initSpace.PTODeadline())
+		}
+	}
+	if c.state == stateEstablished {
+		for _, id := range c.pathOrder {
+			p := c.paths[id]
+			consider(p.Space.LossTime())
+			consider(p.Space.PTODeadline())
+			if p.ackQueued {
+				consider(p.largestRecvTime + c.cfg.MaxAckDelay)
+			}
+		}
+		if c.cfg.QoEStandaloneInterval > 0 && c.cfg.QoEProvider != nil && c.multipath {
+			consider(c.nextStandaloneQoE)
+		}
+	}
+	return deadline
+}
+
+// maybeSendStandaloneQoE emits a QOE_CONTROL_SIGNALS frame when the
+// standalone feedback cadence is due, independent of ACK scheduling.
+func (c *Conn) maybeSendStandaloneQoE(now time.Duration) {
+	if c.cfg.QoEStandaloneInterval <= 0 || c.cfg.QoEProvider == nil || !c.multipath {
+		return
+	}
+	if c.nextStandaloneQoE == 0 {
+		c.nextStandaloneQoE = now + c.cfg.QoEStandaloneInterval
+		return
+	}
+	if now < c.nextStandaloneQoE {
+		return
+	}
+	c.nextStandaloneQoE = now + c.cfg.QoEStandaloneInterval
+	sig := c.cfg.QoEProvider()
+	if sig.Zero() {
+		return
+	}
+	c.qoeSeq++
+	c.queueCtrl(&wire.QoEControlSignalsFrame{Sequence: c.qoeSeq, QoE: sig}, -1, false)
+}
+
+// rearmTimer schedules the next timer callback.
+func (c *Conn) rearmTimer() {
+	c.cancelTimer()
+	if c.state == stateClosed {
+		return
+	}
+	deadline := c.nextDeadline()
+	if deadline == 0 {
+		return
+	}
+	if now := c.env.Now(); deadline <= now {
+		// Never schedule in the past: a handler that could not clear its
+		// deadline (e.g. an ack with no usable carrier path) must not
+		// spin the event loop at a frozen instant.
+		deadline = now + cc.Granularity
+	}
+	c.timerCancel = c.env.Schedule(deadline, c.onTimer)
+}
+
+// onTimer handles loss, PTO and delayed-ack deadlines.
+func (c *Conn) onTimer(now time.Duration) {
+	c.timerCancel = nil
+	if c.state == stateClosed {
+		return
+	}
+	// Handshake retransmission.
+	if (c.state == stateHandshake || !c.handshakeDone) && c.initSpace.HasUnacked() {
+		if d := c.initSpace.PTODeadline(); d > 0 && now >= d {
+			c.initSpace.OnPTO(now)
+			if c.initSpace.PTOCount() <= 8 {
+				c.sendInitial()
+			}
+		}
+	}
+	if c.state == stateEstablished {
+		for _, id := range c.pathOrder {
+			p := c.paths[id]
+			if lt := p.Space.LossTime(); lt > 0 && now >= lt {
+				lost := p.Space.OnLossTimeout(now)
+				c.handleLost(now, p, lost)
+			}
+			if pd := p.Space.PTODeadline(); pd > 0 && now >= pd {
+				c.onPathPTO(now, p)
+			}
+			if p.ackQueued && now >= p.largestRecvTime+c.cfg.MaxAckDelay {
+				c.flushAcks(now, true)
+			}
+		}
+		c.maybeSend(now)
+	}
+	c.rearmTimer()
+}
+
+// onPathPTO probes a path after a timeout: the oldest unacked frames are
+// re-queued and transmitted as new packets.
+func (c *Conn) onPathPTO(now time.Duration, p *Path) {
+	probes := p.Space.OnPTO(now)
+	if p.Space.PTOCount() >= 2 {
+		if !c.cfg.DisablePathHealth && !p.suspect && c.multipath && len(c.pathOrder) > 1 {
+			// XLINK path management (Sec 5.3/6): repeated timeouts demote
+			// the path so data and acknowledgements move to the surviving
+			// paths, the peer learns via PATH_STATUS, and everything
+			// stranded is rescheduled immediately with a fresh congestion
+			// state for the path's eventual return.
+			p.suspect = true
+			p.advertisedStandby = true
+			p.lastStatusSeq++
+			c.queueCtrl(&wire.PathStatusFrame{
+				PathID: p.ID, StatusSeq: p.lastStatusSeq, Status: wire.PathStandby,
+			}, -1, false)
+			c.evacuatePath(now, p)
+		} else {
+			// Vanilla behaviour: classic RTO semantics only. Outstanding
+			// data becomes retransmittable and the window collapses, but
+			// the path is not demoted — the min-RTT scheduler will keep
+			// trusting its stale estimate, the Sec 3 pathology.
+			lost := p.Space.DeclareAllLost(now)
+			c.handleLost(now, p, lost)
+			p.CC.OnRetransmissionTimeout(now)
+		}
+	} else {
+		for _, sp := range probes {
+			meta, ok := sp.Meta.(*packetMeta)
+			if !ok {
+				continue
+			}
+			for _, ch := range meta.chunks {
+				if s := c.sendStreams[ch.streamID]; s != nil {
+					s.onChunkLost(ch)
+				}
+			}
+			for _, f := range meta.ctrl {
+				c.ctrlQ = append(c.ctrlQ, ctrlItem{frame: f, pathID: -1, reliable: true})
+			}
+		}
+	}
+	// Always probe the timed-out path itself with a PING. When the probe
+	// is acknowledged, the path's largest-acked advances past any tail
+	// losses so time/packet-threshold detection can declare them and free
+	// the congestion window (RFC 9002 §6.2.4-style tail loss recovery).
+	c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
+}

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"sort"
+
+	"repro/internal/rangeset"
+	"repro/internal/wire"
+)
+
+// FrameRange marks a video-frame region inside a stream, registered through
+// the stream_send API (Sec 5.1, "First-video-frame acceleration"): the
+// application tags the byte range holding a video frame with a priority so
+// the scheduler can re-inject at video-frame granularity. Lower Prio values
+// are more urgent; the first video frame is tagged with priority 0.
+type FrameRange struct {
+	Start uint64
+	End   uint64
+	Prio  int
+}
+
+// chunk is one schedulable piece of stream data: either new data, a
+// retransmission, or a re-injected duplicate of an unacked packet's data.
+type chunk struct {
+	streamID uint64
+	offset   uint64
+	length   uint64
+	fin      bool
+	// reinjection marks duplicate data sent to decouple paths.
+	reinjection bool
+	// originPath is the path the original transmission used; re-injected
+	// copies should travel on a different path.
+	originPath uint64
+	// framePrio orders re-injections under video-frame priority mode.
+	framePrio int
+	// isNew marks a first transmission of never-sent data (vs. a
+	// retransmission or re-injection), for accounting.
+	isNew bool
+}
+
+// SendStream is the sending half of a stream. All mutation happens on the
+// connection's event loop.
+type SendStream struct {
+	id   uint64
+	conn *Conn
+
+	buf       []byte
+	fin       bool
+	finOffset uint64
+
+	// next offset of never-sent data.
+	nextOffset uint64
+	// rtx holds loss-triggered retransmission ranges.
+	rtx rangeset.Set
+	// acked tracks peer-acknowledged ranges (via any path or copy).
+	acked rangeset.Set
+	// reinjQ holds pending re-injection chunks, ordered by framePrio then
+	// enqueue order.
+	reinjQ []chunk
+
+	// frames are the application-tagged video-frame ranges, sorted by
+	// Start. Data outside any range behaves as priority defaultFramePrio.
+	frames []FrameRange
+
+	// prio is the stream's scheduling priority: lower is more urgent.
+	// Defaults to the stream ID, giving the paper's "early stream has
+	// higher priority" order.
+	prio int
+
+	// peerMaxData is the stream-level flow control limit from the peer.
+	peerMaxData uint64
+
+	// blockedSent deduplicates STREAM_DATA_BLOCKED signals per limit.
+	blockedSent uint64
+
+	// finChunkSent records that a chunk carrying the FIN bit was sent;
+	// finAcked records that the peer acknowledged it.
+	finChunkSent bool
+	finAcked     bool
+
+	// reset marks the stream abruptly terminated (RESET_STREAM sent);
+	// no further data is scheduled, including re-injections.
+	reset     bool
+	resetCode uint64
+}
+
+// defaultFramePrio is the priority of untagged stream data, less urgent
+// than any tagged video frame.
+const defaultFramePrio = 1 << 20
+
+// ID returns the stream ID.
+func (s *SendStream) ID() uint64 { return s.id }
+
+// Priority returns the scheduling priority (lower = more urgent).
+func (s *SendStream) Priority() int { return s.prio }
+
+// SetPriority overrides the stream priority.
+func (s *SendStream) SetPriority(p int) { s.prio = p }
+
+// Write appends data to the stream's send buffer. It never blocks; flow
+// control gates transmission, not buffering.
+func (s *SendStream) Write(data []byte) {
+	if s.fin {
+		return
+	}
+	s.buf = append(s.buf, data...)
+	s.conn.wakeSend()
+}
+
+// WriteFrame appends data and tags it as a video frame with the given
+// priority — the paper's stream_send(position, size, priority) API. The
+// position is implicit: the current end of the stream.
+func (s *SendStream) WriteFrame(data []byte, prio int) {
+	if s.fin {
+		return
+	}
+	start := uint64(len(s.buf))
+	s.buf = append(s.buf, data...)
+	s.frames = append(s.frames, FrameRange{Start: start, End: uint64(len(s.buf)), Prio: prio})
+	sort.SliceStable(s.frames, func(i, j int) bool { return s.frames[i].Start < s.frames[j].Start })
+	s.conn.wakeSend()
+}
+
+// MarkFrame tags an existing byte range [start, end) as a video frame with
+// the given priority.
+func (s *SendStream) MarkFrame(start, end uint64, prio int) {
+	if start >= end || end > uint64(len(s.buf)) {
+		return
+	}
+	s.frames = append(s.frames, FrameRange{Start: start, End: end, Prio: prio})
+	sort.SliceStable(s.frames, func(i, j int) bool { return s.frames[i].Start < s.frames[j].Start })
+}
+
+// Reset abruptly terminates the sending side of the stream (swipe-away in
+// a short-video UI): pending data, retransmissions and re-injections are
+// dropped and a RESET_STREAM tells the peer the final size.
+func (s *SendStream) Reset(code uint64) {
+	if s.reset {
+		return
+	}
+	s.reset = true
+	s.resetCode = code
+	s.rtx = rangeset.Set{}
+	s.reinjQ = nil
+	s.conn.queueCtrl(&wire.ResetStreamFrame{
+		StreamID:  s.id,
+		ErrorCode: code,
+		FinalSize: s.nextOffset,
+	}, -1, true)
+}
+
+// IsReset reports whether the stream was abruptly terminated.
+func (s *SendStream) IsReset() bool { return s.reset }
+
+// Close marks the end of the stream; the final offset is the current
+// buffer end.
+func (s *SendStream) Close() {
+	if s.fin {
+		return
+	}
+	s.fin = true
+	s.finOffset = uint64(len(s.buf))
+	s.conn.wakeSend()
+}
+
+// Buffered returns the total bytes written so far.
+func (s *SendStream) Buffered() uint64 { return uint64(len(s.buf)) }
+
+// AllAcked reports whether every written byte (and the FIN, if set) has
+// been acknowledged.
+func (s *SendStream) AllAcked() bool {
+	if !s.fin {
+		return false
+	}
+	if s.finOffset == 0 {
+		return s.finAcked
+	}
+	return s.acked.Contains(0, s.finOffset) && s.finAcked
+}
+
+// frameAt returns the frame range covering offset, or an implicit
+// default-priority range spanning to the next tagged frame (or stream end).
+func (s *SendStream) frameAt(offset uint64) FrameRange {
+	for _, f := range s.frames {
+		if offset >= f.Start && offset < f.End {
+			return f
+		}
+	}
+	// Untagged region: extends to the next tagged frame start.
+	end := uint64(len(s.buf))
+	for _, f := range s.frames {
+		if f.Start > offset && f.Start < end {
+			end = f.Start
+		}
+	}
+	return FrameRange{Start: offset, End: end, Prio: defaultFramePrio}
+}
+
+// hasNewData reports whether unsent data (or an unsent FIN) remains within
+// the peer's flow control limit.
+func (s *SendStream) hasNewData() bool {
+	if s.reset {
+		return false
+	}
+	if s.nextOffset < uint64(len(s.buf)) && s.nextOffset < s.peerMaxData {
+		return true
+	}
+	return s.fin && !s.finChunkSent
+}
+
+// hasRtx reports pending retransmission data.
+func (s *SendStream) hasRtx() bool { return !s.reset && !s.rtx.Empty() }
+
+// nextNewChunk carves the next new-data chunk of at most maxLen bytes.
+// It returns ok=false when nothing can be sent (no data or flow blocked).
+func (s *SendStream) nextNewChunk(maxLen int) (chunk, bool) {
+	bufLen := uint64(len(s.buf))
+	if s.nextOffset >= bufLen {
+		if s.fin && !s.finChunkSent {
+			s.finChunkSent = true
+			return chunk{streamID: s.id, offset: s.nextOffset, length: 0, fin: true}, true
+		}
+		return chunk{}, false
+	}
+	if s.nextOffset >= s.peerMaxData {
+		return chunk{}, false // flow control blocked
+	}
+	end := min64(bufLen, s.nextOffset+uint64(maxLen))
+	end = min64(end, s.peerMaxData)
+	// Keep chunks within one frame range so frame-priority re-injection
+	// sees clean boundaries.
+	fr := s.frameAt(s.nextOffset)
+	if fr.End > s.nextOffset {
+		end = min64(end, fr.End)
+	}
+	c := chunk{
+		streamID:  s.id,
+		offset:    s.nextOffset,
+		length:    end - s.nextOffset,
+		framePrio: fr.Prio,
+	}
+	s.nextOffset = end
+	if s.fin && s.nextOffset == s.finOffset {
+		c.fin = true
+		s.finChunkSent = true
+	}
+	return c, true
+}
+
+// nextRtxChunk carves the next retransmission chunk of at most maxLen
+// bytes, skipping parts that were acknowledged since the loss.
+func (s *SendStream) nextRtxChunk(maxLen int) (chunk, bool) {
+	for {
+		r, ok := s.rtx.First()
+		if !ok {
+			return chunk{}, false
+		}
+		if s.acked.Contains(r.Start, min64(r.End, r.Start+1)) {
+			// Front already acked via another copy: trim it.
+			covered := s.acked.CoveredPrefix(r.Start)
+			s.rtx.Subtract(r.Start, covered)
+			continue
+		}
+		end := min64(r.End, r.Start+uint64(maxLen))
+		c := chunk{
+			streamID:  s.id,
+			offset:    r.Start,
+			length:    end - r.Start,
+			framePrio: s.frameAt(r.Start).Prio,
+			fin:       s.fin && end == s.finOffset,
+		}
+		s.rtx.Subtract(r.Start, end)
+		return c, true
+	}
+}
+
+// onChunkLost re-queues a lost chunk's unacked part for retransmission.
+func (s *SendStream) onChunkLost(c chunk) {
+	start, end := c.offset, c.offset+c.length
+	// Drop the portions already acked (e.g. through a re-injected copy).
+	for start < end {
+		if s.acked.Contains(start, start+1) {
+			start = s.acked.CoveredPrefix(start)
+			continue
+		}
+		gapEnd := start + 1
+		for gapEnd < end && !s.acked.Contains(gapEnd, gapEnd+1) {
+			gapEnd++
+		}
+		s.rtx.Add(start, gapEnd)
+		start = gapEnd
+	}
+	if c.fin && !s.finAcked {
+		s.finChunkSent = false
+	}
+}
+
+// onChunkAcked records acknowledgement of a chunk.
+func (s *SendStream) onChunkAcked(c chunk) {
+	if c.length > 0 {
+		s.acked.Add(c.offset, c.offset+c.length)
+		// Acked data no longer needs retransmission.
+		s.rtx.Subtract(c.offset, c.offset+c.length)
+	}
+	if c.fin {
+		s.finAcked = true
+	}
+}

@@ -1,0 +1,8 @@
+package transport
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

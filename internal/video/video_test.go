@@ -1,0 +1,263 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func testVideo() Video {
+	return Video{
+		ID:             "v1",
+		Size:           2 << 20, // 2 MiB
+		BitrateBps:     2_000_000,
+		FPS:            30,
+		FirstFrameSize: 64 << 10,
+	}
+}
+
+func TestVideoDuration(t *testing.T) {
+	v := testVideo()
+	want := float64(v.Size*8) / 2_000_000
+	if got := v.Duration().Seconds(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("duration %.2fs, want %.2f", got, want)
+	}
+}
+
+func TestPlayerStartup(t *testing.T) {
+	v := testVideo()
+	p := NewPlayer(v, DefaultPlayerConfig())
+	// Less than the first frame: still starting up.
+	p.OnData(10*time.Millisecond, v.FirstFrameSize-1)
+	if p.started {
+		t.Fatal("must not start before first frame")
+	}
+	// Complete the first frame plus the start threshold.
+	p.OnData(40*time.Millisecond, v.FirstFrameSize) // plenty of cushion
+	m := p.Metrics(40 * time.Millisecond)
+	if m.FirstFrameLatency != 40*time.Millisecond {
+		t.Fatalf("first frame latency %v", m.FirstFrameLatency)
+	}
+	if m.StartupLatency != 40*time.Millisecond {
+		t.Fatalf("startup latency %v", m.StartupLatency)
+	}
+}
+
+func TestPlayerSmoothPlayback(t *testing.T) {
+	v := testVideo()
+	p := NewPlayer(v, DefaultPlayerConfig())
+	// Deliver the entire video at t=0: no rebuffering possible.
+	p.OnData(0, v.Size)
+	end := v.Duration() + time.Second
+	p.Advance(end)
+	m := p.Metrics(end)
+	if !m.Finished {
+		t.Fatal("should finish")
+	}
+	if m.RebufferCount != 0 || m.RebufferTime != 0 {
+		t.Fatalf("unexpected rebuffering: %+v", m)
+	}
+	if math.Abs(m.PlayTime.Seconds()-v.Duration().Seconds()) > 0.05 {
+		t.Fatalf("play time %v vs duration %v", m.PlayTime, v.Duration())
+	}
+}
+
+func TestPlayerRebuffering(t *testing.T) {
+	v := testVideo()
+	p := NewPlayer(v, DefaultPlayerConfig())
+	// Deliver 1s of content, then stall for 2s, then the rest.
+	oneSec := uint64(v.BytesPerSecond())
+	p.OnData(0, oneSec)
+	stallEnd := 3 * time.Second
+	p.Advance(stallEnd) // buffer empties at ~1s; rebuffer 1s..3s
+	p.OnData(stallEnd, v.Size-oneSec)
+	p.Advance(stallEnd + v.Duration())
+	m := p.Metrics(stallEnd + v.Duration())
+	if m.RebufferCount != 1 {
+		t.Fatalf("rebuffer count %d, want 1", m.RebufferCount)
+	}
+	if m.RebufferTime < 1900*time.Millisecond || m.RebufferTime > 2100*time.Millisecond {
+		t.Fatalf("rebuffer time %v, want ~2s", m.RebufferTime)
+	}
+	if !m.Finished {
+		t.Fatal("should finish after remaining data")
+	}
+	if m.RebufferRate() <= 0 {
+		t.Fatal("rebuffer rate should be positive")
+	}
+}
+
+func TestPlayerQoESignal(t *testing.T) {
+	v := testVideo()
+	p := NewPlayer(v, DefaultPlayerConfig())
+	p.OnData(0, uint64(v.BytesPerSecond())) // 1s of content
+	sig := p.QoESignal()
+	if sig.BitrateBps != v.BitrateBps || sig.FramerateFPS != v.FPS {
+		t.Fatalf("signal rates: %+v", sig)
+	}
+	if math.Abs(sig.PlaytimeLeft().Seconds()-1.0) > 0.05 {
+		t.Fatalf("Δt = %v, want ~1s", sig.PlaytimeLeft())
+	}
+	if sig.CachedFrames < 28 || sig.CachedFrames > 31 {
+		t.Fatalf("cached frames %d, want ~30", sig.CachedFrames)
+	}
+}
+
+func TestPlayerDangerSamples(t *testing.T) {
+	v := testVideo()
+	p := NewPlayer(v, DefaultPlayerConfig())
+	p.OnData(0, v.FirstFrameSize+uint64(v.BytesPerSecond()/2)) // 0.5s buffer
+	// Drain to near-empty, sampling as we go.
+	// Content lasts ~0.76s (64 KiB first frame + 0.5s at 250 KB/s).
+	for ts := 100 * time.Millisecond; ts <= 900*time.Millisecond; ts += 50 * time.Millisecond {
+		p.Advance(ts)
+	}
+	if p.DangerSamples == 0 {
+		t.Fatal("draining to empty should produce danger samples")
+	}
+	if p.TotalSamples <= p.DangerSamples {
+		t.Fatal("not every sample should be dangerous")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := Request{ID: "abc", Offset: 1024, Length: 4096}
+	got, err := ParseRequest(FormatRequest(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := ParseRequest("POST x 1 2\n"); err == nil {
+		t.Fatal("bad verb must fail")
+	}
+	if _, err := ParseRequest("GET a b c\n"); err == nil {
+		t.Fatal("bad numbers must fail")
+	}
+}
+
+func TestSynthesizeContentDeterministic(t *testing.T) {
+	a := SynthesizeContent("v", 100, 50)
+	b := SynthesizeContent("v", 100, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("content must be deterministic")
+		}
+	}
+	// Suffix consistency: content at offset 120 equals tail of range at 100.
+	c := SynthesizeContent("v", 120, 30)
+	for i := range c {
+		if c[i] != a[20+i] {
+			t.Fatal("content must be offset-consistent")
+		}
+	}
+}
+
+// endToEnd runs a full video fetch over an emulated two-path network.
+func endToEnd(t *testing.T, mode transport.ReinjectionMode, videoSize uint64) (*Player, *Requester, *transport.Pair, time.Duration) {
+	t.Helper()
+	loop := sim.NewLoop()
+	params := wire.DefaultTransportParams()
+	params.EnableMultipath = true
+	ccfg := transport.Config{Params: params, Seed: 1}
+	scfg := transport.Config{Params: params, Seed: 2, ReinjectionMode: mode}
+	pair := transport.NewPair(loop, sim.NewRNG(9),
+		transport.TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+
+	v := testVideo()
+	v.Size = videoSize
+	player := NewPlayer(v, DefaultPlayerConfig())
+	requester := NewRequester(pair.Client, v, player, DefaultRequesterConfig())
+	server := NewServer(pair.Server, []Video{v})
+
+	pair.Client.SetOnStreamData(requester.OnStreamData)
+	pair.Server.SetOnStreamData(server.OnStreamData)
+	pair.Client.SetQoEProvider(player.QoESignal)
+	var doneAt time.Duration
+	requester.SetOnComplete(func(now time.Duration) { doneAt = now })
+	pair.Client.SetOnHandshakeDone(func(now time.Duration) { requester.Start(now) })
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pair.RunUntil(60 * time.Second)
+	return player, requester, pair, doneAt
+}
+
+func TestEndToEndVideoFetch(t *testing.T) {
+	player, req, _, doneAt := endToEnd(t, transport.ReinjectStreamPriority, 1<<20)
+	if !req.Done() {
+		t.Fatal("fetch incomplete")
+	}
+	if req.VerifyErrors() != 0 {
+		t.Fatalf("%d content verification errors", req.VerifyErrors())
+	}
+	if doneAt == 0 || doneAt > 3*time.Second {
+		t.Fatalf("fetch took %v", doneAt)
+	}
+	m := player.Metrics(60 * time.Second)
+	if !m.Finished {
+		t.Fatalf("playback did not finish: %+v", m)
+	}
+	if m.FirstFrameLatency == 0 || m.FirstFrameLatency > time.Second {
+		t.Fatalf("first frame latency %v", m.FirstFrameLatency)
+	}
+	if len(req.Results) != 2 { // 1 MiB in 512 KiB chunks
+		t.Fatalf("chunk results %d, want 2", len(req.Results))
+	}
+	for _, r := range req.Results {
+		if r.RCT() <= 0 {
+			t.Fatalf("bad RCT %v", r.RCT())
+		}
+	}
+}
+
+func TestServerServesFirstFrameTagged(t *testing.T) {
+	_, req, pair, _ := endToEnd(t, transport.ReinjectFramePriority, 512<<10)
+	if !req.Done() {
+		t.Fatal("fetch incomplete")
+	}
+	if pair.Server.Stats().StreamBytesSent < 512<<10 {
+		t.Fatal("server did not serve full video")
+	}
+}
+
+func TestRequesterAbortStopsServer(t *testing.T) {
+	loop := sim.NewLoop()
+	params := wire.DefaultTransportParams()
+	params.EnableMultipath = true
+	ccfg := transport.Config{Params: params, Seed: 1}
+	scfg := transport.Config{Params: params, Seed: 2, ReinjectionMode: transport.ReinjectStreamPriority}
+	pair := transport.NewPair(loop, sim.NewRNG(9),
+		transport.TwoPathConfig(4, 4, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+
+	v := testVideo()
+	v.Size = 8 << 20 // long enough that abort lands mid-transfer
+	player := NewPlayer(v, DefaultPlayerConfig())
+	requester := NewRequester(pair.Client, v, player, DefaultRequesterConfig())
+	server := NewServer(pair.Server, []Video{v})
+	pair.Client.SetOnStreamData(requester.OnStreamData)
+	pair.Server.SetOnStreamData(server.OnStreamData)
+	pair.Client.SetOnHandshakeDone(func(now time.Duration) { requester.Start(now) })
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	loop.At(time.Second, func(time.Duration) { requester.Abort() })
+	pair.RunUntil(1100 * time.Millisecond)
+	atAbort := pair.Server.Stats().StreamBytesSent
+	pair.RunUntil(10 * time.Second)
+	after := pair.Server.Stats().StreamBytesSent
+	if !requester.Aborted() {
+		t.Fatal("requester should be aborted")
+	}
+	if after > atAbort+512<<10 {
+		t.Fatalf("server kept streaming after abort: %d -> %d", atAbort, after)
+	}
+	if requester.Done() {
+		t.Fatal("aborted fetch must not report done")
+	}
+}

@@ -1,0 +1,141 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Frame type codes. Standard frames use the RFC 9000 values; the
+// multi-path extension frames use the experimental greased code points from
+// the draft-liu-multipath-quic lineage.
+const (
+	TypePadding           uint64 = 0x00
+	TypePing              uint64 = 0x01
+	TypeAck               uint64 = 0x02
+	TypeResetStream       uint64 = 0x04
+	TypeStopSending       uint64 = 0x05
+	TypeCrypto            uint64 = 0x06
+	TypeStreamBase        uint64 = 0x08 // 0x08..0x0f with OFF/LEN/FIN bits
+	TypeMaxData           uint64 = 0x10
+	TypeMaxStreamData     uint64 = 0x11
+	TypeDataBlocked       uint64 = 0x14
+	TypeStreamDataBlocked uint64 = 0x15
+	TypeNewConnectionID   uint64 = 0x18
+	TypeRetireConnection  uint64 = 0x19
+	TypePathChallenge     uint64 = 0x1a
+	TypePathResponse      uint64 = 0x1b
+	TypeConnectionClose   uint64 = 0x1c
+	TypeHandshakeDone     uint64 = 0x1e
+
+	// Multi-path extension frames.
+	TypeAckMP             uint64 = 0xbaba00
+	TypePathStatus        uint64 = 0xbaba05
+	TypeQoEControlSignals uint64 = 0xbaba10
+)
+
+// Frame is one QUIC frame. Append serializes the frame, appending to b.
+type Frame interface {
+	// Append serializes the frame onto b and returns the extended slice.
+	Append(b []byte) []byte
+	// Len returns the serialized size in bytes.
+	Len() int
+	// String names the frame for logs.
+	String() string
+}
+
+// AckEliciting reports whether a frame requires acknowledgement
+// (everything except ACK, ACK_MP, PADDING, CONNECTION_CLOSE).
+func AckEliciting(f Frame) bool {
+	switch f.(type) {
+	case *AckFrame, *AckMPFrame, *PaddingFrame, *ConnectionCloseFrame:
+		return false
+	default:
+		return true
+	}
+}
+
+// ParseFrame decodes the frame at the front of b, returning it and the
+// bytes consumed.
+func ParseFrame(b []byte) (Frame, int, error) {
+	typ, n, err := ParseVarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	rest := b[n:]
+	var f Frame
+	var m int
+	switch {
+	case typ == TypePadding:
+		// Coalesce a run of padding bytes into one frame.
+		run := 1
+		for run < len(rest)+1 && run-1 < len(rest) && rest[run-1] == 0 {
+			run++
+		}
+		return &PaddingFrame{Count: run}, run, nil
+	case typ == TypePing:
+		return &PingFrame{}, n, nil
+	case typ == TypeAck:
+		f, m, err = parseAck(rest)
+	case typ == TypeResetStream:
+		f, m, err = parseResetStream(rest)
+	case typ == TypeStopSending:
+		f, m, err = parseStopSending(rest)
+	case typ == TypeCrypto:
+		f, m, err = parseCrypto(rest)
+	case typ >= TypeStreamBase && typ <= TypeStreamBase+7:
+		f, m, err = parseStream(byte(typ), rest)
+	case typ == TypeMaxData:
+		f, m, err = parseMaxData(rest)
+	case typ == TypeMaxStreamData:
+		f, m, err = parseMaxStreamData(rest)
+	case typ == TypeDataBlocked:
+		f, m, err = parseDataBlocked(rest)
+	case typ == TypeStreamDataBlocked:
+		f, m, err = parseStreamDataBlocked(rest)
+	case typ == TypeNewConnectionID:
+		f, m, err = parseNewConnectionID(rest)
+	case typ == TypeRetireConnection:
+		f, m, err = parseRetireConnectionID(rest)
+	case typ == TypePathChallenge:
+		f, m, err = parsePathChallenge(rest)
+	case typ == TypePathResponse:
+		f, m, err = parsePathResponse(rest)
+	case typ == TypeConnectionClose:
+		f, m, err = parseConnectionClose(rest)
+	case typ == TypeHandshakeDone:
+		return &HandshakeDoneFrame{}, n, nil
+	case typ == TypeAckMP:
+		f, m, err = parseAckMP(rest)
+	case typ == TypePathStatus:
+		f, m, err = parsePathStatus(rest)
+	case typ == TypeQoEControlSignals:
+		f, m, err = parseQoEControlSignals(rest)
+	default:
+		return nil, 0, fmt.Errorf("wire: unknown frame type 0x%x", typ)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, n + m, nil
+}
+
+// ParseAll decodes every frame in a packet payload.
+func ParseAll(b []byte) ([]Frame, error) {
+	var frames []Frame
+	for len(b) > 0 {
+		f, n, err := ParseFrame(b)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+		b = b[n:]
+	}
+	return frames, nil
+}
+
+// AppendAll serializes frames in order.
+func AppendAll(b []byte, frames []Frame) []byte {
+	for _, f := range frames {
+		b = f.Append(b)
+	}
+	return b
+}

@@ -1,0 +1,348 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// AckRange is a contiguous range of acknowledged packet numbers
+// [Smallest, Largest].
+type AckRange struct {
+	Smallest uint64
+	Largest  uint64
+}
+
+// AckFrame is the single-path ACK frame, used before multi-path is
+// negotiated and by the single-path baseline.
+type AckFrame struct {
+	// Ranges are in descending order; Ranges[0].Largest is the largest
+	// acknowledged packet number.
+	Ranges   []AckRange
+	AckDelay time.Duration
+}
+
+// LargestAcked returns the largest acknowledged packet number.
+func (f *AckFrame) LargestAcked() uint64 {
+	if len(f.Ranges) == 0 {
+		return 0
+	}
+	return f.Ranges[0].Largest
+}
+
+// Acks reports whether pn is covered by the frame.
+func (f *AckFrame) Acks(pn uint64) bool {
+	for _, r := range f.Ranges {
+		if pn >= r.Smallest && pn <= r.Largest {
+			return true
+		}
+	}
+	return false
+}
+
+func appendAckBody(b []byte, ranges []AckRange, delay time.Duration) []byte {
+	b = AppendVarint(b, ranges[0].Largest)
+	b = AppendVarint(b, uint64(delay/time.Microsecond))
+	b = AppendVarint(b, uint64(len(ranges)-1))
+	b = AppendVarint(b, ranges[0].Largest-ranges[0].Smallest)
+	prevSmallest := ranges[0].Smallest
+	for _, r := range ranges[1:] {
+		gap := prevSmallest - r.Largest - 2
+		b = AppendVarint(b, gap)
+		b = AppendVarint(b, r.Largest-r.Smallest)
+		prevSmallest = r.Smallest
+	}
+	return b
+}
+
+func ackBodyLen(ranges []AckRange, delay time.Duration) int {
+	n := VarintLen(ranges[0].Largest) + VarintLen(uint64(delay/time.Microsecond)) +
+		VarintLen(uint64(len(ranges)-1)) + VarintLen(ranges[0].Largest-ranges[0].Smallest)
+	prevSmallest := ranges[0].Smallest
+	for _, r := range ranges[1:] {
+		n += VarintLen(prevSmallest-r.Largest-2) + VarintLen(r.Largest-r.Smallest)
+		prevSmallest = r.Smallest
+	}
+	return n
+}
+
+func parseAckBody(b []byte) ([]AckRange, time.Duration, int, error) {
+	pos := 0
+	largest, n, err := ParseVarint(b)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pos += n
+	delayUS, n, err := ParseVarint(b[pos:])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pos += n
+	rangeCount, n, err := ParseVarint(b[pos:])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pos += n
+	firstRange, n, err := ParseVarint(b[pos:])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pos += n
+	if firstRange > largest {
+		return nil, 0, 0, fmt.Errorf("wire: ack first range underflow")
+	}
+	ranges := []AckRange{{Smallest: largest - firstRange, Largest: largest}}
+	smallest := largest - firstRange
+	for i := uint64(0); i < rangeCount; i++ {
+		gap, n, err := ParseVarint(b[pos:])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		pos += n
+		length, n, err := ParseVarint(b[pos:])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		pos += n
+		if gap+2 > smallest {
+			return nil, 0, 0, fmt.Errorf("wire: ack range underflow")
+		}
+		nextLargest := smallest - gap - 2
+		if length > nextLargest {
+			return nil, 0, 0, fmt.Errorf("wire: ack range length underflow")
+		}
+		ranges = append(ranges, AckRange{Smallest: nextLargest - length, Largest: nextLargest})
+		smallest = nextLargest - length
+	}
+	return ranges, time.Duration(delayUS) * time.Microsecond, pos, nil
+}
+
+// Append implements Frame.
+func (f *AckFrame) Append(b []byte) []byte {
+	b = append(b, byte(TypeAck))
+	return appendAckBody(b, f.Ranges, f.AckDelay)
+}
+
+// Len implements Frame.
+func (f *AckFrame) Len() int { return 1 + ackBodyLen(f.Ranges, f.AckDelay) }
+
+// String implements Frame.
+func (f *AckFrame) String() string {
+	return fmt.Sprintf("ACK(largest=%d ranges=%d)", f.LargestAcked(), len(f.Ranges))
+}
+
+func parseAck(b []byte) (Frame, int, error) {
+	ranges, delay, n, err := parseAckBody(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &AckFrame{Ranges: ranges, AckDelay: delay}, n, nil
+}
+
+// QoESignal is the QoE_Control_Signal payload defined by the paper
+// (Sec 5.2): the four player metrics the client reports to drive the
+// server's re-injection control.
+type QoESignal struct {
+	// CachedBytes is the player's buffered byte count.
+	CachedBytes uint64
+	// CachedFrames is the player's buffered frame count.
+	CachedFrames uint64
+	// BitrateBps is the current video bitrate in bits per second.
+	BitrateBps uint64
+	// FramerateFPS is the current video framerate (frames per second).
+	FramerateFPS uint64
+}
+
+// Zero reports whether the signal carries no information.
+func (q QoESignal) Zero() bool {
+	return q == QoESignal{}
+}
+
+// PlaytimeLeft implements the paper's Δt estimator: the conservative
+// (minimum) of cached_frames/fps and cached_bytes/bps, using whichever
+// denominators are available.
+func (q QoESignal) PlaytimeLeft() time.Duration {
+	var byFrames, byBytes time.Duration = -1, -1
+	if q.FramerateFPS > 0 {
+		byFrames = time.Duration(float64(q.CachedFrames) / float64(q.FramerateFPS) * float64(time.Second))
+	}
+	if q.BitrateBps > 0 {
+		byBytes = time.Duration(float64(q.CachedBytes) * 8 / float64(q.BitrateBps) * float64(time.Second))
+	}
+	switch {
+	case byFrames >= 0 && byBytes >= 0:
+		if byFrames < byBytes {
+			return byFrames
+		}
+		return byBytes
+	case byFrames >= 0:
+		return byFrames
+	case byBytes >= 0:
+		return byBytes
+	default:
+		return 0
+	}
+}
+
+func appendQoE(b []byte, q QoESignal) []byte {
+	b = AppendVarint(b, q.CachedBytes)
+	b = AppendVarint(b, q.CachedFrames)
+	b = AppendVarint(b, q.BitrateBps)
+	return AppendVarint(b, q.FramerateFPS)
+}
+
+func qoeLen(q QoESignal) int {
+	return VarintLen(q.CachedBytes) + VarintLen(q.CachedFrames) +
+		VarintLen(q.BitrateBps) + VarintLen(q.FramerateFPS)
+}
+
+func parseQoE(b []byte) (QoESignal, int, error) {
+	var q QoESignal
+	pos := 0
+	for i, dst := range []*uint64{&q.CachedBytes, &q.CachedFrames, &q.BitrateBps, &q.FramerateFPS} {
+		v, n, err := ParseVarint(b[pos:])
+		if err != nil {
+			return QoESignal{}, 0, fmt.Errorf("wire: qoe field %d: %w", i, err)
+		}
+		*dst = v
+		pos += n
+	}
+	return q, pos, nil
+}
+
+// AckMPFrame is the multi-path ACK frame (paper Fig 16 / Appendix C). It
+// acknowledges packets of the packet-number space identified by PathID (the
+// CID sequence number) and optionally piggybacks the QoE control signal, as
+// the deployed XLINK implementation does.
+type AckMPFrame struct {
+	// PathID is the CID sequence number identifying the acknowledged
+	// path's packet number space.
+	PathID   uint64
+	Ranges   []AckRange
+	AckDelay time.Duration
+	// HasQoE indicates the QoE_Control_Signal field is present.
+	HasQoE bool
+	QoE    QoESignal
+}
+
+// LargestAcked returns the largest acknowledged packet number.
+func (f *AckMPFrame) LargestAcked() uint64 {
+	if len(f.Ranges) == 0 {
+		return 0
+	}
+	return f.Ranges[0].Largest
+}
+
+// Acks reports whether pn is covered by the frame.
+func (f *AckMPFrame) Acks(pn uint64) bool {
+	for _, r := range f.Ranges {
+		if pn >= r.Smallest && pn <= r.Largest {
+			return true
+		}
+	}
+	return false
+}
+
+// Append implements Frame.
+func (f *AckMPFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, TypeAckMP)
+	b = AppendVarint(b, f.PathID)
+	b = appendAckBody(b, f.Ranges, f.AckDelay)
+	if f.HasQoE {
+		b = AppendVarint(b, uint64(qoeLen(f.QoE)))
+		b = appendQoE(b, f.QoE)
+	} else {
+		b = AppendVarint(b, 0)
+	}
+	return b
+}
+
+// Len implements Frame.
+func (f *AckMPFrame) Len() int {
+	n := VarintLen(TypeAckMP) + VarintLen(f.PathID) + ackBodyLen(f.Ranges, f.AckDelay)
+	if f.HasQoE {
+		q := qoeLen(f.QoE)
+		n += VarintLen(uint64(q)) + q
+	} else {
+		n++
+	}
+	return n
+}
+
+// String implements Frame.
+func (f *AckMPFrame) String() string {
+	return fmt.Sprintf("ACK_MP(path=%d largest=%d ranges=%d qoe=%v)",
+		f.PathID, f.LargestAcked(), len(f.Ranges), f.HasQoE)
+}
+
+func parseAckMP(b []byte) (Frame, int, error) {
+	pathID, n, err := ParseVarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos := n
+	ranges, delay, n, err := parseAckBody(b[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += n
+	qLen, n, err := ParseVarint(b[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += n
+	f := &AckMPFrame{PathID: pathID, Ranges: ranges, AckDelay: delay}
+	if qLen > 0 {
+		if uint64(len(b)-pos) < qLen {
+			return nil, 0, ErrTruncated
+		}
+		q, n, err := parseQoE(b[pos : pos+int(qLen)])
+		if err != nil {
+			return nil, 0, err
+		}
+		if n != int(qLen) {
+			return nil, 0, fmt.Errorf("wire: qoe length mismatch")
+		}
+		f.HasQoE = true
+		f.QoE = q
+		pos += n
+	}
+	return f, pos, nil
+}
+
+// QoEControlSignalsFrame is the standalone QOE_CONTROL_SIGNALS extension
+// frame from the draft, which decouples QoE feedback from ACK frequency.
+type QoEControlSignalsFrame struct {
+	// Sequence orders signals so stale feedback can be discarded.
+	Sequence uint64
+	QoE      QoESignal
+}
+
+// Append implements Frame.
+func (f *QoEControlSignalsFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, TypeQoEControlSignals)
+	b = AppendVarint(b, f.Sequence)
+	return appendQoE(b, f.QoE)
+}
+
+// Len implements Frame.
+func (f *QoEControlSignalsFrame) Len() int {
+	return VarintLen(TypeQoEControlSignals) + VarintLen(f.Sequence) + qoeLen(f.QoE)
+}
+
+// String implements Frame.
+func (f *QoEControlSignalsFrame) String() string {
+	return fmt.Sprintf("QOE_CONTROL_SIGNALS(seq=%d Δt=%v)", f.Sequence, f.QoE.PlaytimeLeft())
+}
+
+func parseQoEControlSignals(b []byte) (Frame, int, error) {
+	seq, n, err := ParseVarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos := n
+	q, n, err := parseQoE(b[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return &QoEControlSignalsFrame{Sequence: seq, QoE: q}, pos + n, nil
+}

@@ -1,0 +1,54 @@
+package wire
+
+// Packet number truncation and reconstruction per RFC 9000 §17.1 and
+// Appendix A. XLINK keeps a separate packet number space per path, so these
+// operate within one space.
+
+// PacketNumberLen returns the minimum byte length needed to encode pn given
+// the largest acknowledged packet number (or -1 if nothing acked yet).
+func PacketNumberLen(pn uint64, largestAcked int64) int {
+	var unacked uint64
+	if largestAcked < 0 {
+		unacked = pn + 1
+	} else {
+		unacked = pn - uint64(largestAcked)
+	}
+	// Need pnLen such that 2^(8*len-1) > unacked.
+	switch {
+	case unacked < 1<<7:
+		return 1
+	case unacked < 1<<15:
+		return 2
+	case unacked < 1<<23:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// AppendPacketNumber appends the low pnLen bytes of pn.
+func AppendPacketNumber(b []byte, pn uint64, pnLen int) []byte {
+	for i := pnLen - 1; i >= 0; i-- {
+		b = append(b, byte(pn>>(8*i)))
+	}
+	return b
+}
+
+// DecodePacketNumber reconstructs a full packet number from its truncated
+// encoding, the encoded length in bytes, and the largest packet number
+// received so far in the space (-1 if none).
+func DecodePacketNumber(truncated uint64, pnLen int, largest int64) uint64 {
+	pnNbits := uint(8 * pnLen)
+	expected := uint64(largest + 1)
+	pnWin := uint64(1) << pnNbits
+	pnHWin := pnWin / 2
+	pnMask := pnWin - 1
+	candidate := (expected &^ pnMask) | truncated
+	if candidate+pnHWin <= expected && candidate < (1<<62)-pnWin {
+		return candidate + pnWin
+	}
+	if candidate > expected+pnHWin && candidate >= pnWin {
+		return candidate - pnWin
+	}
+	return candidate
+}

@@ -1,0 +1,73 @@
+// Package wire implements the XLINK wire format: QUIC variable-length
+// integers, long and short packet headers (unchanged from QUIC, as the paper
+// requires for middlebox safety), the standard QUIC frames the transport
+// needs, and the three multi-path extension frames from
+// draft-liu-multipath-quic: ACK_MP (carrying the QoE_Control_Signal field
+// used in the paper's experiments), PATH_STATUS, and QOE_CONTROL_SIGNALS.
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Varint limits from RFC 9000 §16.
+const (
+	maxVarint1 = 63
+	maxVarint2 = 16383
+	maxVarint4 = 1073741823
+	// MaxVarint is the largest value a QUIC varint can carry (2^62-1).
+	MaxVarint = 4611686018427387903
+)
+
+// ErrTruncated is returned when a buffer ends mid-field.
+var ErrTruncated = errors.New("wire: truncated")
+
+// AppendVarint appends the QUIC variable-length encoding of v to b.
+// It panics if v exceeds MaxVarint, which indicates a programming error.
+func AppendVarint(b []byte, v uint64) []byte {
+	switch {
+	case v <= maxVarint1:
+		return append(b, byte(v))
+	case v <= maxVarint2:
+		return append(b, byte(v>>8)|0x40, byte(v))
+	case v <= maxVarint4:
+		return append(b, byte(v>>24)|0x80, byte(v>>16), byte(v>>8), byte(v))
+	case v <= MaxVarint:
+		return append(b, byte(v>>56)|0xc0, byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	default:
+		panic(fmt.Sprintf("wire: varint overflow: %d", v))
+	}
+}
+
+// ParseVarint decodes a varint from the front of b, returning the value and
+// the number of bytes consumed.
+func ParseVarint(b []byte) (v uint64, n int, err error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	length := 1 << (b[0] >> 6)
+	if len(b) < length {
+		return 0, 0, ErrTruncated
+	}
+	v = uint64(b[0] & 0x3f)
+	for i := 1; i < length; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, length, nil
+}
+
+// VarintLen returns the encoded size of v in bytes.
+func VarintLen(v uint64) int {
+	switch {
+	case v <= maxVarint1:
+		return 1
+	case v <= maxVarint2:
+		return 2
+	case v <= maxVarint4:
+		return 4
+	default:
+		return 8
+	}
+}

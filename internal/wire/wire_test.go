@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 63, 64, 16383, 16384, 1073741823, 1073741824, MaxVarint}
+	for _, v := range cases {
+		b := AppendVarint(nil, v)
+		if len(b) != VarintLen(v) {
+			t.Fatalf("VarintLen(%d) = %d, encoded %d", v, VarintLen(v), len(b))
+		}
+		got, n, err := ParseVarint(b)
+		if err != nil || got != v || n != len(b) {
+			t.Fatalf("round trip %d: got %d n=%d err=%v", v, got, n, err)
+		}
+	}
+}
+
+func TestVarintOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	AppendVarint(nil, MaxVarint+1)
+}
+
+func TestVarintTruncated(t *testing.T) {
+	b := AppendVarint(nil, 100000)
+	if _, _, err := ParseVarint(b[:2]); err != ErrTruncated {
+		t.Fatalf("want ErrTruncated, got %v", err)
+	}
+	if _, _, err := ParseVarint(nil); err != ErrTruncated {
+		t.Fatal("empty input should be truncated")
+	}
+}
+
+func TestPropertyVarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v %= MaxVarint + 1
+		b := AppendVarint(nil, v)
+		got, n, err := ParseVarint(b)
+		return err == nil && got == v && n == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketNumberRoundTrip(t *testing.T) {
+	cases := []struct {
+		pn      uint64
+		largest int64
+	}{
+		{0, -1}, {1, 0}, {255, 200}, {65535, 65000}, {1 << 30, 1<<30 - 100},
+		{0xac5c02, 0xabe8b3}, // RFC 9000 Appendix A example
+	}
+	for _, c := range cases {
+		pnLen := PacketNumberLen(c.pn, c.largest)
+		b := AppendPacketNumber(nil, c.pn, pnLen)
+		var trunc uint64
+		for _, x := range b {
+			trunc = trunc<<8 | uint64(x)
+		}
+		got := DecodePacketNumber(trunc, pnLen, c.largest)
+		if got != c.pn {
+			t.Fatalf("pn %d (largest %d): decoded %d", c.pn, c.largest, got)
+		}
+	}
+}
+
+func TestPropertyPacketNumberRoundTrip(t *testing.T) {
+	f := func(pnRaw uint32, delta uint16) bool {
+		pn := uint64(pnRaw)
+		largest := int64(pn) - int64(delta)%128 - 1
+		pnLen := PacketNumberLen(pn, largest)
+		b := AppendPacketNumber(nil, pn, pnLen)
+		var trunc uint64
+		for _, x := range b {
+			trunc = trunc<<8 | uint64(x)
+		}
+		return DecodePacketNumber(trunc, pnLen, largest) == pn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func roundTripFrame(t *testing.T, f Frame) Frame {
+	t.Helper()
+	b := f.Append(nil)
+	if len(b) != f.Len() {
+		t.Fatalf("%s: Len()=%d but encoded %d bytes", f, f.Len(), len(b))
+	}
+	got, n, err := ParseFrame(b)
+	if err != nil {
+		t.Fatalf("%s: parse error %v", f, err)
+	}
+	if n != len(b) {
+		t.Fatalf("%s: consumed %d of %d", f, n, len(b))
+	}
+	return got
+}
+
+func TestFrameRoundTrips(t *testing.T) {
+	frames := []Frame{
+		&PingFrame{},
+		&StreamFrame{StreamID: 4, Offset: 1234, Data: []byte("hello"), Fin: true},
+		&StreamFrame{StreamID: 0, Offset: 0, Data: nil, Fin: false},
+		&CryptoFrame{Offset: 10, Data: []byte{1, 2, 3}},
+		&AckFrame{Ranges: []AckRange{{Smallest: 5, Largest: 10}}, AckDelay: 25 * time.Microsecond},
+		&AckFrame{Ranges: []AckRange{{Smallest: 8, Largest: 10}, {Smallest: 1, Largest: 3}}},
+		&AckMPFrame{PathID: 3, Ranges: []AckRange{{Smallest: 0, Largest: 7}}, AckDelay: time.Millisecond},
+		&AckMPFrame{PathID: 1, Ranges: []AckRange{{Smallest: 2, Largest: 2}}, HasQoE: true,
+			QoE: QoESignal{CachedBytes: 1 << 20, CachedFrames: 120, BitrateBps: 2_000_000, FramerateFPS: 30}},
+		&QoEControlSignalsFrame{Sequence: 9, QoE: QoESignal{CachedBytes: 5000, BitrateBps: 1000}},
+		&MaxDataFrame{MaxData: 1 << 24},
+		&MaxStreamDataFrame{StreamID: 8, MaxStreamData: 1 << 22},
+		&DataBlockedFrame{Limit: 999},
+		&StreamDataBlockedFrame{StreamID: 4, Limit: 777},
+		&ResetStreamFrame{StreamID: 12, ErrorCode: 5, FinalSize: 100000},
+		&StopSendingFrame{StreamID: 16, ErrorCode: 2},
+		&NewConnectionIDFrame{Sequence: 2, RetirePrior: 1,
+			ConnectionID: ConnectionID{1, 2, 3, 4, 5, 6, 7, 8},
+			ResetToken:   [16]byte{9, 9, 9}},
+		&RetireConnectionIDFrame{Sequence: 7},
+		&PathChallengeFrame{Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		&PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}},
+		&ConnectionCloseFrame{ErrorCode: 0x0a, Reason: "bye"},
+		&HandshakeDoneFrame{},
+		&PathStatusFrame{PathID: 2, StatusSeq: 5, Status: PathStandby},
+		&PathStatusFrame{PathID: 0, StatusSeq: 1, Status: PathAbandon},
+	}
+	for _, f := range frames {
+		got := roundTripFrame(t, f)
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("round trip mismatch:\n sent %#v\n got  %#v", f, got)
+		}
+	}
+}
+
+func TestPaddingRun(t *testing.T) {
+	b := (&PaddingFrame{Count: 10}).Append(nil)
+	f, n, err := ParseFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := f.(*PaddingFrame)
+	if pad.Count != 10 || n != 10 {
+		t.Fatalf("padding run: count=%d n=%d", pad.Count, n)
+	}
+}
+
+func TestParseAllMixed(t *testing.T) {
+	var b []byte
+	b = (&PingFrame{}).Append(b)
+	b = (&StreamFrame{StreamID: 4, Data: []byte("x")}).Append(b)
+	b = (&PaddingFrame{Count: 3}).Append(b)
+	frames, err := ParseAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("parsed %d frames, want 3", len(frames))
+	}
+}
+
+func TestAckFrameAcks(t *testing.T) {
+	f := &AckFrame{Ranges: []AckRange{{Smallest: 8, Largest: 10}, {Smallest: 1, Largest: 3}}}
+	for pn, want := range map[uint64]bool{0: false, 1: true, 3: true, 4: false, 7: false, 8: true, 10: true, 11: false} {
+		if f.Acks(pn) != want {
+			t.Errorf("Acks(%d) = %v, want %v", pn, f.Acks(pn), want)
+		}
+	}
+	if f.LargestAcked() != 10 {
+		t.Fatal("LargestAcked")
+	}
+}
+
+func TestAckEliciting(t *testing.T) {
+	if AckEliciting(&AckFrame{Ranges: []AckRange{{0, 0}}}) {
+		t.Fatal("ACK is not ack-eliciting")
+	}
+	if AckEliciting(&AckMPFrame{Ranges: []AckRange{{0, 0}}}) {
+		t.Fatal("ACK_MP is not ack-eliciting")
+	}
+	if AckEliciting(&PaddingFrame{Count: 1}) {
+		t.Fatal("PADDING is not ack-eliciting")
+	}
+	if !AckEliciting(&PingFrame{}) || !AckEliciting(&StreamFrame{}) {
+		t.Fatal("PING and STREAM are ack-eliciting")
+	}
+}
+
+func TestQoEPlaytimeLeft(t *testing.T) {
+	// frames/fps = 120/30 = 4s; bytes*8/bps = 1MB*8/2Mbps = 4.194s → min is 4s.
+	q := QoESignal{CachedBytes: 1 << 20, CachedFrames: 120, BitrateBps: 2_000_000, FramerateFPS: 30}
+	if got := q.PlaytimeLeft(); math.Abs(got.Seconds()-4.0) > 0.01 {
+		t.Fatalf("Δt = %v, want ~4s (conservative min)", got)
+	}
+	// Only bitrate known.
+	q2 := QoESignal{CachedBytes: 250_000, BitrateBps: 1_000_000}
+	if got := q2.PlaytimeLeft(); math.Abs(got.Seconds()-2.0) > 0.01 {
+		t.Fatalf("Δt = %v, want 2s", got)
+	}
+	// Nothing known.
+	if (QoESignal{}).PlaytimeLeft() != 0 {
+		t.Fatal("empty signal should give 0")
+	}
+	if !(QoESignal{}).Zero() {
+		t.Fatal("Zero()")
+	}
+}
+
+func TestLongHeaderRoundTrip(t *testing.T) {
+	dcid := ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := ConnectionID{9, 10, 11, 12}
+	payload := []byte("handshake-payload")
+	pn := uint64(0)
+	pnLen := PacketNumberLen(pn, -1)
+	b := AppendLong(nil, dcid, scid, pn, pnLen, pnLen+len(payload))
+	b = append(b, payload...)
+	h, hdrLen, end, err := ParseLong(b, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.DCID.Equal(dcid) || !h.SCID.Equal(scid) {
+		t.Fatalf("cid mismatch: %s %s", h.DCID, h.SCID)
+	}
+	if h.PacketNumber != pn || h.Version != Version {
+		t.Fatalf("header: %+v", h)
+	}
+	if !bytes.Equal(b[hdrLen:end], payload) {
+		t.Fatal("payload slice wrong")
+	}
+}
+
+func TestShortHeaderRoundTrip(t *testing.T) {
+	dcid := ConnectionID{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x11, 0x22}
+	pn := uint64(777)
+	pnLen := PacketNumberLen(pn, 700)
+	b := AppendShort(nil, dcid, pn, pnLen)
+	b = append(b, "data"...)
+	h, hdrLen, err := ParseShort(b, len(dcid), 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.DCID.Equal(dcid) || h.PacketNumber != pn {
+		t.Fatalf("header: %+v", h)
+	}
+	if string(b[hdrLen:]) != "data" {
+		t.Fatal("payload offset wrong")
+	}
+	if IsLongHeader(b[0]) {
+		t.Fatal("short header misidentified")
+	}
+}
+
+func TestHeaderTypeDetection(t *testing.T) {
+	long := AppendLong(nil, ConnectionID{1}, ConnectionID{2}, 0, 1, 1)
+	if !IsLongHeader(long[0]) {
+		t.Fatal("long header not detected")
+	}
+	if _, _, err := ParseShort(long, 1, -1); err == nil {
+		t.Fatal("ParseShort should reject long header")
+	}
+	short := AppendShort(nil, ConnectionID{1}, 0, 1)
+	if _, _, _, err := ParseLong(short, -1); err == nil {
+		t.Fatal("ParseLong should reject short header")
+	}
+}
+
+func TestTransportParamsRoundTrip(t *testing.T) {
+	p := TransportParams{
+		MaxIdleTimeoutMS:    15000,
+		InitialMaxData:      1 << 20,
+		InitialMaxStrData:   1 << 18,
+		InitialMaxStreams:   64,
+		ActiveCIDLimit:      4,
+		EnableMultipath:     true,
+		InitialReinjection:  true,
+		QoEFeedbackInterval: 100,
+	}
+	b := p.Append(nil)
+	got, err := ParseTransportParams(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip:\n sent %+v\n got  %+v", p, got)
+	}
+}
+
+func TestTransportParamsNoMultipath(t *testing.T) {
+	p := DefaultTransportParams()
+	got, err := ParseTransportParams(p.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EnableMultipath {
+		t.Fatal("multipath should default off")
+	}
+}
+
+func TestTransportParamsSkipsUnknown(t *testing.T) {
+	var b []byte
+	b = AppendVarint(b, 0x7777) // unknown id
+	b = AppendVarint(b, 2)
+	b = append(b, 0xde, 0xad)
+	b = TransportParams{EnableMultipath: true}.Append(b)
+	got, err := ParseTransportParams(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EnableMultipath {
+		t.Fatal("must parse past unknown params")
+	}
+}
+
+func TestParseFrameUnknownType(t *testing.T) {
+	b := AppendVarint(nil, 0xdeadbeef)
+	if _, _, err := ParseFrame(b); err == nil {
+		t.Fatal("unknown frame type must error")
+	}
+}
+
+func TestParseFrameTruncatedInputs(t *testing.T) {
+	// Every frame from the round-trip set, truncated at every length,
+	// must either parse a valid prefix (padding runs) or error — never panic.
+	frames := []Frame{
+		&StreamFrame{StreamID: 4, Offset: 1234, Data: []byte("hello"), Fin: true},
+		&AckMPFrame{PathID: 1, Ranges: []AckRange{{Smallest: 2, Largest: 9}}, HasQoE: true,
+			QoE: QoESignal{CachedBytes: 999, CachedFrames: 3, BitrateBps: 88, FramerateFPS: 30}},
+		&NewConnectionIDFrame{Sequence: 2, ConnectionID: ConnectionID{1, 2, 3, 4}},
+		&PathStatusFrame{PathID: 2, StatusSeq: 5, Status: PathAvailable},
+		&ConnectionCloseFrame{ErrorCode: 1, Reason: "reason"},
+	}
+	for _, f := range frames {
+		full := f.Append(nil)
+		for i := 0; i < len(full); i++ {
+			ParseFrame(full[:i]) // must not panic
+		}
+	}
+}
+
+func TestPropertyStreamFrameRoundTrip(t *testing.T) {
+	f := func(id, off uint32, data []byte, fin bool) bool {
+		sf := &StreamFrame{StreamID: uint64(id), Offset: uint64(off), Data: data, Fin: fin}
+		b := sf.Append(nil)
+		got, n, err := ParseFrame(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		gf := got.(*StreamFrame)
+		return gf.StreamID == sf.StreamID && gf.Offset == sf.Offset &&
+			gf.Fin == sf.Fin && bytes.Equal(gf.Data, sf.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAckMPRoundTrip(t *testing.T) {
+	f := func(pathID uint16, start uint16, lens [4]uint8, qoe bool, cb, cf uint32) bool {
+		// Build descending, non-adjacent ranges.
+		var ranges []AckRange
+		cur := uint64(start) + 1000
+		for _, l := range lens {
+			lo := cur - uint64(l%50)
+			ranges = append([]AckRange{{Smallest: lo, Largest: cur}}, ranges...)
+			if lo < 3 {
+				break
+			}
+			cur = lo - 2 - uint64(l%5)
+		}
+		// ranges built ascending; reverse to descending.
+		for i, j := 0, len(ranges)-1; i < j; i, j = i+1, j-1 {
+			ranges[i], ranges[j] = ranges[j], ranges[i]
+		}
+		fr := &AckMPFrame{PathID: uint64(pathID), Ranges: ranges, HasQoE: qoe,
+			QoE: QoESignal{CachedBytes: uint64(cb), CachedFrames: uint64(cf), BitrateBps: 1000, FramerateFPS: 30}}
+		if !qoe {
+			fr.QoE = QoESignal{}
+		}
+		b := fr.Append(nil)
+		got, n, err := ParseFrame(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(got, fr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathStateString(t *testing.T) {
+	for s, want := range map[PathState]string{
+		PathAbandon: "abandon", PathStandby: "standby", PathAvailable: "available", PathState(9): "invalid",
+	} {
+		if s.String() != want {
+			t.Fatalf("PathState(%d) = %s", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package xlink
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// realEnv adapts wall-clock time and time.AfterFunc timers to the
+// transport's event-driven environment. All connection entry points are
+// serialized by a mutex owned by the Endpoint; user callbacks are deferred
+// until the lock is released (see Endpoint.flushCallbacks) so they can
+// safely call back into the endpoint.
+type realEnv struct {
+	start time.Time
+	ep    *Endpoint
+}
+
+// Now implements transport.Env.
+func (e realEnv) Now() time.Duration { return time.Since(e.start) }
+
+// Schedule implements transport.Env.
+func (e realEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
+	delay := at - e.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	t := time.AfterFunc(delay, func() {
+		e.ep.mu.Lock()
+		fn(e.Now())
+		e.ep.mu.Unlock()
+		e.ep.flushCallbacks()
+	})
+	return func() { t.Stop() }
+}
+
+// Endpoint is a live XLINK endpoint over real UDP sockets: a server with
+// one socket, or a multi-homed client with one socket per interface.
+type Endpoint struct {
+	mu    sync.Mutex
+	env   realEnv
+	conn  *transport.Conn
+	socks []*net.UDPConn
+	peer  []*net.UDPAddr // per netIdx: where to send (client side / learned)
+	done  chan struct{}
+	// cbQ holds user callbacks raised while the lock was held; they run
+	// after release so they may re-enter the endpoint.
+	cbQ []func()
+}
+
+// enqueueCallback defers a user callback; the endpoint lock must be held.
+func (ep *Endpoint) enqueueCallback(fn func()) { ep.cbQ = append(ep.cbQ, fn) }
+
+// flushCallbacks runs deferred user callbacks outside the lock, in order.
+func (ep *Endpoint) flushCallbacks() {
+	for {
+		ep.mu.Lock()
+		if len(ep.cbQ) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		fn := ep.cbQ[0]
+		ep.cbQ = ep.cbQ[1:]
+		ep.mu.Unlock()
+		fn()
+	}
+}
+
+// Stream is the sending half of a stream; see the internal documentation
+// for WriteFrame's video-frame priority semantics.
+type Stream = transport.SendStream
+
+// RecvStream is the receiving half of a stream.
+type RecvStream = transport.RecvStream
+
+// LiveConfig configures a live endpoint.
+type LiveConfig struct {
+	// Scheme and Options select the transport behaviour.
+	Scheme  Scheme
+	Options Options
+	// PSK must match between client and server (stands in for TLS; see
+	// DESIGN.md).
+	PSK []byte
+	// OnStreamData receives in-order stream data.
+	OnStreamData func(now time.Duration, s *RecvStream, data []byte, fin bool)
+	// OnStreamOpen announces peer-initiated streams.
+	OnStreamOpen func(now time.Duration, s *RecvStream)
+	// OnHandshakeDone fires once the connection is established.
+	OnHandshakeDone func(now time.Duration)
+	// QoEProvider supplies client player feedback.
+	QoEProvider func() QoESignal
+	Seed        int64
+}
+
+// Listen starts a live server endpoint on addr (e.g. "127.0.0.1:4242").
+func Listen(addr string, cfg LiveConfig) (*Endpoint, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	ep := newEndpoint([]*net.UDPConn{sock})
+	x := core.New(cfg.Scheme, cfg.Options)
+	tcfg := x.ServerConfig(cfg.Seed)
+	applyLive(ep, &tcfg, cfg)
+	ep.conn = transport.NewConn(ep.env, ep, tcfg)
+	go ep.readLoop(0, sock)
+	return ep, nil
+}
+
+// Dial starts a live client endpoint connecting every local interface
+// (one "ifaceAddrs" local bind per path, which may be ":0") to the remote
+// server.
+func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig) (*Endpoint, error) {
+	if len(ifaceAddrs) == 0 || len(ifaceAddrs) != len(techs) {
+		return nil, fmt.Errorf("xlink: need one local address and technology per interface")
+	}
+	raddr, err := net.ResolveUDPAddr("udp", remote)
+	if err != nil {
+		return nil, err
+	}
+	var socks []*net.UDPConn
+	for _, la := range ifaceAddrs {
+		laddr, err := net.ResolveUDPAddr("udp", la)
+		if err != nil {
+			return nil, err
+		}
+		sock, err := net.ListenUDP("udp", laddr)
+		if err != nil {
+			return nil, err
+		}
+		socks = append(socks, sock)
+	}
+	ep := newEndpoint(socks)
+	for range socks {
+		ep.peer = append(ep.peer, raddr)
+	}
+	x := core.New(cfg.Scheme, cfg.Options)
+	tcfg := x.ClientConfig(cfg.Seed)
+	tcfg.IsClient = true
+	applyLive(ep, &tcfg, cfg)
+	ep.conn = transport.NewConn(ep.env, ep, tcfg)
+	for i, tech := range techs {
+		ep.conn.AddInterface(i, tech)
+	}
+	for i, sock := range socks {
+		go ep.readLoop(i, sock)
+	}
+	ep.mu.Lock()
+	err = ep.conn.Start()
+	ep.mu.Unlock()
+	ep.flushCallbacks()
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return ep, nil
+}
+
+func newEndpoint(socks []*net.UDPConn) *Endpoint {
+	ep := &Endpoint{socks: socks, done: make(chan struct{})}
+	ep.env = realEnv{start: time.Now(), ep: ep}
+	ep.peer = make([]*net.UDPAddr, 0, len(socks))
+	return ep
+}
+
+// applyLive copies the user callbacks into the transport config, wrapping
+// each so it is deferred past the endpoint lock.
+func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
+	if len(cfg.PSK) > 0 {
+		tcfg.PSK = cfg.PSK
+	}
+	if fn := cfg.OnStreamData; fn != nil {
+		tcfg.OnStreamData = func(now time.Duration, s *transport.RecvStream, data []byte, fin bool) {
+			ep.enqueueCallback(func() { fn(now, s, data, fin) })
+		}
+	}
+	if fn := cfg.OnStreamOpen; fn != nil {
+		tcfg.OnStreamOpen = func(now time.Duration, s *transport.RecvStream) {
+			ep.enqueueCallback(func() { fn(now, s) })
+		}
+	}
+	if fn := cfg.OnHandshakeDone; fn != nil {
+		tcfg.OnHandshakeDone = func(now time.Duration) {
+			ep.enqueueCallback(func() { fn(now) })
+		}
+	}
+	if cfg.QoEProvider != nil {
+		// The provider is a pure read; it runs inline (no re-entrancy).
+		tcfg.QoEProvider = func() wire.QoESignal { return cfg.QoEProvider() }
+	}
+}
+
+// SendDatagram implements transport.DatagramSender over the sockets.
+func (ep *Endpoint) SendDatagram(netIdx int, data []byte) {
+	if netIdx >= len(ep.socks) {
+		return
+	}
+	sock := ep.socks[netIdx]
+	if netIdx < len(ep.peer) && ep.peer[netIdx] != nil {
+		sock.WriteToUDP(data, ep.peer[netIdx])
+	}
+}
+
+// readLoop pumps one socket into the connection.
+func (ep *Endpoint) readLoop(netIdx int, sock *net.UDPConn) {
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := sock.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-ep.done:
+				return
+			default:
+				return
+			}
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		ep.mu.Lock()
+		// The server learns client addresses from arriving packets; with
+		// a single socket the interface index is recovered from the
+		// source address ordering (one address per client interface).
+		idx := netIdx
+		if !ep.conn.IsClient() {
+			idx = ep.learnPeerLocked(from)
+		}
+		ep.conn.HandleDatagram(ep.env.Now(), idx, pkt)
+		ep.mu.Unlock()
+		ep.flushCallbacks()
+	}
+}
+
+// learnPeerLocked maps a client source address to a stable interface
+// index, appending new addresses as new paths.
+func (ep *Endpoint) learnPeerLocked(from *net.UDPAddr) int {
+	for i, p := range ep.peer {
+		if p != nil && p.IP.Equal(from.IP) && p.Port == from.Port {
+			return i
+		}
+	}
+	ep.peer = append(ep.peer, from)
+	for len(ep.socks) < len(ep.peer) {
+		// Server replies out of its single socket regardless of index.
+		ep.socks = append(ep.socks, ep.socks[0])
+	}
+	return len(ep.peer) - 1
+}
+
+// OpenStream opens a new stream.
+func (ep *Endpoint) OpenStream() *Stream {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.OpenStream()
+}
+
+// StreamFor returns (creating if needed) the send half of a stream ID —
+// how a server responds on a client-initiated stream.
+func (ep *Endpoint) StreamFor(id uint64) *Stream {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.Stream(id)
+}
+
+// AbandonPath closes one path of a live connection explicitly — e.g. the
+// app detected that Wi-Fi was switched off (Sec 6, "Path close").
+func (ep *Endpoint) AbandonPath(id uint64) {
+	ep.mu.Lock()
+	ep.conn.AbandonPath(id)
+	ep.mu.Unlock()
+	ep.flushCallbacks()
+}
+
+// Established reports handshake completion.
+func (ep *Endpoint) Established() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.Established()
+}
+
+// Stats returns transport counters.
+func (ep *Endpoint) Stats() transport.ConnStats {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.Stats()
+}
+
+// LocalAddrs returns the bound socket addresses.
+func (ep *Endpoint) LocalAddrs() []net.Addr {
+	out := make([]net.Addr, len(ep.socks))
+	for i, s := range ep.socks {
+		out[i] = s.LocalAddr()
+	}
+	return out
+}
+
+// Close shuts the endpoint down.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	if ep.conn != nil {
+		ep.conn.Close(0, "closed")
+	}
+	ep.mu.Unlock()
+	select {
+	case <-ep.done:
+	default:
+		close(ep.done)
+	}
+	for _, s := range ep.socks {
+		s.Close()
+	}
+}

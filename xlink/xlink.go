@@ -1,0 +1,108 @@
+// Package xlink is the public API of this XLINK reproduction: a
+// QoE-driven multi-path QUIC-style transport for video delivery
+// (Zheng et al., SIGCOMM 2021).
+//
+// It offers two ways to run the system:
+//
+//   - Emulated: NewEmulatedSession wires a multi-homed client and a server
+//     over deterministic trace-driven paths on a virtual clock — the mode
+//     every experiment in this repository uses.
+//   - Live: Listen and Dial run the same transport over real UDP sockets,
+//     one socket per client interface, for the cmd/xlink-server and
+//     cmd/xlink-client demos.
+//
+// The transport itself lives in internal packages; this package exposes
+// the stable surface: scheme selection (single-path, vanilla multi-path,
+// XLINK), the double-thresholding QoE controller knobs, the stream API
+// with video-frame priorities, and per-connection statistics.
+package xlink
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/video"
+	"repro/internal/wire"
+)
+
+// Re-exported scheme identifiers.
+const (
+	SchemeSinglePath = core.SchemeSinglePath
+	SchemeVanillaMP  = core.SchemeVanillaMP
+	SchemeReinjNoQoE = core.SchemeReinjNoQoE
+	SchemeXLINK      = core.SchemeXLINK
+)
+
+// Scheme selects the transport behaviour.
+type Scheme = core.Scheme
+
+// Options tunes a scheme; see core.Options for the full documentation.
+type Options = core.Options
+
+// Thresholds are the double-thresholding parameters of Alg. 1.
+type Thresholds = qoe.Thresholds
+
+// QoESignal is the client player feedback carried in ACK_MP frames.
+type QoESignal = wire.QoESignal
+
+// Technology identifies a wireless access technology for wireless-aware
+// primary path selection.
+type Technology = trace.Technology
+
+// Wireless technologies, in primary-path preference order.
+const (
+	Tech5GSA  = trace.Tech5GSA
+	Tech5GNSA = trace.Tech5GNSA
+	TechWiFi  = trace.TechWiFi
+	TechLTE   = trace.TechLTE
+)
+
+// Video describes a short-form video object served over XLINK.
+type Video = video.Video
+
+// PlayerMetrics summarizes a playback session.
+type PlayerMetrics = video.Metrics
+
+// SessionConfig configures an emulated video session; see
+// core.SessionConfig.
+type SessionConfig = core.SessionConfig
+
+// SessionResult is the outcome of an emulated session.
+type SessionResult = core.SessionResult
+
+// PathConfig describes one emulated path.
+type PathConfig = netem.PathConfig
+
+// RunEmulatedSession plays one video over an emulated multi-path network
+// under the chosen scheme and returns its measurements. It is fully
+// deterministic for a given SessionConfig.Seed.
+func RunEmulatedSession(cfg SessionConfig) (SessionResult, error) {
+	return core.RunSession(cfg)
+}
+
+// TwoPathNetwork builds the common Wi-Fi + LTE topology with constant-rate
+// links: rates in Mbit/s and full round-trip times per path.
+func TwoPathNetwork(wifiMbps, lteMbps float64, wifiRTT, lteRTT time.Duration) []PathConfig {
+	return transport.TwoPathConfig(wifiMbps, lteMbps, wifiRTT, lteRTT)
+}
+
+// WalkingTracePaths builds the fast-varying campus-walk topology of
+// Fig 1/Fig 6: a Wi-Fi trace with a deep outage plus a steadier LTE trace.
+func WalkingTracePaths(seed int64, duration time.Duration) []PathConfig {
+	rng := sim.NewRNG(seed)
+	return []PathConfig{
+		{Name: "wifi", Tech: trace.TechWiFi, Up: trace.WalkingWiFi(rng, duration),
+			OneWayDelay: trace.DelayWiFi.MedianRTT / 2},
+		{Name: "lte", Tech: trace.TechLTE, Up: trace.WalkingLTE(rng, duration),
+			OneWayDelay: trace.DelayLTE.MedianRTT / 2},
+	}
+}
+
+// DefaultThresholds is the recommended production setting (the shape the
+// paper's (95, 80) calibration yields).
+var DefaultThresholds = core.DefaultThresholds
