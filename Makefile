@@ -1,0 +1,42 @@
+# Development gate for the XLINK reproduction. `make check` is the full
+# pre-commit pipeline; individual targets are broken out for iteration.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet xlinkvet selftest test debugtest race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism, wire error handling,
+# panic-free parse paths, ordered map iteration. See DESIGN.md.
+xlinkvet:
+	$(GO) run ./cmd/xlinkvet ./...
+
+# Prove every xlinkvet rule still fires on its committed violation fixture.
+selftest:
+	$(GO) run ./cmd/xlinkvet -selftest
+
+test:
+	$(GO) test ./...
+
+# Same suite with runtime invariant assertions compiled in.
+debugtest:
+	$(GO) test -tags xlinkdebug ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke on each wire-format target (committed corpora under
+# internal/wire/testdata/fuzz/ run as regression inputs in plain `go test`).
+fuzz:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseVarint -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseHeader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseFrame -fuzztime $(FUZZTIME)
+
+check:
+	./scripts/check.sh

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/video"
@@ -34,8 +35,14 @@ func main() {
 		sentAt              time.Time
 	}
 	chunks := map[uint64]*chunkState{}
-	var nextOffset, delivered uint64
+	var nextOffset uint64
+	var delivered atomic.Uint64
 	done := make(chan struct{})
+
+	// Callbacks run on the endpoint's read-loop goroutine and can fire
+	// before Dial returns; ready orders the client variable write below
+	// before the closures read it.
+	ready := make(chan struct{})
 
 	var client *xlink.Endpoint
 	var issue func()
@@ -68,21 +75,23 @@ func main() {
 			Scheme:      xlink.SchemeXLINK,
 			QoEProvider: player.QoESignal,
 			OnHandshakeDone: func(now time.Duration) {
+				<-ready
 				log.Printf("handshake done in %v", time.Since(start))
 				issue()
 			},
 			OnStreamData: func(now time.Duration, s *xlink.RecvStream, data []byte, fin bool) {
+				<-ready
 				c := chunks[s.ID()]
 				if c == nil {
 					return
 				}
 				c.got += uint64(len(data))
-				delivered += uint64(len(data))
+				delivered.Add(uint64(len(data)))
 				player.OnData(time.Since(start), uint64(len(data)))
 				if fin {
 					log.Printf("chunk [%d,%d) done in %v", c.offset, c.offset+c.length, time.Since(c.sentAt))
 					issue()
-					if delivered >= v.Size {
+					if delivered.Load() >= v.Size {
 						close(done)
 					}
 				}
@@ -91,16 +100,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	close(ready)
 	defer client.Close()
 
 	select {
 	case <-done:
 	case <-time.After(2 * time.Minute):
-		log.Fatalf("timed out with %d of %d bytes", delivered, v.Size)
+		log.Fatalf("timed out with %d of %d bytes", delivered.Load(), v.Size)
 	}
 	m := player.Metrics(time.Since(start))
 	st := client.Stats()
-	fmt.Printf("downloaded %d bytes in %v\n", delivered, time.Since(start))
+	fmt.Printf("downloaded %d bytes in %v\n", delivered.Load(), time.Since(start))
 	fmt.Printf("first-frame latency: %v   startup: %v\n", m.FirstFrameLatency, m.StartupLatency)
 	fmt.Printf("rebuffers: %d (%.0f ms)   duplicate bytes received: %d\n",
 		m.RebufferCount, m.RebufferTime.Seconds()*1000, st.DuplicateBytesRecv)

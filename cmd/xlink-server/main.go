@@ -34,12 +34,20 @@ func main() {
 
 	var server *xlink.Endpoint
 	pending := map[uint64]*strings.Builder{}
+	// The callback runs on the endpoint's read-loop goroutine and can fire
+	// before Listen returns; ready orders the server variable write below
+	// before the closure reads it.
+	ready := make(chan struct{})
 	var err error
 	server, err = xlink.Listen(*listen, xlink.LiveConfig{
 		Scheme: xlink.SchemeXLINK,
 		OnStreamData: func(now time.Duration, s *xlink.RecvStream, data []byte, fin bool) {
+			<-ready
 			b := pending[s.ID()]
 			if b == nil {
+				if len(data) == 0 && fin {
+					return // trailing FIN on a stream whose request was already served
+				}
 				b = &strings.Builder{}
 				pending[s.ID()] = b
 			}
@@ -77,6 +85,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	close(ready)
 	defer server.Close()
 	fmt.Printf("xlink-server: listening on %s, serving %q (%d bytes)\n",
 		server.LocalAddrs()[0], v.ID, v.Size)

@@ -1,0 +1,175 @@
+// Command xlinkvet is the repo-specific static analyzer for the XLINK
+// reproduction. It enforces the determinism and robustness invariants the
+// emulated experiments depend on; see internal/vet and DESIGN.md
+// ("Determinism & correctness tooling") for the rule catalogue.
+//
+// Usage:
+//
+//	xlinkvet ./...                 analyze the whole module (exit 1 on findings)
+//	xlinkvet -as <path> <dir>      analyze one directory under an assumed
+//	                               import path, applying every rule (used to
+//	                               prove rules fire on the testdata fixtures)
+//	xlinkvet -selftest             run the committed violation fixtures and
+//	                               verify every rule fires where expected
+//	                               (exit 1 if the analyzer lost a rule)
+//
+// Suppress a finding with `//xlinkvet:ignore <rule>[,<rule>] why` on the
+// same or preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/vet"
+)
+
+func main() {
+	asPath := flag.String("as", "", "treat the single directory argument as this import path and apply every rule")
+	selftest := flag.Bool("selftest", false, "verify each rule fires on the committed violation fixtures")
+	verbose := flag.Bool("v", false, "print type-check diagnostics")
+	flag.Parse()
+
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *selftest:
+		os.Exit(runSelftest(loader, *verbose))
+	case *asPath != "":
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-as requires exactly one directory argument"))
+		}
+		pkg, err := loader.LoadDirAs(flag.Arg(0), *asPath)
+		if err != nil {
+			fatal(err)
+		}
+		reportTypeErrs(*verbose, pkg)
+		os.Exit(report(vet.Run(vet.FixtureConfig(loader.ModPath, *asPath), []*vet.Package{pkg})))
+	default:
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			fatal(err)
+		}
+		for _, pkg := range pkgs {
+			reportTypeErrs(*verbose, pkg)
+		}
+		cfg := vet.DefaultConfig(loader.ModPath)
+		findings := vet.Run(cfg, pkgs)
+		findings = filterByArgs(findings, flag.Args(), loader.ModDir)
+		os.Exit(report(findings))
+	}
+}
+
+// filterByArgs narrows findings to the requested package patterns. `./...`
+// (or no argument) keeps everything; `./internal/wire` style arguments keep
+// findings under those directories.
+func filterByArgs(findings []vet.Finding, args []string, modDir string) []vet.Finding {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return findings
+		}
+		dir := strings.TrimSuffix(a, "/...")
+		dir = strings.TrimPrefix(dir, "./")
+		if st, err := os.Stat(modDir + "/" + dir); err != nil || !st.IsDir() {
+			fatal(fmt.Errorf("no such package directory: %s", a))
+		}
+		prefixes = append(prefixes, modDir+"/"+dir)
+	}
+	if len(prefixes) == 0 {
+		return findings
+	}
+	var out []vet.Finding
+	for _, f := range findings {
+		for _, p := range prefixes {
+			if strings.HasPrefix(f.Pos.Filename, p) {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func report(findings []vet.Finding) int {
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xlinkvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// runSelftest loads each fixture under internal/vet/testdata/fixtures and
+// checks that exactly the expected rules fire, proving the analyzer still
+// detects every violation class it promises to.
+func runSelftest(loader *vet.Loader, verbose bool) int {
+	cases := []struct {
+		dir      string
+		rule     string
+		expected int
+	}{
+		{"determinism", "determinism", 5},
+		{"wireerr", "wireerr", 3},
+		{"panicpath", "panicpath", 2},
+		{"maprange", "maprange", 1},
+	}
+	failed := false
+	for _, tc := range cases {
+		dir := loader.ModDir + "/internal/vet/testdata/fixtures/" + tc.dir
+		asPath := "fixture/" + tc.dir
+		pkg, err := loader.LoadDirAs(dir, asPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "selftest %s: load: %v\n", tc.dir, err)
+			failed = true
+			continue
+		}
+		reportTypeErrs(verbose, pkg)
+		findings := vet.Run(vet.FixtureConfig(loader.ModPath, asPath), []*vet.Package{pkg})
+		got := 0
+		for _, f := range findings {
+			if f.Rule == tc.rule {
+				got++
+			} else {
+				fmt.Fprintf(os.Stderr, "selftest %s: unexpected %s\n", tc.dir, f)
+				failed = true
+			}
+			if verbose {
+				fmt.Println(f)
+			}
+		}
+		if got != tc.expected {
+			fmt.Fprintf(os.Stderr, "selftest %s: rule %s fired %d time(s), want %d\n",
+				tc.dir, tc.rule, got, tc.expected)
+			failed = true
+			continue
+		}
+		fmt.Printf("selftest %-12s ok (%d finding(s))\n", tc.dir, got)
+	}
+	if failed {
+		return 1
+	}
+	fmt.Println("selftest: all rules fire on their fixtures")
+	return 0
+}
+
+func reportTypeErrs(verbose bool, pkg *vet.Package) {
+	if !verbose {
+		return
+	}
+	for _, err := range pkg.TypeErrs {
+		fmt.Fprintf(os.Stderr, "typecheck %s: %v\n", pkg.Path, err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xlinkvet:", err)
+	os.Exit(2)
+}

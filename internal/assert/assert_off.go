@@ -1,0 +1,11 @@
+//go:build !xlinkdebug
+
+package assert
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+// That is a no-op in release builds; the condition expression is still
+// evaluated by the caller, so keep per-call work trivial or guard with
+// Enabled.
+func That(cond bool, format string, args ...any) {}

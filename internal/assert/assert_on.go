@@ -1,0 +1,16 @@
+//go:build xlinkdebug
+
+package assert
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in. Call sites use it to
+// guard loops or allocations that only exist to feed an assertion.
+const Enabled = true
+
+// That panics with the formatted message when cond is false.
+func That(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("xlink assert: "+format, args...))
+	}
+}

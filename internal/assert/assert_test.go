@@ -1,0 +1,44 @@
+package assert
+
+import (
+	"testing"
+	"time"
+)
+
+// The release build compiles assertions out; the xlinkdebug build panics on
+// violation. Both behaviours are covered by the same test, switching on
+// Enabled, so `go test ./...` and `go test -tags xlinkdebug ./...` each
+// verify their half.
+func TestThat(t *testing.T) {
+	That(true, "never fires")
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		That(false, "boom %d", 7)
+		return nil
+	}()
+	if Enabled && recovered == nil {
+		t.Fatal("xlinkdebug build: failed assertion did not panic")
+	}
+	if !Enabled && recovered != nil {
+		t.Fatalf("release build: assertion panicked: %v", recovered)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	NonNegDur(time.Second, "ok dur")
+	MonotonicU64(1, 2, "ok pn")
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		NonNegDur(-time.Second, "neg dur")
+		MonotonicU64(2, 2, "equal pn")
+		return nil
+	}()
+	if Enabled && recovered == nil {
+		t.Fatal("xlinkdebug build: helper violation did not panic")
+	}
+	if !Enabled && recovered != nil {
+		t.Fatalf("release build: helper panicked: %v", recovered)
+	}
+}

@@ -71,8 +71,8 @@ func Fig12FirstFrame(scale Scale, seed int64) Report {
 	agg := map[string][]float64{}
 	for day := 1; day <= scale.Days; day++ {
 		res := abtest.Run(abtest.Population{Day: day, Sessions: scale.SessionsPerDay, Seed: seed + 1000}, arms)
-		for name, r := range res {
-			agg[name] = append(agg[name], r.FirstFrames...)
+		for _, arm := range arms {
+			agg[arm.Name] = append(agg[arm.Name], res[arm.Name].FirstFrames...)
 		}
 	}
 	percentiles := []float64{50, 75, 90, 95, 99}

@@ -12,6 +12,7 @@
 package mptcp
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/cc"
@@ -271,11 +272,18 @@ func (s *Sender) onSubflowAck(now time.Duration, sf *subflow, ranges [][2]uint64
 		}
 	}
 	// Packet-threshold loss: anything 3+ behind the largest acked is
-	// declared lost and recovered at the data level.
-	for seq, seg := range sf.outstanding {
-		if sf.largestAcked-int64(seq) < 3 {
-			continue
+	// declared lost and recovered at the data level. Collect and sort the
+	// sequence numbers first so the retransmission queue order does not
+	// depend on map iteration order.
+	var lostSeqs []uint64
+	for seq := range sf.outstanding {
+		if sf.largestAcked-int64(seq) >= 3 {
+			lostSeqs = append(lostSeqs, seq)
 		}
+	}
+	sort.Slice(lostSeqs, func(i, j int) bool { return lostSeqs[i] < lostSeqs[j] })
+	for _, seq := range lostSeqs {
+		seg := sf.outstanding[seq]
 		delete(sf.outstanding, seq)
 		sf.cc.OnPacketLost(now, seg.sentAt, int(seg.length)+16)
 		if !seg.acked && seg.dataSeq+seg.length > s.dataAck {
@@ -369,6 +377,7 @@ func (s *Sender) armRTO(now time.Duration) {
 	}
 	var earliest time.Duration
 	for _, sf := range s.subflows {
+		//xlinkvet:ignore maprange — min reduction, order-insensitive
 		for _, seg := range sf.outstanding {
 			d := seg.sentAt + 2*sf.rtt.PTO()
 			if earliest == 0 || d < earliest {
@@ -396,6 +405,8 @@ func (s *Sender) onRTO(now time.Duration) {
 				expired = append(expired, seg)
 			}
 		}
+		// Map iteration order leaks into rtxQ; restore sequence order.
+		sort.Slice(expired, func(i, j int) bool { return expired[i].subflowSeq < expired[j].subflowSeq })
 		if len(expired) == 0 {
 			continue
 		}

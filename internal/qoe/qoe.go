@@ -8,6 +8,7 @@ package qoe
 import (
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -68,6 +69,7 @@ func (c *Controller) Thresholds() Thresholds { return c.thresholds }
 
 // OnSignal ingests a QoE feedback received at now.
 func (c *Controller) OnSignal(now time.Duration, sig wire.QoESignal) {
+	assert.NonNegDur(now-c.lastUpdate, "qoe signal time step")
 	c.lastSignal = sig
 	c.lastUpdate = now
 	c.haveSignal = true

@@ -3,6 +3,8 @@
 // acknowledgement construction.
 package rangeset
 
+import "repro/internal/assert"
+
 // Range is a half-open interval [Start, End).
 type Range struct {
 	Start, End uint64
@@ -50,7 +52,25 @@ func (s *Set) Add(start, end uint64) uint64 {
 		out = append(out, merged)
 	}
 	s.ranges = out
+	s.checkWellFormed("Add")
 	return added
+}
+
+// checkWellFormed asserts the set invariant under the xlinkdebug build tag:
+// ranges are non-empty, sorted, disjoint, and non-adjacent (adjacent ranges
+// must have merged).
+func (s *Set) checkWellFormed(op string) {
+	if !assert.Enabled {
+		return
+	}
+	for i, r := range s.ranges {
+		assert.That(r.Start < r.End, "rangeset %s: empty range %d [%d,%d)", op, i, r.Start, r.End)
+		if i > 0 {
+			assert.That(s.ranges[i-1].End < r.Start,
+				"rangeset %s: ranges %d,%d overlap or touch: [%d,%d) [%d,%d)",
+				op, i-1, i, s.ranges[i-1].Start, s.ranges[i-1].End, r.Start, r.End)
+		}
+	}
 }
 
 // Contains reports whether every value in [start, end) is present.
@@ -125,6 +145,7 @@ func (s *Set) Subtract(start, end uint64) {
 		}
 	}
 	s.ranges = out
+	s.checkWellFormed("Subtract")
 }
 
 // Empty reports whether the set has no ranges.

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/cc"
 	"repro/internal/wire"
 )
@@ -106,6 +107,9 @@ func (s *Space) LargestAcked() int64 { return s.largestAcked }
 
 // OnPacketSent records a transmitted packet. PN must come from NextPN.
 func (s *Space) OnPacketSent(sp *SentPacket) {
+	if len(s.sent) > 0 {
+		assert.MonotonicU64(s.sent[len(s.sent)-1].PN, sp.PN, "per-path packet number")
+	}
 	s.sent = append(s.sent, sp)
 	s.byPN[sp.PN] = sp
 	s.stats.SentPackets++

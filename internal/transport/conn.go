@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/cc"
 	"repro/internal/crypto"
 	"repro/internal/recovery"
@@ -697,10 +698,12 @@ func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
 		}
 		c.processAck(now, target, fr.Ranges, fr.AckDelay)
 		if fr.HasQoE && c.cfg.OnQoE != nil {
+			assert.NonNegDur(fr.QoE.PlaytimeLeft(), "qoe Δt")
 			c.cfg.OnQoE(now, fr.QoE)
 		}
 	case *wire.QoEControlSignalsFrame:
 		if c.cfg.OnQoE != nil {
+			assert.NonNegDur(fr.QoE.PlaytimeLeft(), "qoe Δt")
 			c.cfg.OnQoE(now, fr.QoE)
 		}
 	case *wire.StreamFrame:

@@ -1,10 +1,11 @@
 package transport
 
 import (
-	"repro/internal/rangeset"
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/cc"
+	"repro/internal/rangeset"
 	"repro/internal/recovery"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -123,6 +124,7 @@ func (p *Path) DeliverTime() time.Duration { return p.RTT.DeliverTime() }
 // recordRecv updates receive-side state for an arriving packet and reports
 // whether it is a duplicate.
 func (p *Path) recordRecv(pn uint64, now time.Duration, ackEliciting bool) (dup bool) {
+	assert.NonNegDur(now-p.lastRecvAt, "receive-time step")
 	p.lastRecvAt = now
 	p.suspect = false // the path is alive
 	if p.recvPNs.Contains(pn, pn+1) {

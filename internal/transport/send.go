@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/cc"
 	"repro/internal/recovery"
 	"repro/internal/wire"
@@ -520,6 +521,14 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 	sort.SliceStable(s.reinjQ, func(i, j int) bool {
 		return s.reinjQ[i].framePrio < s.reinjQ[j].framePrio
 	})
+	if assert.Enabled {
+		// Alg. 1 re-injects strictly in priority order; a disordered queue
+		// would re-inject the wrong chunks first.
+		for i := 1; i < len(s.reinjQ); i++ {
+			assert.That(s.reinjQ[i-1].framePrio <= s.reinjQ[i].framePrio,
+				"reinjection queue out of priority order at %d", i)
+		}
+	}
 }
 
 // popReinj removes the first eligible re-injection chunk for path p,
@@ -625,6 +634,18 @@ func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
 	delay := now - p.largestRecvTime
 	if delay < 0 {
 		delay = 0
+	}
+	assert.NonNegDur(delay, "ack delay")
+	if assert.Enabled {
+		// The wire encoding needs ranges descending and disjoint; anything
+		// else silently corrupts gap arithmetic on the peer.
+		for i, r := range ranges {
+			assert.That(r.Smallest <= r.Largest, "ack range %d inverted", i)
+			if i > 0 {
+				assert.That(r.Largest < ranges[i-1].Smallest,
+					"ack ranges %d,%d not descending/disjoint", i-1, i)
+			}
+		}
 	}
 	if !c.multipath {
 		return &wire.AckFrame{Ranges: ranges, AckDelay: delay}

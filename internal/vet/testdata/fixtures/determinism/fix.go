@@ -1,0 +1,33 @@
+// Package fix is an xlinkvet self-test fixture: every function below
+// violates (or legitimately suppresses) the determinism rule.
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadClock reads the wall clock three ways: 3 findings expected.
+func BadClock() time.Duration {
+	start := time.Now() // finding: time.Now
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// BadRand draws from the global math/rand source: 2 findings expected.
+func BadRand() int {
+	rand.Seed(42)
+	return rand.Intn(10)
+}
+
+// SeededOK constructs an explicitly seeded source: no finding.
+func SeededOK() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// SuppressedOK demonstrates the documented escape hatch: no finding.
+func SuppressedOK() time.Time {
+	//xlinkvet:ignore determinism — fixture demonstrates suppression
+	return time.Now()
+}

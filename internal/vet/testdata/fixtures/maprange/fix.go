@@ -1,0 +1,41 @@
+// Package fix is an xlinkvet self-test fixture for the maprange rule:
+// unordered map iteration feeding a scheduling-style decision.
+package fix
+
+import "sort"
+
+type sched struct {
+	paths map[uint64]int
+}
+
+// PickPath iterates a map to choose a path: 1 finding expected (the winner
+// depends on Go's randomized map order).
+func PickPath(s *sched) uint64 {
+	var best uint64
+	for id, w := range s.paths { // finding: maprange
+		if w > s.paths[best] {
+			best = id
+		}
+	}
+	return best
+}
+
+// SortedKeys uses the collect-then-sort idiom: no finding.
+func SortedKeys(s *sched) []uint64 {
+	keys := make([]uint64, 0, len(s.paths))
+	for id := range s.paths {
+		keys = append(keys, id)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Suppressed documents an order-insensitive reduction: no finding.
+func Suppressed(s *sched) int {
+	total := 0
+	//xlinkvet:ignore maprange — summation is order-insensitive
+	for _, w := range s.paths {
+		total += w
+	}
+	return total
+}

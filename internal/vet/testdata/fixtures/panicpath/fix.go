@@ -1,0 +1,33 @@
+// Package fix is an xlinkvet self-test fixture for the panicpath rule:
+// panics sitting on attacker-reachable parse paths.
+package fix
+
+// ParseThing is a parse entry point that panics directly: 1 finding.
+func ParseThing(b []byte) int {
+	if len(b) == 0 {
+		panic("empty input")
+	}
+	return helper(b)
+}
+
+// helper is reachable from ParseThing and panics: 1 finding.
+func helper(b []byte) int {
+	if b[0] == 0xff {
+		panic("bad byte")
+	}
+	return int(b[0])
+}
+
+// AppendThing is on the encode side, where panicking on programmer error is
+// accepted: no finding.
+func AppendThing(b []byte, v byte) []byte {
+	if v == 0 {
+		panic("zero value")
+	}
+	return append(b, v)
+}
+
+// unreachableHelper is never called from a parse root: no finding.
+func unreachableHelper() {
+	panic("not on a parse path")
+}

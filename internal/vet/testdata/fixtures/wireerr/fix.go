@@ -1,0 +1,36 @@
+// Package fix is an xlinkvet self-test fixture for the wireerr rule: wire
+// parse errors discarded two ways.
+package fix
+
+import "repro/internal/wire"
+
+// DropAll discards every result of a wire parse call: 1 finding expected.
+func DropAll(b []byte) {
+	wire.ParseVarint(b)
+}
+
+// BlankErr assigns the error result to _: 1 finding expected.
+func BlankErr(b []byte) uint64 {
+	v, _, _ := wire.ParseVarint(b)
+	return v
+}
+
+// Checked handles the error: no finding.
+func Checked(b []byte) (uint64, error) {
+	v, _, err := wire.ParseVarint(b)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseLocal is an intra-package parse helper with a checked error: calls to
+// it that drop the error must also be flagged.
+func parseLocal(b []byte) (uint64, error) {
+	return wire.MaxVarint, nil
+}
+
+// DropLocal discards the intra-package parse error: 1 finding expected.
+func DropLocal(b []byte) {
+	parseLocal(b)
+}

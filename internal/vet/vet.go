@@ -1,0 +1,152 @@
+// Package vet implements xlinkvet, the repo-specific static analyzer that
+// enforces the determinism and robustness invariants the XLINK reproduction
+// depends on (see DESIGN.md "Determinism & correctness tooling"):
+//
+//   - determinism: no wall-clock time or global math/rand in deterministic
+//     packages — time and randomness must flow through internal/sim so
+//     experiment figures are bit-reproducible.
+//   - wireerr: every error returned by a wire parse/decode function must be
+//     checked; malformed-input errors silently dropped become desyncs.
+//   - panicpath: no explicit panic reachable from attacker-controlled parse
+//     paths (wire parsers, transport packet ingestion).
+//   - maprange: no unordered map iteration in deterministic packages unless
+//     the enclosing function re-establishes order with a sort.
+//
+// Findings can be suppressed per line with `//xlinkvet:ignore <rules>` on
+// the same or the preceding line, where <rules> is a comma-separated rule
+// list (empty = all rules); everything after the list is free-form
+// justification.
+//
+// The analyzer is stdlib-only: go/parser + go/ast + go/types with a source
+// importer, no external dependencies.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String formats a finding in the usual file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Config scopes the rules to package sets. Package matching is by import
+// path prefix: an entry matches the path itself and everything below it.
+type Config struct {
+	// DeterministicPkgs are packages whose results must be bit-reproducible:
+	// the determinism and maprange rules apply.
+	DeterministicPkgs []string
+	// NonDeterministicPkgs are carved out of DeterministicPkgs (e.g. the sim
+	// package itself, which owns the real clock).
+	NonDeterministicPkgs []string
+	// WirePkgs hold the wire codec: parse-function error results must be
+	// checked (wireerr) and parse functions must not panic (panicpath).
+	WirePkgs []string
+	// IngestPkgs receive attacker-controlled datagrams: their ingestion
+	// functions must not panic (panicpath).
+	IngestPkgs []string
+	// SkipPkgs are not analyzed at all (binaries, examples, tooling).
+	SkipPkgs []string
+}
+
+// FixtureConfig returns a config that applies every rule to the single
+// package path given — used by the self-test to run rules against violation
+// fixtures under testdata. The module's real wire package stays in scope so
+// fixtures can exercise the wireerr rule against actual wire.Parse* calls.
+func FixtureConfig(module, path string) *Config {
+	return &Config{
+		DeterministicPkgs: []string{path},
+		WirePkgs:          []string{path, module + "/internal/wire"},
+		IngestPkgs:        []string{path},
+	}
+}
+
+// DefaultConfig returns the rule scoping for this repository, given the
+// module path (normally "repro"). cmd/ and examples/ binaries are
+// allowlisted: they live at the real-time boundary and may read the wall
+// clock. internal/sim is the deterministic substrate itself, and
+// internal/vet + internal/assert are tooling.
+func DefaultConfig(module string) *Config {
+	p := func(s string) string { return module + "/" + s }
+	return &Config{
+		DeterministicPkgs: []string{p("internal"), p("xlink")},
+		NonDeterministicPkgs: []string{
+			p("internal/sim"), p("internal/vet"), p("internal/assert"),
+		},
+		WirePkgs:   []string{p("internal/wire")},
+		IngestPkgs: []string{p("internal/transport")},
+		SkipPkgs: []string{
+			p("cmd"), p("examples"), p("internal/vet"), p("internal/assert"),
+		},
+	}
+}
+
+// matchPkg reports whether path falls under any of the prefixes.
+func matchPkg(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) deterministic(path string) bool {
+	return matchPkg(path, c.DeterministicPkgs) && !matchPkg(path, c.NonDeterministicPkgs)
+}
+
+func (c *Config) skipped(path string) bool { return matchPkg(path, c.SkipPkgs) }
+
+// Run applies every rule to the loaded packages and returns the surviving
+// findings (ignore directives already applied), sorted by position.
+func Run(cfg *Config, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if cfg.skipped(pkg.Path) {
+			continue
+		}
+		findings = append(findings, checkDeterminism(cfg, pkg)...)
+		findings = append(findings, checkWireErr(cfg, pkg)...)
+		findings = append(findings, checkMapRange(cfg, pkg)...)
+	}
+	findings = append(findings, checkPanicPath(cfg, pkgs)...)
+
+	var kept []Finding
+	for _, f := range findings {
+		pkg := pkgByFile(pkgs, f.Pos.Filename)
+		if pkg != nil && pkg.ignored(f.Pos, f.Rule) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}
+
+func pkgByFile(pkgs []*Package, filename string) *Package {
+	for _, p := range pkgs {
+		if _, ok := p.ignores[filename]; ok {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package video
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/transport"
@@ -108,8 +109,15 @@ func (r *Requester) Abort() {
 		return
 	}
 	r.aborted = true
-	for id, cs := range r.chunks {
-		if !cs.completed {
+	// STOP_SENDING frames go on the wire; emit them in stream-ID order so
+	// traces are reproducible.
+	ids := make([]uint64, 0, len(r.chunks))
+	for id := range r.chunks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !r.chunks[id].completed {
 			r.conn.StopSending(id, 0x10) // application "canceled"
 		}
 	}
@@ -191,22 +199,22 @@ func (r *Requester) OnStreamData(now time.Duration, rs *transport.RecvStream, da
 	}
 }
 
-// deliverInOrder pushes contiguous received bytes to the player.
+// deliverInOrder pushes contiguous received bytes to the player. Chunks
+// cover disjoint ascending ranges, so one pass in offset order finds every
+// contiguous extension.
 func (r *Requester) deliverInOrder(now time.Duration) {
-	for {
-		advanced := false
-		for _, cs := range r.chunks {
-			if cs.offset <= r.deliverPos && r.deliverPos < cs.offset+cs.received {
-				n := cs.offset + cs.received - r.deliverPos
-				r.deliverPos += n
-				if r.player != nil {
-					r.player.OnData(now, n)
-				}
-				advanced = true
+	ordered := make([]*chunkState, 0, len(r.chunks))
+	for _, cs := range r.chunks {
+		ordered = append(ordered, cs)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].offset < ordered[j].offset })
+	for _, cs := range ordered {
+		if cs.offset <= r.deliverPos && r.deliverPos < cs.offset+cs.received {
+			n := cs.offset + cs.received - r.deliverPos
+			r.deliverPos += n
+			if r.player != nil {
+				r.player.OnData(now, n)
 			}
-		}
-		if !advanced {
-			return
 		}
 	}
 }
@@ -216,6 +224,7 @@ func (r *Requester) allDone() bool {
 	if r.nextOffset < r.video.Size {
 		return false
 	}
+	//xlinkvet:ignore maprange — pure predicate, order-insensitive
 	for _, cs := range r.chunks {
 		if !cs.completed {
 			return false

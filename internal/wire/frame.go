@@ -54,9 +54,11 @@ func AckEliciting(f Frame) bool {
 }
 
 // ParseFrame decodes the frame at the front of b, returning it and the
-// bytes consumed.
+// bytes consumed. Frame types must use the minimal varint encoding
+// (RFC 9000 §12.4); in particular a non-minimal PADDING type would break
+// the byte-counting coalescer below.
 func ParseFrame(b []byte) (Frame, int, error) {
-	typ, n, err := ParseVarint(b)
+	typ, n, err := ParseVarintMinimal(b)
 	if err != nil {
 		return nil, 0, err
 	}

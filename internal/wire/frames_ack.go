@@ -65,6 +65,12 @@ func ackBodyLen(ranges []AckRange, delay time.Duration) int {
 	return n
 }
 
+// maxAckDelay caps the decoded ACK delay. A peer can encode up to 2^62-1
+// microseconds, which overflows time.Duration's nanosecond representation
+// (and would make the re-encode path panic); any real delay is far below
+// an hour, so clamp instead of erroring.
+const maxAckDelay = time.Hour
+
 func parseAckBody(b []byte) ([]AckRange, time.Duration, int, error) {
 	pos := 0
 	largest, n, err := ParseVarint(b)
@@ -113,7 +119,11 @@ func parseAckBody(b []byte) ([]AckRange, time.Duration, int, error) {
 		ranges = append(ranges, AckRange{Smallest: nextLargest - length, Largest: nextLargest})
 		smallest = nextLargest - length
 	}
-	return ranges, time.Duration(delayUS) * time.Microsecond, pos, nil
+	delay := maxAckDelay
+	if delayUS < uint64(maxAckDelay/time.Microsecond) {
+		delay = time.Duration(delayUS) * time.Microsecond
+	}
+	return ranges, delay, pos, nil
 }
 
 // Append implements Frame.

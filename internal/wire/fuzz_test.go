@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzParseVarint checks the varint codec's parse↔encode fixed point: any
+// parseable input re-encodes minimally and reparses to the same value, and
+// ParseVarintMinimal accepts exactly the minimal encodings ParseVarint does.
+func FuzzParseVarint(f *testing.F) {
+	for _, v := range []uint64{0, 1, 63, 64, 16383, 16384, 1<<30 - 1, 1 << 30, MaxVarint} {
+		f.Add(AppendVarint(nil, v))
+	}
+	f.Add([]byte{0x40, 0x25})             // non-minimal 37
+	f.Add([]byte{0xc0, 0, 0, 0, 0, 0, 0}) // truncated 8-byte form
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, n, err := ParseVarint(b)
+		if err != nil {
+			if _, _, err2 := ParseVarintMinimal(b); err2 == nil {
+				t.Fatal("ParseVarintMinimal accepted input ParseVarint rejected")
+			}
+			return
+		}
+		if n < 1 || n > len(b) || n > 8 {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if v > MaxVarint {
+			t.Fatalf("value %d exceeds MaxVarint", v)
+		}
+		enc := AppendVarint(nil, v)
+		if len(enc) != VarintLen(v) {
+			t.Fatalf("VarintLen(%d)=%d, encoded %d", v, VarintLen(v), len(enc))
+		}
+		v2, n2, err := ParseVarintMinimal(enc)
+		if err != nil || v2 != v || n2 != len(enc) {
+			t.Fatalf("re-encode of %d: got %d n=%d err=%v", v, v2, n2, err)
+		}
+		// Minimality cross-check: ParseVarintMinimal succeeds iff the input
+		// used the shortest form.
+		vm, nm, errm := ParseVarintMinimal(b)
+		if minimal := n == VarintLen(v); minimal != (errm == nil) {
+			t.Fatalf("minimal=%v but ParseVarintMinimal err=%v", minimal, errm)
+		} else if minimal && (vm != v || nm != n) {
+			t.Fatalf("ParseVarintMinimal disagrees: %d/%d vs %d/%d", vm, nm, v, n)
+		}
+	})
+}
+
+// FuzzParseHeader checks that header parsing never panics and that parsed
+// headers survive a canonical re-encode: re-serializing the parsed fields
+// and reparsing yields the same fields.
+func FuzzParseHeader(f *testing.F) {
+	dcid := ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := ConnectionID{9, 10, 11, 12}
+	long := AppendLong(nil, dcid, scid, 7, PacketNumberLen(7, -1), 1+4)
+	f.Add(append(long, []byte{0, 0, 0, 0}...))
+	f.Add(append(AppendShort(nil, dcid, 777, 2), "data"...))
+	f.Add([]byte{0xc0})
+	f.Add([]byte{0x40})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) == 0 {
+			return
+		}
+		if IsLongHeader(b[0]) {
+			h, hdrLen, end, err := ParseLong(b, -1)
+			if err != nil {
+				return
+			}
+			if hdrLen > end || end > len(b) || hdrLen < h.PNLen {
+				t.Fatalf("bounds: hdrLen=%d end=%d len=%d", hdrLen, end, len(b))
+			}
+			payload := end - hdrLen
+			enc := AppendLong(nil, h.DCID, h.SCID, h.PacketNumber, h.PNLen, h.PNLen+payload)
+			enc = append(enc, make([]byte, payload)...)
+			h2, hdrLen2, end2, err := ParseLong(enc, -1)
+			if err != nil {
+				t.Fatalf("re-encoded long header rejected: %v", err)
+			}
+			if !h2.DCID.Equal(h.DCID) || !h2.SCID.Equal(h.SCID) ||
+				h2.PacketNumber != h.PacketNumber || h2.PNLen != h.PNLen {
+				t.Fatalf("long round trip:\n first %+v\n again %+v", h, h2)
+			}
+			if end2-hdrLen2 != payload {
+				t.Fatalf("payload size changed: %d -> %d", payload, end2-hdrLen2)
+			}
+		} else {
+			const cidLen = 8
+			h, hdrLen, err := ParseShort(b, cidLen, -1)
+			if err != nil {
+				return
+			}
+			if hdrLen != 1+cidLen+h.PNLen || hdrLen > len(b) {
+				t.Fatalf("bounds: hdrLen=%d len=%d pnLen=%d", hdrLen, len(b), h.PNLen)
+			}
+			enc := AppendShort(nil, h.DCID, h.PacketNumber, h.PNLen)
+			h2, hdrLen2, err := ParseShort(enc, cidLen, -1)
+			if err != nil {
+				t.Fatalf("re-encoded short header rejected: %v", err)
+			}
+			if !h2.DCID.Equal(h.DCID) || h2.PacketNumber != h.PacketNumber ||
+				h2.PNLen != h.PNLen || hdrLen2 != hdrLen {
+				t.Fatalf("short round trip:\n first %+v\n again %+v", h, h2)
+			}
+		}
+	})
+}
+
+// FuzzParseFrame checks that frame parsing never panics on arbitrary input
+// and that any parsed frame is a one-round-trip fixed point: Append produces
+// Len() bytes that reparse to a frame with an identical encoding. Seeds cover
+// every frame type including the multi-path extensions (ACK_MP with and
+// without the QoE signal, PATH_STATUS, QOE_CONTROL_SIGNALS).
+func FuzzParseFrame(f *testing.F) {
+	seeds := []Frame{
+		&PaddingFrame{Count: 5},
+		&PingFrame{},
+		&AckFrame{Ranges: []AckRange{{Smallest: 8, Largest: 10}, {Smallest: 1, Largest: 3}},
+			AckDelay: 25 * time.Microsecond},
+		&AckMPFrame{PathID: 3, Ranges: []AckRange{{Smallest: 0, Largest: 7}}, AckDelay: time.Millisecond},
+		&AckMPFrame{PathID: 1, Ranges: []AckRange{{Smallest: 2, Largest: 9}}, HasQoE: true,
+			QoE: QoESignal{CachedBytes: 1 << 20, CachedFrames: 120, BitrateBps: 2_000_000, FramerateFPS: 30}},
+		&PathStatusFrame{PathID: 2, StatusSeq: 5, Status: PathStandby},
+		&QoEControlSignalsFrame{Sequence: 9,
+			QoE: QoESignal{CachedBytes: 5000, CachedFrames: 10, BitrateBps: 1000, FramerateFPS: 24}},
+		&StreamFrame{StreamID: 4, Offset: 1234, Data: []byte("hello"), Fin: true},
+		&CryptoFrame{Offset: 10, Data: []byte{1, 2, 3}},
+		&ResetStreamFrame{StreamID: 12, ErrorCode: 5, FinalSize: 100000},
+		&StopSendingFrame{StreamID: 16, ErrorCode: 2},
+		&MaxDataFrame{MaxData: 1 << 24},
+		&MaxStreamDataFrame{StreamID: 8, MaxStreamData: 1 << 22},
+		&DataBlockedFrame{Limit: 999},
+		&StreamDataBlockedFrame{StreamID: 4, Limit: 777},
+		&NewConnectionIDFrame{Sequence: 2, RetirePrior: 1,
+			ConnectionID: ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}, ResetToken: [16]byte{9, 9, 9}},
+		&RetireConnectionIDFrame{Sequence: 7},
+		&PathChallengeFrame{Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		&PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}},
+		&ConnectionCloseFrame{ErrorCode: 0x0a, Reason: "bye"},
+		&HandshakeDoneFrame{},
+	}
+	for _, fr := range seeds {
+		f.Add(fr.Append(nil))
+	}
+	f.Add([]byte{0x40, 0x00, 0x00}) // non-minimal PADDING type (desync bait)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := ParseFrame(b)
+		if err != nil {
+			return
+		}
+		if n < 1 || n > len(b) {
+			t.Fatalf("%s: consumed %d of %d bytes", fr, n, len(b))
+		}
+		enc := fr.Append(nil)
+		if fr.Len() != len(enc) {
+			t.Fatalf("%s: Len()=%d but encoded %d bytes", fr, fr.Len(), len(enc))
+		}
+		fr2, n2, err := ParseFrame(enc)
+		if err != nil {
+			t.Fatalf("%s: re-encoded frame rejected: %v", fr, err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("%s: reparse consumed %d of %d bytes", fr, n2, len(enc))
+		}
+		if enc2 := fr2.Append(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: encoding not a fixed point:\n first %x\n again %x", fr, enc, enc2)
+		}
+		_ = fr.String() // must not panic either
+	})
+}

@@ -108,6 +108,12 @@ func ParseLong(b []byte, largestPN int64) (Header, int, int, error) {
 	}
 	pos += n
 	h.PNLen = int(first&0x03) + 1
+	// The length field covers the packet number and payload; a value
+	// smaller than the packet number length would make the packet end
+	// before its header does.
+	if length < uint64(h.PNLen) {
+		return h, 0, 0, fmt.Errorf("wire: long header length %d shorter than packet number", length)
+	}
 	if len(b) < pos+h.PNLen {
 		return h, 0, 0, ErrTruncated
 	}

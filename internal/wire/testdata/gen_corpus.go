@@ -1,0 +1,124 @@
+// Command gen_corpus regenerates the committed fuzz seed corpora under
+// internal/wire/testdata/fuzz/. Run from the repository root:
+//
+//	go run ./internal/wire/testdata
+//
+// Each seed is one wire encoding produced by the package's own Append
+// functions, so the corpora track the format as it evolves. Counterexamples
+// minimized by `go test -fuzz` land in the same directories and should be
+// committed alongside these.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	root := "internal/wire/testdata/fuzz"
+	if _, err := os.Stat("go.mod"); err != nil {
+		fmt.Fprintln(os.Stderr, "gen_corpus: run from the repository root")
+		os.Exit(1)
+	}
+
+	writeAll(filepath.Join(root, "FuzzParseVarint"), varintSeeds())
+	writeAll(filepath.Join(root, "FuzzParseHeader"), headerSeeds())
+	writeAll(filepath.Join(root, "FuzzParseFrame"), frameSeeds())
+}
+
+func varintSeeds() [][]byte {
+	var seeds [][]byte
+	for _, v := range []uint64{0, 1, 63, 64, 16383, 16384, 1<<30 - 1, 1 << 30, wire.MaxVarint} {
+		seeds = append(seeds, wire.AppendVarint(nil, v))
+	}
+	seeds = append(seeds,
+		[]byte{0x40, 0x25},                                     // non-minimal 37
+		[]byte{0x80, 0, 0, 63},                                 // non-minimal 63
+		[]byte{0xc0, 0, 0, 0, 0, 0, 0},                         // truncated 8-byte form
+		[]byte{0xc0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // near-max value
+	)
+	return seeds
+}
+
+func headerSeeds() [][]byte {
+	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
+	scid := wire.ConnectionID{9, 10, 11, 12}
+	var seeds [][]byte
+
+	pnLen := wire.PacketNumberLen(7, -1)
+	long := wire.AppendLong(nil, dcid, scid, 7, pnLen, pnLen+4)
+	seeds = append(seeds, append(long, 0, 0, 0, 0))
+
+	// Zero-length CIDs and a 4-byte packet number.
+	long = wire.AppendLong(nil, nil, nil, 1<<24, 4, 4)
+	seeds = append(seeds, long)
+
+	seeds = append(seeds, append(wire.AppendShort(nil, dcid, 777, 2), "data"...))
+	seeds = append(seeds,
+		[]byte{0xc0}, // truncated long
+		[]byte{0x40}, // truncated short
+		[]byte{0xfc, '0', '0', '0', '0', 0, 0, 0, '0'}, // length < pnLen (regression)
+	)
+	return seeds
+}
+
+func frameSeeds() [][]byte {
+	frames := []wire.Frame{
+		&wire.PaddingFrame{Count: 5},
+		&wire.PingFrame{},
+		&wire.AckFrame{Ranges: []wire.AckRange{{Smallest: 8, Largest: 10}, {Smallest: 1, Largest: 3}},
+			AckDelay: 25 * time.Microsecond},
+		&wire.AckMPFrame{PathID: 3, Ranges: []wire.AckRange{{Smallest: 0, Largest: 7}},
+			AckDelay: time.Millisecond},
+		&wire.AckMPFrame{PathID: 1, Ranges: []wire.AckRange{{Smallest: 2, Largest: 9}}, HasQoE: true,
+			QoE: wire.QoESignal{CachedBytes: 1 << 20, CachedFrames: 120, BitrateBps: 2_000_000, FramerateFPS: 30}},
+		&wire.PathStatusFrame{PathID: 2, StatusSeq: 5, Status: wire.PathStandby},
+		&wire.QoEControlSignalsFrame{Sequence: 9,
+			QoE: wire.QoESignal{CachedBytes: 5000, CachedFrames: 10, BitrateBps: 1000, FramerateFPS: 24}},
+		&wire.StreamFrame{StreamID: 4, Offset: 1234, Data: []byte("hello"), Fin: true},
+		&wire.CryptoFrame{Offset: 10, Data: []byte{1, 2, 3}},
+		&wire.ResetStreamFrame{StreamID: 12, ErrorCode: 5, FinalSize: 100000},
+		&wire.StopSendingFrame{StreamID: 16, ErrorCode: 2},
+		&wire.MaxDataFrame{MaxData: 1 << 24},
+		&wire.MaxStreamDataFrame{StreamID: 8, MaxStreamData: 1 << 22},
+		&wire.DataBlockedFrame{Limit: 999},
+		&wire.StreamDataBlockedFrame{StreamID: 4, Limit: 777},
+		&wire.NewConnectionIDFrame{Sequence: 2, RetirePrior: 1,
+			ConnectionID: wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}, ResetToken: [16]byte{9, 9, 9}},
+		&wire.RetireConnectionIDFrame{Sequence: 7},
+		&wire.PathChallengeFrame{Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		&wire.PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}},
+		&wire.ConnectionCloseFrame{ErrorCode: 0x0a, Reason: "bye"},
+		&wire.HandshakeDoneFrame{},
+	}
+	var seeds [][]byte
+	for _, f := range frames {
+		seeds = append(seeds, f.Append(nil))
+	}
+	seeds = append(seeds, []byte{0x40, 0x00, 0x00}) // non-minimal PADDING type
+	return seeds
+}
+
+func writeAll(dir string, seeds [][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, s := range seeds {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s)) + ")\n"
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: %d seeds\n", dir, len(seeds))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen_corpus:", err)
+	os.Exit(1)
+}

@@ -23,6 +23,10 @@ const (
 // ErrTruncated is returned when a buffer ends mid-field.
 var ErrTruncated = errors.New("wire: truncated")
 
+// ErrNonMinimal is returned by ParseVarintMinimal when a value is encoded
+// in more bytes than necessary.
+var ErrNonMinimal = errors.New("wire: non-minimal varint")
+
 // AppendVarint appends the QUIC variable-length encoding of v to b.
 // It panics if v exceeds MaxVarint, which indicates a programming error.
 func AppendVarint(b []byte, v uint64) []byte {
@@ -56,6 +60,22 @@ func ParseVarint(b []byte) (v uint64, n int, err error) {
 		v = v<<8 | uint64(b[i])
 	}
 	return v, length, nil
+}
+
+// ParseVarintMinimal is ParseVarint but rejects non-minimal encodings with
+// ErrNonMinimal. RFC 9000 §12.4 requires frame types to use the shortest
+// possible encoding; accepting longer forms would let two byte sequences
+// decode to the same frame stream, desynchronizing length accounting (the
+// PADDING coalescer counts raw bytes, not decoded varints).
+func ParseVarintMinimal(b []byte) (v uint64, n int, err error) {
+	v, n, err = ParseVarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	if n != VarintLen(v) {
+		return 0, 0, ErrNonMinimal
+	}
+	return v, n, nil
 }
 
 // VarintLen returns the encoded size of v in bytes.

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full verification gate for the XLINK reproduction: build, go vet, the
+# repo-specific xlinkvet analyzer (self-test first, then the real tree),
+# the test suite in release and xlinkdebug-assertion modes, the race
+# detector, and a short fuzz smoke on every wire-format target.
+#
+# Run from the repository root: ./scripts/check.sh  (or `make check`).
+set -eu
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() {
+	echo "==> $*"
+	"$@"
+}
+
+step go build ./...
+step go vet ./...
+step go run ./cmd/xlinkvet -selftest
+step go run ./cmd/xlinkvet ./...
+step go test ./...
+step go test -tags xlinkdebug ./...
+step go test -race ./...
+step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTIME"
+step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
+step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFrame -fuzztime "$FUZZTIME"
+
+echo "check: all gates passed"

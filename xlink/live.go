@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/assert"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -15,14 +17,16 @@ import (
 // transport's event-driven environment. All connection entry points are
 // serialized by a mutex owned by the Endpoint; user callbacks are deferred
 // until the lock is released (see Endpoint.flushCallbacks) so they can
-// safely call back into the endpoint.
+// safely call back into the endpoint. This is the real-time boundary of
+// the deterministic core: time flows in only through sim.RealClock and the
+// timer wheel below.
 type realEnv struct {
-	start time.Time
+	clock *sim.RealClock
 	ep    *Endpoint
 }
 
 // Now implements transport.Env.
-func (e realEnv) Now() time.Duration { return time.Since(e.start) }
+func (e realEnv) Now() time.Duration { return e.clock.Now() }
 
 // Schedule implements transport.Env.
 func (e realEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
@@ -30,6 +34,7 @@ func (e realEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
 	if delay < 0 {
 		delay = 0
 	}
+	//xlinkvet:ignore determinism — real-time adapter: timers must fire on the wall clock
 	t := time.AfterFunc(delay, func() {
 		e.ep.mu.Lock()
 		fn(e.Now())
@@ -71,9 +76,56 @@ func (ep *Endpoint) flushCallbacks() {
 	}
 }
 
-// Stream is the sending half of a stream; see the internal documentation
-// for WriteFrame's video-frame priority semantics.
-type Stream = transport.SendStream
+// Stream is the sending half of a stream on a live endpoint. It wraps the
+// transport stream with the endpoint lock, making it safe to use from any
+// goroutine — the transport itself is single-threaded by design. See the
+// internal documentation for WriteFrame's video-frame priority semantics.
+type Stream struct {
+	ep *Endpoint
+	s  *transport.SendStream
+}
+
+// ID returns the stream ID.
+func (st *Stream) ID() uint64 { return st.s.ID() }
+
+// Write queues data for sending.
+func (st *Stream) Write(data []byte) {
+	st.ep.mu.Lock()
+	st.s.Write(data)
+	st.ep.mu.Unlock()
+	st.ep.flushCallbacks()
+}
+
+// WriteFrame queues one video frame with a priority.
+func (st *Stream) WriteFrame(data []byte, prio int) {
+	st.ep.mu.Lock()
+	st.s.WriteFrame(data, prio)
+	st.ep.mu.Unlock()
+	st.ep.flushCallbacks()
+}
+
+// SetPriority sets the stream priority.
+func (st *Stream) SetPriority(p int) {
+	st.ep.mu.Lock()
+	st.s.SetPriority(p)
+	st.ep.mu.Unlock()
+}
+
+// Close marks the stream finished after all queued data.
+func (st *Stream) Close() {
+	st.ep.mu.Lock()
+	st.s.Close()
+	st.ep.mu.Unlock()
+	st.ep.flushCallbacks()
+}
+
+// Reset abandons the stream with an error code.
+func (st *Stream) Reset(code uint64) {
+	st.ep.mu.Lock()
+	st.s.Reset(code)
+	st.ep.mu.Unlock()
+	st.ep.flushCallbacks()
+}
 
 // RecvStream is the receiving half of a stream.
 type RecvStream = transport.RecvStream
@@ -167,7 +219,7 @@ func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig
 
 func newEndpoint(socks []*net.UDPConn) *Endpoint {
 	ep := &Endpoint{socks: socks, done: make(chan struct{})}
-	ep.env = realEnv{start: time.Now(), ep: ep}
+	ep.env = realEnv{clock: sim.NewRealClock(), ep: ep}
 	ep.peer = make([]*net.UDPAddr, 0, len(socks))
 	return ep
 }
@@ -252,6 +304,7 @@ func (ep *Endpoint) learnPeerLocked(from *net.UDPAddr) int {
 		// Server replies out of its single socket regardless of index.
 		ep.socks = append(ep.socks, ep.socks[0])
 	}
+	assert.That(len(ep.socks) >= len(ep.peer), "peer table outgrew socket table")
 	return len(ep.peer) - 1
 }
 
@@ -259,7 +312,7 @@ func (ep *Endpoint) learnPeerLocked(from *net.UDPAddr) int {
 func (ep *Endpoint) OpenStream() *Stream {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	return ep.conn.OpenStream()
+	return &Stream{ep: ep, s: ep.conn.OpenStream()}
 }
 
 // StreamFor returns (creating if needed) the send half of a stream ID —
@@ -267,7 +320,7 @@ func (ep *Endpoint) OpenStream() *Stream {
 func (ep *Endpoint) StreamFor(id uint64) *Stream {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	return ep.conn.Stream(id)
+	return &Stream{ep: ep, s: ep.conn.Stream(id)}
 }
 
 // AbandonPath closes one path of a live connection explicitly — e.g. the
@@ -295,6 +348,8 @@ func (ep *Endpoint) Stats() transport.ConnStats {
 
 // LocalAddrs returns the bound socket addresses.
 func (ep *Endpoint) LocalAddrs() []net.Addr {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
 	out := make([]net.Addr, len(ep.socks))
 	for i, s := range ep.socks {
 		out[i] = s.LocalAddr()
@@ -308,13 +363,17 @@ func (ep *Endpoint) Close() {
 	if ep.conn != nil {
 		ep.conn.Close(0, "closed")
 	}
-	ep.mu.Unlock()
+	// Snapshot under the lock: the server side appends to ep.socks as it
+	// learns client addresses (learnPeerLocked), and done may be closed by
+	// a concurrent Close.
+	socks := append([]*net.UDPConn(nil), ep.socks...)
 	select {
 	case <-ep.done:
 	default:
 		close(ep.done)
 	}
-	for _, s := range ep.socks {
+	ep.mu.Unlock()
+	for _, s := range socks {
 		s.Close()
 	}
 }

@@ -62,12 +62,17 @@ func TestLiveUDPTransfer(t *testing.T) {
 	var got bytes.Buffer
 	doneCh := make(chan struct{})
 
+	// Callbacks run on the endpoint's read-loop goroutine and can fire
+	// before Listen/Dial return; the ready channels order the endpoint
+	// variable writes before the closures read them.
 	var server *Endpoint
+	serverReady := make(chan struct{})
 	server, err := Listen("127.0.0.1:0", LiveConfig{
 		Scheme: SchemeXLINK,
 		OnStreamData: func(now time.Duration, s *RecvStream, data []byte, fin bool) {
 			// Request arrives: respond with the payload on the stream.
 			if fin {
+				<-serverReady
 				ss := server.StreamFor(s.ID())
 				ss.Write(payload)
 				ss.Close()
@@ -78,11 +83,12 @@ func TestLiveUDPTransfer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	close(serverReady)
 	defer server.Close()
 
 	addr := server.LocalAddrs()[0].String()
-	var client *Endpoint
-	client, err = Dial(addr, []string{"127.0.0.1:0", "127.0.0.1:0"},
+	handshakeCh := make(chan struct{})
+	client, err := Dial(addr, []string{"127.0.0.1:0", "127.0.0.1:0"},
 		[]Technology{TechWiFi, TechLTE}, LiveConfig{
 			Scheme: SchemeXLINK,
 			OnStreamData: func(now time.Duration, s *RecvStream, data []byte, fin bool) {
@@ -95,9 +101,7 @@ func TestLiveUDPTransfer(t *testing.T) {
 				}
 			},
 			OnHandshakeDone: func(now time.Duration) {
-				s := client.OpenStream()
-				s.Write([]byte("GET /video\n"))
-				s.Close()
+				close(handshakeCh)
 			},
 			Seed: 2,
 		})
@@ -105,6 +109,15 @@ func TestLiveUDPTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+
+	select {
+	case <-handshakeCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handshake timed out")
+	}
+	s := client.OpenStream()
+	s.Write([]byte("GET /video\n"))
+	s.Close()
 
 	select {
 	case <-doneCh:
