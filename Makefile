@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet xlinkvet selftest test debugtest race fuzz check
+.PHONY: build vet xlinkvet selftest test debugtest race fuzz chaos check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseVarint -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseHeader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseFrame -fuzztime $(FUZZTIME)
+
+# Chaos suite: the scripted fault-injection corpus plus the connection
+# lifecycle tests, with runtime assertions and the race detector on.
+# See DESIGN.md ("Failure handling").
+chaos:
+	$(GO) test -race -tags xlinkdebug -count=1 ./internal/chaos/ \
+		-run 'TestChaos'
+	$(GO) test -race -tags xlinkdebug -count=1 ./internal/transport/ \
+		-run 'TestHandshakeTimeoutTerminal|TestIdleTimeoutTerminal|TestCloseLifecycleStates|TestKeepAliveSustainsIdleConnection|TestPTOGiveUpAbandonsDeadPath|TestEvacuatedPathLateAcksHarmless'
 
 check:
 	./scripts/check.sh

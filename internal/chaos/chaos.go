@@ -1,0 +1,191 @@
+// Package chaos is the scripted fault-injection harness: it runs the full
+// client/server video pipeline (video.Requester + video.Server over a
+// transport.Pair) while a faults.Script degrades the emulated network, and
+// measures the invariants the robustness work promises (ISSUE 2):
+//
+//   - integrity: every received byte matches the synthesized content
+//     (Requester verifies against video.SynthesizeContent per stream);
+//   - liveness: application-level delivery never stalls longer than a bound
+//     while at least one path is administratively up;
+//   - fallback: permanent death of the primary path degrades to the
+//     survivor instead of wedging the connection;
+//   - termination: when everything dies, both endpoints reach a terminal
+//     closed state and the event loop quiesces (no leaked timers);
+//   - determinism: the same (scenario, seed) pair reproduces the exact same
+//     Result, byte for byte.
+//
+// Everything runs on the sim clock with labeled RNG forks, so a Result is a
+// pure function of the Scenario.
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/video"
+	"repro/internal/wire"
+)
+
+// Scenario describes one chaos run: a topology, a fault script, and the
+// video transfer driven across it.
+type Scenario struct {
+	// Name labels the scenario in failures and listings.
+	Name string
+	// Seed derives every RNG in the run (network, transport, faults).
+	Seed int64
+	// Paths is the emulated topology; nil means the standard two-path
+	// Wi-Fi(10 Mbps, 20 ms) + LTE(10 Mbps, 60 ms) setup.
+	Paths []netem.PathConfig
+	// Script is the fault schedule applied over the topology.
+	Script faults.Script
+	// VideoBytes sizes the transfer (default 1 MiB).
+	VideoBytes uint64
+	// Deadline bounds the simulated run (default 30 s).
+	Deadline time.Duration
+	// Tweak, when set, adjusts the endpoint configs (idle timeouts,
+	// handshake PTO budgets, ...) before the pair is built.
+	Tweak func(ccfg, scfg *transport.Config)
+}
+
+// Result is the fully comparable outcome of a run: two Results from the
+// same Scenario must be ==, which is the determinism invariant.
+type Result struct {
+	// Completed reports whether the requester fetched the whole video.
+	Completed bool
+	// VerifyErrors counts content-integrity mismatches (must be 0).
+	VerifyErrors int
+	// StreamBytesRecv is the application payload the client received.
+	StreamBytesRecv uint64
+	// MaxStall is the longest gap between stream-data arrivals at the
+	// client while the transfer was incomplete, the connection open, and
+	// at least one path alive. Dead-air with zero live paths is not
+	// charged: with no path there is nothing the transport could do.
+	MaxStall time.Duration
+	// ClientStats / ServerStats are the transport counters at Deadline.
+	ClientStats, ServerStats transport.ConnStats
+	// ClientState / ServerState are the lifecycle states at Deadline.
+	ClientState, ServerState string
+	// ClientTerminated / ServerTerminated report terminal closure.
+	ClientTerminated, ServerTerminated bool
+	// ClientPrimary is the client's primary path ID at Deadline.
+	ClientPrimary uint64
+	// AlivePaths counts administratively-up paths at Deadline.
+	AlivePaths int
+	// EventsAfter is how many events still ran when the loop was driven
+	// past Deadline (bounded probe). 0 means the loop quiesced — the
+	// no-leaked-timer invariant for terminal scenarios.
+	EventsAfter int
+}
+
+// stallTick is the liveness sampling interval.
+const stallTick = 25 * time.Millisecond
+
+// quiesceBudget bounds the post-deadline event probe.
+const quiesceBudget = 64
+
+// Run executes the scenario and returns its Result.
+func Run(sc Scenario) Result {
+	if sc.Paths == nil {
+		sc.Paths = transport.TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond)
+	}
+	if sc.VideoBytes == 0 {
+		sc.VideoBytes = 1 << 20
+	}
+	if sc.Deadline == 0 {
+		sc.Deadline = 30 * time.Second
+	}
+
+	loop := sim.NewLoop()
+	rng := sim.NewRNG(sc.Seed)
+	params := wire.DefaultTransportParams()
+	params.EnableMultipath = true
+	ccfg := transport.Config{Params: params, Seed: sc.Seed}
+	scfg := transport.Config{Params: params, Seed: sc.Seed + 1}
+	if sc.Tweak != nil {
+		sc.Tweak(&ccfg, &scfg)
+	}
+	pair := transport.NewPair(loop, rng.Fork("net"), sc.Paths, ccfg, scfg)
+	faults.NewInjector(loop, pair.Network, rng.Fork("faults")).Apply(sc.Script)
+
+	v := video.Video{
+		ID: "chaos", Size: sc.VideoBytes,
+		BitrateBps: 2_000_000, FPS: 30, FirstFrameSize: 32 << 10,
+	}
+	player := video.NewPlayer(v, video.DefaultPlayerConfig())
+	req := video.NewRequester(pair.Client, v, player, video.DefaultRequesterConfig())
+	srv := video.NewServer(pair.Server, []video.Video{v})
+
+	// Wrap the requester's stream callback to observe application-level
+	// progress: the liveness invariant is about payload reaching the
+	// client, not about transport chatter (PTO probes, ACKs) arriving.
+	var streamBytes uint64
+	pair.Client.SetOnStreamData(func(now time.Duration, rs *transport.RecvStream, data []byte, fin bool) {
+		streamBytes += uint64(len(data))
+		req.OnStreamData(now, rs, data, fin)
+	})
+	pair.Server.SetOnStreamData(srv.OnStreamData)
+	pair.Client.SetQoEProvider(player.QoESignal)
+
+	// The stall clock starts at the first possible data byte (handshake
+	// completion); handshake latency is the PTO machinery's problem and is
+	// covered by the termination invariant instead.
+	var started bool
+	var lastProgress time.Duration
+	var lastBytes uint64
+	var maxStall time.Duration
+	pair.Client.SetOnHandshakeDone(func(now time.Duration) {
+		started = true
+		lastProgress = now
+		req.Start(now)
+	})
+
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		player.Advance(now)
+		req.Poll(now)
+		switch {
+		case !started, req.Done(), pair.Client.Closed(),
+			faults.AliveCount(pair.Network) == 0:
+			// Nothing deliverable is owed: reset rather than charge.
+			lastProgress = now
+		case streamBytes > lastBytes:
+			lastBytes = streamBytes
+			lastProgress = now
+		default:
+			if s := now - lastProgress; s > maxStall {
+				maxStall = s
+			}
+		}
+		// Stop rescheduling at the deadline so the sampler itself cannot
+		// keep the loop alive during the quiesce probe.
+		if now+stallTick <= sc.Deadline {
+			loop.After(stallTick, tick)
+		}
+	}
+	loop.After(stallTick, tick)
+
+	var res Result
+	if err := pair.Start(); err != nil {
+		res.ClientState = "start-error"
+		return res
+	}
+	pair.RunUntil(sc.Deadline)
+
+	res.Completed = req.Done()
+	res.VerifyErrors = req.VerifyErrors()
+	res.StreamBytesRecv = streamBytes
+	res.MaxStall = maxStall
+	res.ClientStats = pair.Client.Stats()
+	res.ServerStats = pair.Server.Stats()
+	res.ClientState = pair.Client.StateName()
+	res.ServerState = pair.Server.StateName()
+	res.ClientTerminated = pair.Client.Terminated()
+	res.ServerTerminated = pair.Server.Terminated()
+	res.ClientPrimary = pair.Client.PrimaryPathID()
+	res.AlivePaths = faults.AliveCount(pair.Network)
+	res.EventsAfter = int(loop.Run(quiesceBudget))
+	return res
+}

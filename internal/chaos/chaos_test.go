@@ -1,0 +1,363 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/lb"
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// corpusCase pairs a scenario with the invariants it must uphold.
+type corpusCase struct {
+	sc Scenario
+	// completes requires the full video to arrive intact before Deadline.
+	completes bool
+	// stallBound caps MaxStall (0 = no bound asserted).
+	stallBound time.Duration
+	// check runs scenario-specific assertions on the result.
+	check func(t *testing.T, r Result)
+}
+
+// corpus is the chaos suite: eight scripted fault scenarios exercising
+// every fault class over the full video pipeline.
+func corpus() []corpusCase {
+	return []corpusCase{
+		{
+			// Primary blackout: wifi drops for a second mid-transfer; the
+			// survivor must carry the stream with bounded stall.
+			sc: Scenario{
+				Name: "blackout-primary", Seed: 101,
+				Script: faults.Script{Name: "blackout-primary", Ops: []faults.Op{
+					faults.Blackout{Path: 0, From: 500 * time.Millisecond, To: 1500 * time.Millisecond},
+				}},
+				VideoBytes: 2 << 20,
+			},
+			completes:  true,
+			stallBound: 3 * time.Second,
+		},
+		{
+			// Rolling blackouts: the outages overlap for 300 ms with zero
+			// paths alive — that window must not count as stall, and the
+			// transfer must still finish once a path returns.
+			sc: Scenario{
+				Name: "blackout-rolling", Seed: 102,
+				Script: faults.Script{Name: "blackout-rolling", Ops: []faults.Op{
+					faults.Blackout{Path: 0, From: 400 * time.Millisecond, To: 1200 * time.Millisecond},
+					faults.Blackout{Path: 1, From: 900 * time.Millisecond, To: 1700 * time.Millisecond},
+				}},
+				VideoBytes: 2 << 20,
+			},
+			completes:  true,
+			stallBound: 3 * time.Second,
+		},
+		{
+			// Gilbert–Elliott burst loss on both paths for the whole run:
+			// loss recovery must deliver every byte intact.
+			sc: Scenario{
+				Name: "burst-loss", Seed: 103,
+				Script: faults.Script{Name: "burst-loss", Ops: []faults.Op{
+					faults.BurstLoss{Path: 0, From: 0, To: 30 * time.Second, GE: faults.DefaultGE()},
+					faults.BurstLoss{Path: 1, From: 0, To: 30 * time.Second, GE: faults.DefaultGE()},
+				}},
+			},
+			completes:  true,
+			stallBound: 5 * time.Second,
+		},
+		{
+			// RTT spike on the primary (bufferbloat / radio retries): the
+			// path turns suspect, traffic shifts, then recovers.
+			sc: Scenario{
+				Name: "rtt-spike", Seed: 104,
+				Script: faults.Script{Name: "rtt-spike", Ops: []faults.Op{
+					faults.RTTSpike{Path: 0, From: 500 * time.Millisecond, To: 2 * time.Second, Extra: 400 * time.Millisecond},
+				}},
+				VideoBytes: 2 << 20,
+			},
+			completes:  true,
+			stallBound: 3 * time.Second,
+		},
+		{
+			// Duplication + reordering on both paths: the receive path must
+			// discard duplicates and reassemble out-of-order data exactly.
+			sc: Scenario{
+				Name: "dup-reorder", Seed: 105,
+				Script: faults.Script{Name: "dup-reorder", Ops: []faults.Op{
+					faults.DupReorder{Path: 0, From: 0, To: 30 * time.Second,
+						DupRate: 0.05, ReorderRate: 0.1, ReorderDelay: 30 * time.Millisecond},
+					faults.DupReorder{Path: 1, From: 0, To: 30 * time.Second,
+						DupRate: 0.05, ReorderRate: 0.1, ReorderDelay: 30 * time.Millisecond},
+				}},
+			},
+			completes:  true,
+			stallBound: 3 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ClientStats.DuplicateBytesRecv == 0 {
+					t.Error("duplication script produced no duplicate bytes")
+				}
+			},
+		},
+		{
+			// Handshake-packet targeting: half of all long-header packets
+			// vanish for 2 s; the PTO machinery must still establish and
+			// the transfer must finish.
+			sc: Scenario{
+				Name: "handshake-loss", Seed: 106,
+				Script: faults.Script{Name: "handshake-loss", Ops: []faults.Op{
+					faults.HandshakeLoss{Path: 0, From: 0, To: 2 * time.Second, Rate: 0.5},
+					faults.HandshakeLoss{Path: 1, From: 0, To: 2 * time.Second, Rate: 0.5},
+				}},
+			},
+			completes:  true,
+			stallBound: 5 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ClientState != "established" {
+					t.Errorf("client state %q, want established", r.ClientState)
+				}
+			},
+		},
+		{
+			// Permanent primary death mid-transfer: clean single-path
+			// fallback — the PTO give-up rule abandons the dead path, a
+			// survivor is re-elected primary, and the transfer completes.
+			sc: Scenario{
+				Name: "interface-death", Seed: 107,
+				Script: faults.Script{Name: "interface-death", Ops: []faults.Op{
+					faults.InterfaceDeath{Path: 0, At: 500 * time.Millisecond},
+				}},
+				VideoBytes: 4 << 20,
+			},
+			completes:  true,
+			stallBound: 4 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ClientStats.AutoAbandonedPaths == 0 {
+					t.Error("dead primary never abandoned")
+				}
+				if r.ClientPrimary != 1 {
+					t.Errorf("primary %d, want re-election to 1", r.ClientPrimary)
+				}
+				if r.ClientStats.PrimaryReElections == 0 {
+					t.Error("re-election not counted")
+				}
+				if r.AlivePaths != 1 {
+					t.Errorf("alive paths %d, want 1", r.AlivePaths)
+				}
+			},
+		},
+		{
+			// Total death mid-transfer: both interfaces die for good. Both
+			// endpoints must reach the terminal closed state via idle
+			// timeout and the event loop must quiesce — no leaked timers.
+			sc: Scenario{
+				Name: "total-death", Seed: 108,
+				Script: faults.Script{Name: "total-death", Ops: []faults.Op{
+					faults.InterfaceDeath{Path: 0, At: time.Second},
+					faults.InterfaceDeath{Path: 1, At: time.Second},
+				}},
+				VideoBytes: 16 << 20, // big enough to still be in flight at 1 s
+				Tweak: func(ccfg, scfg *transport.Config) {
+					ccfg.IdleTimeout = 2 * time.Second
+					scfg.IdleTimeout = 2 * time.Second
+				},
+			},
+			check: func(t *testing.T, r Result) {
+				if r.Completed {
+					t.Error("transfer completed despite total death at 1s")
+				}
+				if !r.ClientTerminated || !r.ServerTerminated {
+					t.Errorf("states client=%q server=%q, want both closed",
+						r.ClientState, r.ServerState)
+				}
+				if r.ClientStats.CloseErrorCode != transport.ErrCodeIdleTimeout {
+					t.Errorf("client close code %#x, want idle timeout",
+						r.ClientStats.CloseErrorCode)
+				}
+				if r.EventsAfter != 0 {
+					t.Errorf("event loop still live after both terminated: %d events",
+						r.EventsAfter)
+				}
+			},
+		},
+		{
+			// Death before the handshake: the client must give up after its
+			// PTO budget, surface a terminal handshake-timeout error, and
+			// leave no timers behind.
+			sc: Scenario{
+				Name: "handshake-death", Seed: 109,
+				Script: faults.Script{Name: "handshake-death", Ops: []faults.Op{
+					faults.InterfaceDeath{Path: 0, At: 0},
+					faults.InterfaceDeath{Path: 1, At: 0},
+				}},
+				Tweak: func(ccfg, scfg *transport.Config) {
+					ccfg.HandshakeMaxPTOs = 3
+				},
+			},
+			check: func(t *testing.T, r Result) {
+				if r.Completed || r.StreamBytesRecv != 0 {
+					t.Error("data moved over dead paths")
+				}
+				if !r.ClientTerminated {
+					t.Errorf("client state %q, want closed", r.ClientState)
+				}
+				st := r.ClientStats
+				if st.CloseErrorCode != transport.ErrCodeHandshakeTimeout || !st.CloseLocal {
+					t.Errorf("close info %+v, want local handshake timeout", st)
+				}
+				if r.EventsAfter != 0 {
+					t.Errorf("event loop still live after handshake give-up: %d events",
+						r.EventsAfter)
+				}
+			},
+		},
+	}
+}
+
+// TestChaosCorpus runs every scenario and asserts the shared invariants
+// (integrity, bounded stall) plus the per-scenario checks.
+func TestChaosCorpus(t *testing.T) {
+	for _, tc := range corpus() {
+		tc := tc
+		t.Run(tc.sc.Name, func(t *testing.T) {
+			r := Run(tc.sc)
+			if r.VerifyErrors != 0 {
+				t.Errorf("%d content verification errors", r.VerifyErrors)
+			}
+			if tc.completes && !r.Completed {
+				t.Errorf("transfer incomplete: %d bytes received, states client=%q server=%q",
+					r.StreamBytesRecv, r.ClientState, r.ServerState)
+			}
+			if tc.stallBound > 0 && r.MaxStall > tc.stallBound {
+				t.Errorf("max stall %v exceeds bound %v with a path alive",
+					r.MaxStall, tc.stallBound)
+			}
+			if tc.check != nil {
+				tc.check(t, r)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism runs stochastic scenarios twice and requires
+// byte-identical results — every counter, state string, and stall figure.
+// This is what makes a chaos failure replayable from just (name, seed).
+func TestChaosDeterminism(t *testing.T) {
+	for _, tc := range corpus() {
+		switch tc.sc.Name {
+		case "burst-loss", "dup-reorder", "handshake-loss":
+			a, b := Run(tc.sc), Run(tc.sc)
+			if a != b {
+				t.Errorf("%s: same seed produced different results:\n  %+v\n  %+v",
+					tc.sc.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestChaosSeedSensitivity guards against the harness accidentally ignoring
+// the seed (which would make the determinism test vacuous): a stochastic
+// scenario under a different seed must differ somewhere.
+func TestChaosSeedSensitivity(t *testing.T) {
+	tc := corpus()[2] // burst-loss
+	a := Run(tc.sc)
+	tc.sc.Seed++
+	b := Run(tc.sc)
+	if a == b {
+		t.Fatal("different seeds produced identical results; harness is not seeding")
+	}
+}
+
+// TestChaosBackendRemoval is the load-balancer failure scenario: a
+// multi-path connection established through the lb.Router loses its backend
+// mid-transfer (RemoveBackend, as in a crash or scale-down). Subsequent
+// short-header packets must be counted drops, and the client — receiving
+// nothing — must reach terminal closure via its idle timeout, with the
+// event loop quiescing afterwards.
+func TestChaosBackendRemoval(t *testing.T) {
+	loop := sim.NewLoop()
+	env := transport.SimEnv{Loop: loop}
+	rng := sim.NewRNG(21)
+	cfgs := []netem.PathConfig{
+		{Name: "wifi", Tech: trace.TechWiFi, Up: trace.ConstantRate("w", 20, time.Second), OneWayDelay: 10 * time.Millisecond},
+		{Name: "lte", Tech: trace.TechLTE, Up: trace.ConstantRate("l", 20, time.Second), OneWayDelay: 30 * time.Millisecond},
+	}
+	nw := netem.NewNetwork(loop, rng, cfgs)
+
+	params := wire.DefaultTransportParams()
+	params.EnableMultipath = true
+
+	client := transport.NewConn(env, transport.SenderFunc(nw.ClientSend),
+		transport.Config{IsClient: true, Params: params, Seed: 1,
+			IdleTimeout: 1500 * time.Millisecond})
+	mkServer := func(id byte) *transport.Conn {
+		return transport.NewConn(env, transport.SenderFunc(nw.ServerSend),
+			transport.Config{Params: params, Seed: int64(id), ServerID: id,
+				IdleTimeout: 1500 * time.Millisecond})
+	}
+	s1, s2 := mkServer(1), mkServer(2)
+
+	router := lb.NewRouter(8)
+	var s1pkts, s2pkts int
+	router.AddBackend(1, lb.BackendFunc(func(netIdx int, data []byte) {
+		s1pkts++
+		s1.HandleDatagram(loop.Now(), netIdx, data)
+	}))
+	router.AddBackend(2, lb.BackendFunc(func(netIdx int, data []byte) {
+		s2pkts++
+		s2.HandleDatagram(loop.Now(), netIdx, data)
+	}))
+
+	nw.Attach(
+		func(now time.Duration, pathIdx int, data []byte) {
+			client.HandleDatagram(now, pathIdx, data)
+		},
+		func(now time.Duration, pathIdx int, data []byte) {
+			router.Forward(pathIdx, data)
+		})
+
+	client.AddInterface(0, trace.TechWiFi)
+	client.AddInterface(1, trace.TechLTE)
+	client.SetOnHandshakeDone(func(now time.Duration) {
+		s := client.OpenStream()
+		s.Write(make([]byte, 4<<20)) // ~1.6 s at 20 Mbps: still in flight at removal
+		s.Close()
+	})
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	loop.RunUntil(400 * time.Millisecond)
+	if !client.Established() {
+		t.Fatal("handshake through LB failed")
+	}
+	owner := byte(1)
+	if s2pkts > s1pkts {
+		owner = 2
+	}
+	router.RemoveBackend(owner)
+
+	loop.RunUntil(30 * time.Second)
+	if router.DroppedUnknownID == 0 {
+		t.Fatal("post-removal packets not counted as unknown-ID drops")
+	}
+	if !client.Terminated() {
+		t.Fatalf("client state %q, want terminal closed after backend loss", client.StateName())
+	}
+	if st := client.Stats(); st.CloseErrorCode != transport.ErrCodeIdleTimeout {
+		t.Fatalf("client close code %#x, want idle timeout", st.CloseErrorCode)
+	}
+	ownerConn := s1
+	if owner == 2 {
+		ownerConn = s2
+	}
+	if !ownerConn.Terminated() {
+		t.Fatalf("owning backend state %q, want terminal closed", ownerConn.StateName())
+	}
+	if n := loop.Run(64); n != 0 {
+		t.Fatalf("event loop still live after all endpoints terminated: %d events", n)
+	}
+}

@@ -1,0 +1,269 @@
+// Package faults provides deterministic, sim-clock-driven fault scripts
+// composable over netem networks. A Script is a list of declarative ops —
+// timed path blackouts, Gilbert–Elliott burst loss, RTT spikes, duplication
+// and reordering, handshake-packet targeting, and permanent interface death
+// — that an Injector schedules on the owning sim.Loop. Every stochastic
+// model draws from a sim.RNG forked with a stable label, so a given (script,
+// seed) pair replays byte-identically: the foundation of the chaos suite's
+// determinism invariant (ISSUE 2; Sec 6 of the paper motivates the fault
+// classes).
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Op is one fault operation of a script.
+type Op interface {
+	// apply schedules the op's events on the injector's loop.
+	apply(in *Injector)
+	// String names the op for script listings.
+	String() string
+}
+
+// Script is a named, ordered set of fault operations.
+type Script struct {
+	Name string
+	Ops  []Op
+}
+
+// Injector binds a script to a concrete emulated network.
+type Injector struct {
+	loop *sim.Loop
+	nw   *netem.Network
+	rng  *sim.RNG
+}
+
+// NewInjector creates an injector over nw. rng seeds the stochastic fault
+// models; fork it per injector so scripts do not perturb other draws.
+func NewInjector(loop *sim.Loop, nw *netem.Network, rng *sim.RNG) *Injector {
+	return &Injector{loop: loop, nw: nw, rng: rng}
+}
+
+// Apply schedules every op of the script.
+func (in *Injector) Apply(s Script) {
+	for _, op := range s.Ops {
+		op.apply(in)
+	}
+}
+
+// path bounds-checks a script's path index against the network.
+func (in *Injector) path(idx int) *netem.Path {
+	if idx < 0 || idx >= len(in.nw.Paths) {
+		return nil
+	}
+	return in.nw.Paths[idx]
+}
+
+// --- Blackout: a timed two-sided outage window ---
+
+// Blackout takes path Path down at From and back up at To. Queued packets
+// are lost on the down transition (the interface loses its buffer).
+type Blackout struct {
+	Path     int
+	From, To time.Duration
+}
+
+func (o Blackout) String() string {
+	return fmt.Sprintf("blackout(path=%d %v..%v)", o.Path, o.From, o.To)
+}
+
+func (o Blackout) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	in.loop.At(o.From, func(time.Duration) { p.SetDown(true) })
+	in.loop.At(o.To, func(time.Duration) { p.SetDown(false) })
+}
+
+// --- InterfaceDeath: permanent loss of a path ---
+
+// InterfaceDeath takes path Path down at At and never brings it back — the
+// paper's "client's 4G/Wi-Fi is turned off" case.
+type InterfaceDeath struct {
+	Path int
+	At   time.Duration
+}
+
+func (o InterfaceDeath) String() string {
+	return fmt.Sprintf("death(path=%d at=%v)", o.Path, o.At)
+}
+
+func (o InterfaceDeath) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	in.loop.At(o.At, func(time.Duration) { p.SetDown(true) })
+}
+
+// --- RTTSpike: a timed latency surge ---
+
+// RTTSpike adds Extra one-way delay per direction on path Path during
+// [From, To): an RTT increase of 2*Extra, the bufferbloat/radio-retry
+// pathology of Sec 3.
+type RTTSpike struct {
+	Path     int
+	From, To time.Duration
+	Extra    time.Duration
+}
+
+func (o RTTSpike) String() string {
+	return fmt.Sprintf("rttspike(path=%d %v..%v +%v)", o.Path, o.From, o.To, o.Extra)
+}
+
+func (o RTTSpike) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	in.loop.At(o.From, func(time.Duration) { p.SetExtraDelay(o.Extra) })
+	in.loop.At(o.To, func(time.Duration) { p.SetExtraDelay(0) })
+}
+
+// --- BurstLoss: Gilbert–Elliott two-state loss ---
+
+// GEConfig parameterizes the Gilbert–Elliott burst-loss model: a two-state
+// Markov chain whose bad state drops packets in bursts. Related work (Michel
+// et al., Sidhu et al.) shows burstiness — not average loss — is what kills
+// video over QUIC, so the chaos corpus uses this rather than i.i.d. drops.
+type GEConfig struct {
+	// PGoodBad and PBadGood are the per-packet state transition
+	// probabilities good→bad and bad→good.
+	PGoodBad, PBadGood float64
+	// LossGood and LossBad are the drop probabilities in each state.
+	LossGood, LossBad float64
+}
+
+// DefaultGE is a moderately bursty profile: ~1.5% average loss in bursts
+// averaging ~10 packets.
+func DefaultGE() GEConfig {
+	return GEConfig{PGoodBad: 0.002, PBadGood: 0.1, LossGood: 0, LossBad: 0.7}
+}
+
+// geModel is the per-link Markov state; each link direction owns one so the
+// streams evolve independently but deterministically.
+type geModel struct {
+	cfg GEConfig
+	rng *sim.RNG
+	bad bool
+}
+
+func (m *geModel) drop([]byte) bool {
+	if m.bad {
+		if m.rng.Bool(m.cfg.PBadGood) {
+			m.bad = false
+		}
+	} else if m.rng.Bool(m.cfg.PGoodBad) {
+		m.bad = true
+	}
+	if m.bad {
+		return m.rng.Bool(m.cfg.LossBad)
+	}
+	return m.rng.Bool(m.cfg.LossGood)
+}
+
+// BurstLoss drives path Path with Gilbert–Elliott loss during [From, To).
+type BurstLoss struct {
+	Path     int
+	From, To time.Duration
+	GE       GEConfig
+}
+
+func (o BurstLoss) String() string {
+	return fmt.Sprintf("burstloss(path=%d %v..%v)", o.Path, o.From, o.To)
+}
+
+func (o BurstLoss) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	up := &geModel{cfg: o.GE, rng: in.rng.Fork(fmt.Sprintf("ge-%d-up", o.Path))}
+	down := &geModel{cfg: o.GE, rng: in.rng.Fork(fmt.Sprintf("ge-%d-down", o.Path))}
+	in.loop.At(o.From, func(time.Duration) { p.SetDropFuncs(up.drop, down.drop) })
+	in.loop.At(o.To, func(time.Duration) { p.SetDropFuncs(nil, nil) })
+}
+
+// --- DupReorder: duplication and reordering ---
+
+// DupReorder duplicates and reorders packets on path Path during [From, To).
+type DupReorder struct {
+	Path         int
+	From, To     time.Duration
+	DupRate      float64
+	ReorderRate  float64
+	ReorderDelay time.Duration
+}
+
+func (o DupReorder) String() string {
+	return fmt.Sprintf("dupreorder(path=%d %v..%v dup=%v reorder=%v)",
+		o.Path, o.From, o.To, o.DupRate, o.ReorderRate)
+}
+
+func (o DupReorder) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	in.loop.At(o.From, func(time.Duration) {
+		p.SetDuplicate(o.DupRate)
+		p.SetReorder(o.ReorderRate, o.ReorderDelay)
+	})
+	in.loop.At(o.To, func(time.Duration) {
+		p.SetDuplicate(0)
+		p.SetReorder(0, 0)
+	})
+}
+
+// --- HandshakeLoss: long-header packet targeting ---
+
+// HandshakeLoss drops long-header (Initial/handshake) packets on path Path
+// with probability Rate during [From, To), forcing the PTO-driven handshake
+// retransmission machinery to prove itself. Short-header packets pass.
+type HandshakeLoss struct {
+	Path     int
+	From, To time.Duration
+	Rate     float64
+}
+
+func (o HandshakeLoss) String() string {
+	return fmt.Sprintf("handshakeloss(path=%d %v..%v p=%v)", o.Path, o.From, o.To, o.Rate)
+}
+
+func (o HandshakeLoss) apply(in *Injector) {
+	p := in.path(o.Path)
+	if p == nil {
+		return
+	}
+	mk := func(label string) netem.DropFunc {
+		rng := in.rng.Fork(fmt.Sprintf("hs-%d-%s", o.Path, label))
+		return func(data []byte) bool {
+			if len(data) == 0 || !wire.IsLongHeader(data[0]) {
+				return false
+			}
+			return rng.Bool(o.Rate)
+		}
+	}
+	in.loop.At(o.From, func(time.Duration) { p.SetDropFuncs(mk("up"), mk("down")) })
+	in.loop.At(o.To, func(time.Duration) { p.SetDropFuncs(nil, nil) })
+}
+
+// AliveCount reports how many paths of the network are administratively up.
+// The chaos liveness invariant only charges stall time while at least one
+// path is alive.
+func AliveCount(nw *netem.Network) int {
+	n := 0
+	for _, p := range nw.Paths {
+		if p.Alive() {
+			n++
+		}
+	}
+	return n
+}

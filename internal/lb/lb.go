@@ -30,10 +30,25 @@ type Router struct {
 	backends map[byte]Backend
 	ids      []byte
 
+	// FallbackRoute, when true, re-routes short-header packets whose server
+	// ID matches no live backend to one chosen by the first CID byte instead
+	// of dropping them. Off by default: the ID in a short-header CID was
+	// placed there by a specific real server, so sending the packet anywhere
+	// else only burns backend CPU on an undecryptable datagram. Enable it
+	// only for migration windows where a backend's connections were handed
+	// to a successor.
+	FallbackRoute bool
+
 	// Stats.
 	RoutedByID   uint64
 	RoutedByHash uint64
-	Dropped      uint64
+	// RoutedByFallback counts unknown-ID short-header packets re-routed by
+	// the FallbackRoute option.
+	RoutedByFallback uint64
+	Dropped          uint64
+	// DroppedUnknownID counts short-header packets whose embedded server ID
+	// matched no registered backend (a removed or never-known server).
+	DroppedUnknownID uint64
 }
 
 // NewRouter creates a router for endpoints using cidLen-byte CIDs.
@@ -47,6 +62,24 @@ func (r *Router) AddBackend(serverID byte, b Backend) {
 		r.ids = append(r.ids, serverID)
 	}
 	r.backends[serverID] = b
+}
+
+// RemoveBackend unregisters a real server (crash, drain, scale-down). Its
+// in-flight connections become unroutable: subsequent short-header packets
+// carrying its ID are counted in DroppedUnknownID (or re-routed when
+// FallbackRoute is set), and long-header hashing redistributes over the
+// survivors.
+func (r *Router) RemoveBackend(serverID byte) {
+	if _, exists := r.backends[serverID]; !exists {
+		return
+	}
+	delete(r.backends, serverID)
+	for i, id := range r.ids {
+		if id == serverID {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			break
+		}
+	}
 }
 
 // hashCID consistently hashes a CID onto a registered backend, used for
@@ -98,6 +131,16 @@ func (r *Router) Route(data []byte) (Backend, bool) {
 			r.RoutedByID++
 			return b, true
 		}
+		// Unknown server ID: the owning backend is gone (or never existed).
+		// Hashing the packet to an arbitrary backend cannot help — it holds
+		// no keys for the connection — so the default is a counted drop.
+		if !r.FallbackRoute || len(r.ids) == 0 {
+			r.Dropped++
+			r.DroppedUnknownID++
+			return nil, false
+		}
+		r.RoutedByFallback++
+		return r.backends[r.ids[int(dcid[0])%len(r.ids)]], true
 	}
 	id, ok := r.hashCID(dcid)
 	if !ok {

@@ -29,7 +29,7 @@ func TestExtractAndRouteShortHeader(t *testing.T) {
 	}
 }
 
-func TestUnknownServerIDFallsBackToHash(t *testing.T) {
+func TestUnknownServerIDDroppedByDefault(t *testing.T) {
 	r := NewRouter(8)
 	var hits int
 	r.AddBackend(7, BackendFunc(func(int, []byte) { hits++ }))
@@ -37,11 +37,66 @@ func TestUnknownServerIDFallsBackToHash(t *testing.T) {
 	pkt := wire.AppendShort(nil, cid, 0, 1)
 	pkt = append(pkt, make([]byte, 32)...)
 	r.Forward(0, pkt)
-	if hits != 1 {
-		t.Fatal("hash fallback failed")
+	if hits != 0 {
+		t.Fatal("unknown-ID packet must not reach a backend by default")
 	}
-	if r.RoutedByHash != 1 {
+	if r.DroppedUnknownID != 1 || r.Dropped != 1 {
+		t.Fatalf("unknown-ID drop not counted: unknown=%d dropped=%d",
+			r.DroppedUnknownID, r.Dropped)
+	}
+}
+
+func TestUnknownServerIDFallbackOption(t *testing.T) {
+	r := NewRouter(8)
+	r.FallbackRoute = true
+	var hits int
+	r.AddBackend(7, BackendFunc(func(int, []byte) { hits++ }))
+	cid := wire.ConnectionID{99, 1, 2, 3, 4, 5, 6, 7} // unknown ID 99
+	pkt := wire.AppendShort(nil, cid, 0, 1)
+	pkt = append(pkt, make([]byte, 32)...)
+	r.Forward(0, pkt)
+	if hits != 1 {
+		t.Fatal("fallback routing failed")
+	}
+	if r.RoutedByFallback != 1 {
 		t.Fatal("stats")
+	}
+}
+
+func TestRemoveBackend(t *testing.T) {
+	r := NewRouter(8)
+	var hitA, hitB int
+	r.AddBackend(1, BackendFunc(func(int, []byte) { hitA++ }))
+	r.AddBackend(2, BackendFunc(func(int, []byte) { hitB++ }))
+
+	cidA := wire.ConnectionID{1, 9, 9, 9, 9, 9, 9, 9}
+	pkt := wire.AppendShort(nil, cidA, 0, 1)
+	pkt = append(pkt, make([]byte, 32)...)
+	r.Forward(0, pkt)
+	if hitA != 1 {
+		t.Fatal("pre-removal routing failed")
+	}
+
+	r.RemoveBackend(1)
+	r.Forward(0, pkt)
+	if hitA != 1 || hitB != 0 {
+		t.Fatalf("packet for removed backend must drop: A=%d B=%d", hitA, hitB)
+	}
+	if r.DroppedUnknownID != 1 {
+		t.Fatal("removed-backend drop not counted")
+	}
+	// Long headers must redistribute over the survivors only.
+	dcid := wire.ConnectionID{5, 6, 7, 8, 9, 10, 11, 12}
+	long := wire.AppendLong(nil, dcid, wire.ConnectionID{1}, 0, 1, 64)
+	long = append(long, make([]byte, 64)...)
+	r.Forward(0, long)
+	if hitB != 1 {
+		t.Fatalf("long-header traffic must hash to the survivor: B=%d", hitB)
+	}
+	// Removing twice is a no-op.
+	r.RemoveBackend(1)
+	if len(r.ids) != 1 {
+		t.Fatalf("ids after double removal: %d, want 1", len(r.ids))
 	}
 }
 

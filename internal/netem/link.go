@@ -56,10 +56,18 @@ type LinkStats struct {
 	SentBytes      uint64
 	DeliveredPkts  uint64 // packets handed to the receiver
 	DeliveredBytes uint64
-	DroppedPkts    uint64 // droptail + random loss
+	DroppedPkts    uint64 // droptail + random loss + down-flush + drop model
 	DroppedBytes   uint64
 	CorruptedPkts  uint64
+	DuplicatedPkts uint64 // extra copies injected by the duplication fault
+	ReorderedPkts  uint64 // packets held back by the reordering fault
 }
+
+// DropFunc is a per-packet drop decision consulted in addition to the static
+// LossRate. Fault scripts install stateful models here (Gilbert–Elliott
+// burst loss, handshake-packet targeting); the packet bytes are visible so a
+// model can target packet classes. Dropped packets count as DroppedPkts.
+type DropFunc func(data []byte) bool
 
 type queuedPacket struct {
 	data       []byte
@@ -86,6 +94,13 @@ type Link struct {
 
 	stats LinkStats
 	down  bool // administratively down (interface off)
+
+	// Runtime impairments, driven by fault scripts (internal/faults).
+	dropFn       DropFunc
+	extraDelay   time.Duration // added propagation delay (RTT spike)
+	dupRate      float64       // probability a delivered packet is duplicated
+	reorderRate  float64       // probability a delivered packet is held back
+	reorderDelay time.Duration // how long held-back packets are delayed
 }
 
 // NewLink creates a link on loop delivering packets to deliver.
@@ -109,9 +124,45 @@ func (l *Link) QueueLen() int { return len(l.queue) }
 func (l *Link) QueueBytes() int { return l.queueBytes }
 
 // SetDown administratively disables (true) or enables (false) the link.
-// While down, all ingress packets are dropped, emulating an interface
-// being switched off (Sec 6 "client's 4G/Wi-Fi is turned off").
-func (l *Link) SetDown(down bool) { l.down = down }
+// While down, all ingress packets are dropped, emulating an interface being
+// switched off (Sec 6 "client's 4G/Wi-Fi is turned off"). Going down also
+// flushes the queue: an interface that is switched off loses its buffer, so
+// already-queued packets must not deliver afterwards. Flushed packets count
+// as drops.
+func (l *Link) SetDown(down bool) {
+	if down && !l.down {
+		for _, qp := range l.queue {
+			l.stats.DroppedPkts++
+			l.stats.DroppedBytes += uint64(len(qp.data))
+		}
+		l.queue = nil
+		l.queueBytes = 0
+		l.credit = 0
+	}
+	l.down = down
+}
+
+// IsDown reports whether the link is administratively down.
+func (l *Link) IsDown() bool { return l.down }
+
+// SetDropFunc installs (or, with nil, removes) a per-packet drop model
+// evaluated on ingress in addition to the static LossRate.
+func (l *Link) SetDropFunc(fn DropFunc) { l.dropFn = fn }
+
+// SetExtraDelay adds d to the propagation delay of every subsequent
+// delivery — the RTT-spike fault (bufferbloat, radio-layer retries).
+func (l *Link) SetExtraDelay(d time.Duration) { l.extraDelay = d }
+
+// SetDuplicate delivers an extra copy of a packet with probability rate,
+// emulating link-layer retransmission duplicates.
+func (l *Link) SetDuplicate(rate float64) { l.dupRate = rate }
+
+// SetReorder holds a delivered packet back by extra with probability rate,
+// letting later packets overtake it.
+func (l *Link) SetReorder(rate float64, extra time.Duration) {
+	l.reorderRate = rate
+	l.reorderDelay = extra
+}
 
 // Send offers a packet to the link. It is dropped on loss, droptail
 // overflow, or when the link is down; otherwise it is delivered to the far
@@ -119,7 +170,8 @@ func (l *Link) SetDown(down bool) { l.down = down }
 func (l *Link) Send(data []byte) {
 	l.stats.SentPackets++
 	l.stats.SentBytes += uint64(len(data))
-	if l.down || (l.cfg.LossRate > 0 && l.rng != nil && l.rng.Bool(l.cfg.LossRate)) {
+	if l.down || (l.cfg.LossRate > 0 && l.rng != nil && l.rng.Bool(l.cfg.LossRate)) ||
+		(l.dropFn != nil && l.dropFn(data)) {
 		l.stats.DroppedPkts++
 		l.stats.DroppedBytes += uint64(len(data))
 		return
@@ -204,14 +256,30 @@ func (l *Link) deliverHead() {
 	l.stats.DeliveredPkts++
 	l.stats.DeliveredBytes += uint64(len(pkt.data))
 	data := pkt.data
-	delay := l.cfg.Delay
+	delay := l.cfg.Delay + l.extraDelay
 	if l.cfg.JitterMax > 0 && l.rng != nil {
 		delay += time.Duration(l.rng.Uniform(0, float64(l.cfg.JitterMax)))
+	}
+	if l.reorderRate > 0 && l.rng != nil && l.rng.Bool(l.reorderRate) {
+		delay += l.reorderDelay
+		l.stats.ReorderedPkts++
 	}
 	if l.cfg.CorruptRate > 0 && l.rng != nil && l.rng.Bool(l.cfg.CorruptRate) && len(data) > 0 {
 		idx := l.rng.Intn(len(data))
 		data[idx] ^= 1 << uint(l.rng.Intn(8))
 		l.stats.CorruptedPkts++
+	}
+	if l.dupRate > 0 && l.rng != nil && l.rng.Bool(l.dupRate) {
+		dup := make([]byte, len(data))
+		copy(dup, data)
+		l.stats.DuplicatedPkts++
+		l.stats.DeliveredPkts++
+		l.stats.DeliveredBytes += uint64(len(dup))
+		l.loop.After(delay+2*time.Millisecond, func(arrive time.Duration) {
+			if l.deliver != nil {
+				l.deliver(arrive, dup)
+			}
+		})
 	}
 	l.loop.After(delay, func(arrive time.Duration) {
 		if l.deliver != nil {

@@ -97,6 +97,36 @@ func TestLinkDown(t *testing.T) {
 	}
 }
 
+func TestSetDownFlushesQueue(t *testing.T) {
+	// A slow link with a deep queue: everything sent is still queued when
+	// the interface goes down, and none of it may deliver afterwards — an
+	// interface that is switched off loses its buffer.
+	loop, l, arrivals := newTestLink(t, 1, 0, 20*trace.MTU, 0)
+	for i := 0; i < 10; i++ {
+		l.Send(make([]byte, trace.MTU))
+	}
+	var down time.Duration = 5 * time.Millisecond
+	loop.At(down, func(time.Duration) { l.SetDown(true) })
+	loop.At(down+time.Millisecond, func(time.Duration) { l.SetDown(false) })
+	loop.Run(0)
+	for _, at := range *arrivals {
+		if at > down {
+			t.Fatalf("packet delivered at %v after link went down at %v", at, down)
+		}
+	}
+	st := l.Stats()
+	if got := uint64(len(*arrivals)) + st.DroppedPkts; got != st.SentPackets {
+		t.Fatalf("accounting: delivered %d + dropped %d != sent %d",
+			len(*arrivals), st.DroppedPkts, st.SentPackets)
+	}
+	if st.DroppedPkts == 0 {
+		t.Fatal("down-transition must count flushed packets as drops")
+	}
+	if l.QueueLen() != 0 || l.QueueBytes() != 0 {
+		t.Fatalf("queue not flushed: len=%d bytes=%d", l.QueueLen(), l.QueueBytes())
+	}
+}
+
 func TestLinkFIFOOrder(t *testing.T) {
 	loop := sim.NewLoop()
 	var got []byte

@@ -74,6 +74,35 @@ func (p *Path) SetDown(down bool) {
 	p.down.SetDown(down)
 }
 
+// Alive reports whether both directions are administratively up.
+func (p *Path) Alive() bool { return !p.up.IsDown() && !p.down.IsDown() }
+
+// SetExtraDelay adds d to the propagation delay of both directions (an RTT
+// spike of 2d).
+func (p *Path) SetExtraDelay(d time.Duration) {
+	p.up.SetExtraDelay(d)
+	p.down.SetExtraDelay(d)
+}
+
+// SetDropFuncs installs per-packet drop models on the two directions (nil
+// removes).
+func (p *Path) SetDropFuncs(up, down DropFunc) {
+	p.up.SetDropFunc(up)
+	p.down.SetDropFunc(down)
+}
+
+// SetDuplicate sets the duplication rate on both directions.
+func (p *Path) SetDuplicate(rate float64) {
+	p.up.SetDuplicate(rate)
+	p.down.SetDuplicate(rate)
+}
+
+// SetReorder sets the reordering fault on both directions.
+func (p *Path) SetReorder(rate float64, extra time.Duration) {
+	p.up.SetReorder(rate, extra)
+	p.down.SetReorder(rate, extra)
+}
+
 // Up returns the uplink for inspection.
 func (p *Path) Up() *Link { return p.up }
 

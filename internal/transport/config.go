@@ -152,6 +152,28 @@ type Config struct {
 	// experiment to contrast primary-path choices.
 	ForcePrimary  bool
 	PrimaryNetIdx int
+	// IdleTimeout closes the connection (silently, RFC 9000 §10.1 style)
+	// when no packet has been successfully received for this long. Zero
+	// disables, preserving the pre-hardening behavior of experiments that
+	// let connections sit idle.
+	IdleTimeout time.Duration
+	// KeepAliveInterval sends a PING on the primary path after this much
+	// receive silence, keeping an idle-but-healthy connection from hitting
+	// IdleTimeout. Zero disables.
+	KeepAliveInterval time.Duration
+	// PathGiveUpPTOs abandons a path outright (PATH_STATUS abandon +
+	// evacuation + primary re-election) when its PTO count reaches this
+	// threshold while another usable path exists. Zero means the default
+	// (5); negative disables. Ignored when DisablePathHealth is set.
+	PathGiveUpPTOs int
+	// HandshakeMaxPTOs caps Initial retransmission attempts; once
+	// exhausted the connection enters a terminal error state (surfaced via
+	// Stats and OnClosed) instead of stalling silently. Zero means the
+	// default (8).
+	HandshakeMaxPTOs int
+	// OnClosed fires once when the connection leaves service — local
+	// close, peer close, idle timeout, or handshake failure.
+	OnClosed func(now time.Duration, code uint64, reason string, local bool)
 	// Seed randomizes CIDs and challenge payloads deterministically.
 	Seed int64
 }
@@ -176,5 +198,23 @@ func (c Config) withDefaults() Config {
 	if c.PathSelector == nil {
 		c.PathSelector = MinRTTSelector
 	}
+	if c.HandshakeMaxPTOs == 0 {
+		c.HandshakeMaxPTOs = 8
+	}
+	if c.PathGiveUpPTOs == 0 {
+		c.PathGiveUpPTOs = 5
+	}
 	return c
 }
+
+// Close error codes surfaced in ConnStats.CloseErrorCode and the OnClosed
+// callback.
+const (
+	// ErrCodeNone is a clean application close.
+	ErrCodeNone uint64 = 0
+	// ErrCodeHandshakeTimeout means the Initial PTO budget was exhausted
+	// before the handshake completed.
+	ErrCodeHandshakeTimeout uint64 = 0x11
+	// ErrCodeIdleTimeout means nothing was received for IdleTimeout.
+	ErrCodeIdleTimeout uint64 = 0x12
+)

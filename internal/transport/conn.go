@@ -13,14 +13,40 @@ import (
 	"repro/internal/wire"
 )
 
-// connState tracks the connection lifecycle.
+// connState tracks the connection lifecycle (DESIGN.md §8): handshake →
+// established → closing (we sent CONNECTION_CLOSE and answer stray packets
+// with it) or draining (the peer closed; we go silent) → closed (terminal).
 type connState int
 
 const (
 	stateHandshake connState = iota
 	stateEstablished
+	// stateClosing: we initiated the close. The close frame is retained
+	// and re-sent (rate-limited) in response to incoming packets until the
+	// drain deadline passes.
+	stateClosing
+	// stateDraining: the peer closed. Nothing is sent; the state exists so
+	// late in-flight packets are not mistaken for a new connection.
+	stateDraining
+	// stateClosed is terminal: all timers cancelled, OnClosed fired.
 	stateClosed
 )
+
+// String names the state for stats and debugging.
+func (s connState) String() string {
+	switch s {
+	case stateHandshake:
+		return "handshake"
+	case stateEstablished:
+		return "established"
+	case stateClosing:
+		return "closing"
+	case stateDraining:
+		return "draining"
+	default:
+		return "closed"
+	}
+}
 
 // Interface describes one local network interface available to a client.
 type Interface struct {
@@ -65,6 +91,19 @@ type ConnStats struct {
 	DuplicateBytesRecv uint64
 	// HandshakeRTT is when the handshake completed.
 	HandshakeRTT time.Duration
+	// CloseErrorCode, CloseReason and CloseLocal describe how the
+	// connection ended (valid once Closed() reports true). CloseLocal is
+	// true when this endpoint initiated or detected the failure.
+	CloseErrorCode uint64
+	CloseReason    string
+	CloseLocal     bool
+	// KeepAlivesSent counts idle-keepalive PINGs on the primary path.
+	KeepAlivesSent uint64
+	// AutoAbandonedPaths counts paths dropped by the PTO give-up rule.
+	AutoAbandonedPaths uint64
+	// PrimaryReElections counts primary-path re-elections after the
+	// previous primary was abandoned.
+	PrimaryReElections uint64
 }
 
 // RedundancyRatio returns re-injected bytes over all stream bytes sent, the
@@ -133,8 +172,16 @@ type Conn struct {
 	inSend              bool
 	secondaryTimerArmed bool
 
-	stats     ConnStats
-	closeCode uint64
+	// Lifecycle hardening state (DESIGN.md §8).
+	primaryID        uint64                    // current primary path ID
+	lastRecvActivity time.Duration             // last successfully processed packet
+	lastKeepAlive    time.Duration             // last keepalive PING queued
+	drainDeadline    time.Duration             // closing/draining → closed transition
+	closeFrame       *wire.ConnectionCloseFrame // retained for closing-state resends
+	closeRecvCount   uint64                    // incoming packets while closing
+	closedFired      bool                      // OnClosed delivered
+
+	stats ConnStats
 }
 
 // NewConn creates a connection. Clients must AddInterface then Start;
@@ -177,6 +224,13 @@ func (c *Conn) SetOnHandshakeDone(fn func(now time.Duration)) {
 	c.cfg.OnHandshakeDone = fn
 }
 
+// SetOnClosed installs the connection-termination callback. It fires exactly
+// once, when the connection leaves service for any reason: local Close, peer
+// CONNECTION_CLOSE, idle timeout, or handshake failure.
+func (c *Conn) SetOnClosed(fn func(now time.Duration, code uint64, reason string, local bool)) {
+	c.cfg.OnClosed = fn
+}
+
 // SetQoEProvider installs the client-side QoE signal source piggybacked on
 // outgoing ACK_MP frames.
 func (c *Conn) SetQoEProvider(fn func() wire.QoESignal) {
@@ -202,8 +256,24 @@ func (c *Conn) SetReinjectionMode(m ReinjectionMode) {
 // Established reports whether the handshake has completed.
 func (c *Conn) Established() bool { return c.state == stateEstablished }
 
-// Closed reports whether the connection is closed.
-func (c *Conn) Closed() bool { return c.state == stateClosed }
+// Closed reports whether the connection has left service: it is closing,
+// draining, or fully terminated. Traffic no longer flows in any of these.
+func (c *Conn) Closed() bool { return c.state >= stateClosing }
+
+// Terminated reports whether the connection reached the terminal closed
+// state: all timers cancelled, no further events will fire.
+func (c *Conn) Terminated() bool { return c.state == stateClosed }
+
+// StateName returns the lifecycle state for logging and tests.
+func (c *Conn) StateName() string { return c.state.String() }
+
+// PrimaryPathID returns the ID of the current primary path. It starts at 0
+// and changes only when the primary is abandoned and another path is
+// re-elected.
+func (c *Conn) PrimaryPathID() uint64 { return c.primaryID }
+
+// PrimaryPath returns the current primary path, or nil before Start.
+func (c *Conn) PrimaryPath() *Path { return c.paths[c.primaryID] }
 
 // MultipathEnabled reports whether multi-path was negotiated.
 func (c *Conn) MultipathEnabled() bool { return c.multipath }
@@ -297,6 +367,7 @@ func (c *Conn) Start() error {
 		c.localRandom[i] = byte(c.rng.Intn(256))
 	}
 	c.helloPayload = append(append([]byte(nil), c.localRandom[:]...), c.cfg.Params.Append(nil)...)
+	c.lastRecvActivity = c.env.Now() // idle clock starts at first send
 	c.sendInitial()
 	c.rearmTimer()
 	return nil
@@ -354,6 +425,25 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 	if c.state == stateClosed || len(data) == 0 {
 		return
 	}
+	if c.state == stateDraining {
+		// RFC 9000 §10.2.2: in draining we send nothing, but keep absorbing
+		// the peer's stragglers until the drain deadline.
+		c.stats.RecvPackets++
+		c.stats.RecvBytes += uint64(len(data))
+		return
+	}
+	if c.state == stateClosing {
+		// §10.2.1: answer stray packets with the retained CONNECTION_CLOSE,
+		// exponentially rate-limited (every 1st, 2nd, 4th, 8th... packet) so
+		// a closing pair cannot ping-pong forever.
+		c.stats.RecvPackets++
+		c.stats.RecvBytes += uint64(len(data))
+		c.closeRecvCount++
+		if c.closeRecvCount&(c.closeRecvCount-1) == 0 {
+			c.resendClose()
+		}
+		return
+	}
 	c.stats.RecvPackets++
 	c.stats.RecvBytes += uint64(len(data))
 	if wire.IsLongHeader(data[0]) {
@@ -397,6 +487,7 @@ func (c *Conn) serverHandleClientInitial(now time.Duration, netIdx int, data []b
 	if err != nil {
 		return
 	}
+	c.lastRecvActivity = now
 	if int64(hdr.PacketNumber) > c.initLargestRecv {
 		c.initLargestRecv = int64(hdr.PacketNumber)
 	}
@@ -447,6 +538,7 @@ func (c *Conn) clientHandleServerInitial(now time.Duration, data []byte) {
 	if err != nil {
 		return
 	}
+	c.lastRecvActivity = now
 	if int64(hdr.PacketNumber) > c.initLargestRecv {
 		c.initLargestRecv = int64(hdr.PacketNumber)
 	}
@@ -615,6 +707,7 @@ func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 	if err != nil {
 		return
 	}
+	c.lastRecvActivity = now
 	if !c.handshakeDone {
 		// Receiving 1-RTT confirms the peer has our keys.
 		c.handshakeDone = true
@@ -639,6 +732,9 @@ func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 	p.RecvBytes += uint64(len(data))
 	for _, f := range frames {
 		c.handleFrame(now, p, f)
+		if c.state >= stateClosing {
+			return // a CONNECTION_CLOSE ended the connection mid-packet
+		}
 	}
 }
 
@@ -731,8 +827,7 @@ func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
 			s.Reset(fr.ErrorCode)
 		}
 	case *wire.ConnectionCloseFrame:
-		c.state = stateClosed
-		c.cancelTimer()
+		c.enterDraining(now, fr.ErrorCode, fr.Reason)
 	case *wire.CryptoFrame:
 		// CRYPTO in 1-RTT unused in the simplified handshake.
 	}
@@ -946,8 +1041,58 @@ func (c *Conn) AbandonPath(id uint64) {
 	}, -1, true)
 	p.State = PathClosed
 	c.evacuatePath(now, p)
+	if id == c.primaryID {
+		c.reelectPrimary(now)
+	}
 	c.wakeSend()
 	c.rearmTimer()
+}
+
+// reelectPrimary promotes another path to primary after the old primary was
+// abandoned: prefer usable paths by wireless technology rank then smoothed
+// RTT, falling back to any non-closed path. Keepalives and close frames
+// follow the new primary.
+func (c *Conn) reelectPrimary(now time.Duration) {
+	var best *Path
+	better := func(cand, cur *Path) bool {
+		if cur == nil {
+			return true
+		}
+		candUse, curUse := cand.Usable(), cur.Usable()
+		if candUse != curUse {
+			return candUse
+		}
+		if a, b := cand.Tech.PrimaryPreference(), cur.Tech.PrimaryPreference(); a != b {
+			return a < b
+		}
+		return cand.RTT.Smoothed() < cur.RTT.Smoothed()
+	}
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if p.State == PathClosed || id == c.primaryID {
+			continue
+		}
+		if better(p, best) {
+			best = p
+		}
+	}
+	if best == nil {
+		return // no survivor; the idle timeout will end the connection
+	}
+	c.primaryID = best.ID
+	c.stats.PrimaryReElections++
+}
+
+// anotherUsablePath reports whether a usable path other than p exists — the
+// precondition for giving up on p entirely.
+func (c *Conn) anotherUsablePath(p *Path) bool {
+	for _, id := range c.pathOrder {
+		q := c.paths[id]
+		if q != p && q.State != PathClosed && q.Usable() {
+			return true
+		}
+	}
+	return false
 }
 
 // MigratePrimary implements QUIC connection migration (CM baseline): the
@@ -974,23 +1119,106 @@ func (c *Conn) MigratePrimary(netIdx int, tech trace.Technology) {
 	c.rearmTimer()
 }
 
-// Close terminates the connection, notifying the peer on every active path.
+// Close terminates the connection, notifying the peer with CONNECTION_CLOSE
+// on every path that can carry it, then enters the closing state (RFC 9000
+// §10.2.1): the frame is retained and re-sent in response to stray peer
+// packets until 3×PTO elapses, when the connection becomes terminal.
 func (c *Conn) Close(code uint64, reason string) {
-	if c.state == stateClosed {
+	if c.state >= stateClosing {
 		return
 	}
-	frame := &wire.ConnectionCloseFrame{ErrorCode: code, Reason: reason}
+	if c.txSealer == nil {
+		// Mid-handshake: no 1-RTT keys to seal a close with. Terminate
+		// immediately and silently.
+		c.closeSilently(c.env.Now(), code, reason)
+		return
+	}
+	c.closeFrame = &wire.ConnectionCloseFrame{ErrorCode: code, Reason: reason}
+	c.resendClose()
+	c.enterClosing(c.env.Now(), code, reason)
+}
+
+// resendClose transmits the retained CONNECTION_CLOSE on every path that has
+// a usable destination CID — not just active paths, so a close issued during
+// a blackout still reaches the peer if any address works.
+func (c *Conn) resendClose() {
+	if c.closeFrame == nil || c.txSealer == nil {
+		return
+	}
+	payload := c.closeFrame.Append(nil)
 	for _, id := range c.pathOrder {
 		p := c.paths[id]
-		if p.State != PathActive || c.txSealer == nil {
+		if p.State == PathClosed || p.DCID == nil {
 			continue
 		}
-		payload := frame.Append(nil)
 		pn := p.Space.NextPN()
 		pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
 		c.sender.SendDatagram(p.NetIdx, pkt)
+		c.stats.SentPackets++
+		c.stats.SentBytes += uint64(len(pkt))
 	}
+}
+
+// maxPathPTO returns the largest PTO interval across paths, the unit of the
+// §10.2 drain period.
+func (c *Conn) maxPathPTO() time.Duration {
+	max := c.initRTT.PTO()
+	for _, id := range c.pathOrder {
+		if pto := c.paths[id].RTT.PTO(); pto > max {
+			max = pto
+		}
+	}
+	return max
+}
+
+// recordClose stamps the close outcome into stats and fires OnClosed once.
+func (c *Conn) recordClose(now time.Duration, code uint64, reason string, local bool) {
+	if c.closedFired {
+		return
+	}
+	c.closedFired = true
+	c.stats.CloseErrorCode = code
+	c.stats.CloseReason = reason
+	c.stats.CloseLocal = local
+	if c.cfg.OnClosed != nil {
+		c.cfg.OnClosed(now, code, reason, local)
+	}
+}
+
+// enterClosing starts the local-close drain period.
+func (c *Conn) enterClosing(now time.Duration, code uint64, reason string) {
+	c.state = stateClosing
+	c.drainDeadline = now + 3*c.maxPathPTO()
+	c.recordClose(now, code, reason, true)
+	c.rearmTimer()
+}
+
+// enterDraining reacts to a peer CONNECTION_CLOSE: go silent, wait out the
+// drain period so late packets are absorbed, then terminate.
+func (c *Conn) enterDraining(now time.Duration, code uint64, reason string) {
+	if c.state >= stateClosing {
+		return
+	}
+	c.state = stateDraining
+	c.drainDeadline = now + 3*c.maxPathPTO()
+	c.recordClose(now, code, reason, false)
+	c.rearmTimer()
+}
+
+// closeSilently terminates without notifying the peer — idle timeout
+// (RFC 9000 §10.1) and handshake failure, where no send is possible or
+// useful.
+func (c *Conn) closeSilently(now time.Duration, code uint64, reason string) {
+	if c.state == stateClosed {
+		return
+	}
+	c.recordClose(now, code, reason, true)
+	c.enterTerminal()
+}
+
+// enterTerminal moves to the terminal closed state and cancels all timers,
+// quiescing the event loop.
+func (c *Conn) enterTerminal() {
 	c.state = stateClosed
-	c.closeCode = code
 	c.cancelTimer()
 }

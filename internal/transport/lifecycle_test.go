@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestHandshakeTimeoutTerminal checks the hardened handshake failure path:
+// when every path is dead from the start, the client must not retransmit its
+// Initial forever. Once the PTO budget is exhausted it enters a terminal
+// error state surfaced via Stats and OnClosed, and its timers quiesce.
+func TestHandshakeTimeoutTerminal(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	ccfg.HandshakeMaxPTOs = 3 // 1+2+4+8 seconds of initial-PTO backoff
+	pair := NewPair(loop, sim.NewRNG(11), TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+	pair.Network.Paths[0].SetDown(true)
+	pair.Network.Paths[1].SetDown(true)
+
+	var closedAt time.Duration
+	var closedCode uint64
+	var closedCount int
+	pair.Client.SetOnClosed(func(now time.Duration, code uint64, reason string, local bool) {
+		closedAt = now
+		closedCode = code
+		closedCount++
+		if !local {
+			t.Error("handshake failure must be reported as a local close")
+		}
+	})
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pair.RunUntil(30 * time.Second)
+
+	if !pair.Client.Terminated() {
+		t.Fatalf("client state %q, want terminal closed", pair.Client.StateName())
+	}
+	if closedCount != 1 {
+		t.Fatalf("OnClosed fired %d times, want exactly 1", closedCount)
+	}
+	if closedCode != ErrCodeHandshakeTimeout {
+		t.Fatalf("close code %#x, want ErrCodeHandshakeTimeout", closedCode)
+	}
+	if st := pair.Client.Stats(); st.CloseErrorCode != ErrCodeHandshakeTimeout || !st.CloseLocal {
+		t.Fatalf("stats close info wrong: %+v", st)
+	}
+	if closedAt == 0 || closedAt > 25*time.Second {
+		t.Fatalf("handshake gave up at %v; want bounded failure", closedAt)
+	}
+	// Terminal means quiescent: no timer may keep the event loop alive.
+	if n := loop.Run(64); n != 0 {
+		t.Fatalf("event loop still live after terminal close: %d events ran", n)
+	}
+}
+
+// TestIdleTimeoutTerminal checks RFC 9000 §10.1 behavior: when every path
+// dies after the handshake, both endpoints close silently once IdleTimeout
+// passes without received packets, and the event loop quiesces (no leaked
+// retransmission timers).
+func TestIdleTimeoutTerminal(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	ccfg.IdleTimeout = time.Second
+	scfg.IdleTimeout = time.Second
+	pair := NewPair(loop, sim.NewRNG(12), TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Check establishment well before the idle timeout can fire: with no
+	// traffic and no keepalive, timing out after 1s of silence is correct.
+	pair.RunUntil(300 * time.Millisecond)
+	if !pair.Client.Established() || !pair.Server.Established() {
+		t.Fatal("handshake failed")
+	}
+	pair.Network.Paths[0].SetDown(true)
+	pair.Network.Paths[1].SetDown(true)
+	pair.RunUntil(30 * time.Second)
+
+	for name, c := range map[string]*Conn{"client": pair.Client, "server": pair.Server} {
+		if !c.Terminated() {
+			t.Fatalf("%s state %q, want terminal closed", name, c.StateName())
+		}
+		if st := c.Stats(); st.CloseErrorCode != ErrCodeIdleTimeout {
+			t.Fatalf("%s close code %#x, want ErrCodeIdleTimeout", name, st.CloseErrorCode)
+		}
+	}
+	if n := loop.Run(64); n != 0 {
+		t.Fatalf("event loop still live after both endpoints terminated: %d events ran", n)
+	}
+}
+
+// TestCloseLifecycleStates walks the full §10.2 machine: a local Close
+// enters closing (close frame retained), the peer enters draining, and both
+// reach the terminal state after the drain period without leaking timers.
+func TestCloseLifecycleStates(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	pair := NewPair(loop, sim.NewRNG(13), TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+	var serverLocal, serverFired = true, false
+	pair.Server.SetOnClosed(func(now time.Duration, code uint64, reason string, local bool) {
+		serverLocal = local
+		serverFired = true
+	})
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pair.RunUntil(time.Second)
+	pair.Client.Close(7, "bye")
+	if got := pair.Client.StateName(); got != "closing" {
+		t.Fatalf("client state after Close: %q, want closing", got)
+	}
+	pair.RunUntil(1200 * time.Millisecond)
+	if got := pair.Server.StateName(); got != "draining" && got != "closed" {
+		t.Fatalf("server state after peer close: %q, want draining/closed", got)
+	}
+	if !serverFired || serverLocal {
+		t.Fatalf("server OnClosed fired=%v local=%v, want fired remote close", serverFired, serverLocal)
+	}
+	if st := pair.Server.Stats(); st.CloseErrorCode != 7 || st.CloseReason != "bye" {
+		t.Fatalf("server close info %+v, want code 7 reason bye", st)
+	}
+	pair.RunUntil(30 * time.Second)
+	if !pair.Client.Terminated() || !pair.Server.Terminated() {
+		t.Fatalf("states after drain: client=%q server=%q, want closed/closed",
+			pair.Client.StateName(), pair.Server.StateName())
+	}
+	if n := loop.Run(64); n != 0 {
+		t.Fatalf("event loop still live after drain: %d events ran", n)
+	}
+}
+
+// TestKeepAliveSustainsIdleConnection checks that primary-path keepalives
+// prevent a healthy-but-idle connection from tripping its own idle timeout.
+func TestKeepAliveSustainsIdleConnection(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	ccfg.IdleTimeout = 500 * time.Millisecond
+	ccfg.KeepAliveInterval = 150 * time.Millisecond
+	scfg.IdleTimeout = 500 * time.Millisecond
+	scfg.KeepAliveInterval = 150 * time.Millisecond
+	pair := NewPair(loop, sim.NewRNG(14), TwoPathConfig(10, 10, 20*time.Millisecond, 60*time.Millisecond), ccfg, scfg)
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pair.RunUntil(5 * time.Second) // ten idle timeouts' worth of silence
+	if pair.Client.Closed() || pair.Server.Closed() {
+		t.Fatalf("idle-but-healthy connection closed: client=%q server=%q",
+			pair.Client.StateName(), pair.Server.StateName())
+	}
+	if pair.Client.Stats().KeepAlivesSent == 0 {
+		t.Fatal("client sent no keepalives")
+	}
+}
+
+// TestPTOGiveUpAbandonsDeadPath checks the give-up rule: when a path's PTO
+// count crosses the threshold while another usable path exists, the path is
+// abandoned outright and, if it was the primary, a survivor is re-elected.
+func TestPTOGiveUpAbandonsDeadPath(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	pair := NewPair(loop, sim.NewRNG(15), TwoPathConfig(8, 8, 20*time.Millisecond, 40*time.Millisecond), ccfg, scfg)
+	// Kill the primary (wifi) permanently mid-transfer.
+	loop.At(500*time.Millisecond, func(time.Duration) {
+		pair.Network.Paths[0].SetDown(true)
+	})
+	transfer(t, pair, 1<<20, 60*time.Second)
+	st := pair.Client.Stats()
+	if st.AutoAbandonedPaths == 0 {
+		t.Fatal("client never gave up on the dead primary")
+	}
+	if pair.Client.Path(0).State != PathClosed {
+		t.Fatalf("dead path state %v, want closed", pair.Client.Path(0).State)
+	}
+	if pair.Client.PrimaryPathID() != 1 {
+		t.Fatalf("primary still %d, want re-election to 1", pair.Client.PrimaryPathID())
+	}
+	if st.PrimaryReElections == 0 {
+		t.Fatal("primary re-election not counted")
+	}
+	// The peer learns via PATH_STATUS(abandon).
+	if pair.Server.Path(0).State != PathClosed {
+		t.Fatalf("server path 0 state %v, want closed after abandon", pair.Server.Path(0).State)
+	}
+}
+
+// TestEvacuatedPathLateAcksHarmless covers suspect-path evacuation racing
+// late acknowledgements: path 0 suddenly gains 2s of one-way delay, so the
+// sender declares everything on it lost (standby + evacuation), retransmits
+// on the survivor — and then the original ACKs arrive, 4+ seconds stale,
+// for packets already declared lost. Those must be absorbed without panics
+// or accounting damage, and the transfer must complete exactly.
+func TestEvacuatedPathLateAcksHarmless(t *testing.T) {
+	loop := sim.NewLoop()
+	ccfg, scfg := defaultMPConfig()
+	// Original-path acks keep path-0 ACKs on the delayed path, maximizing
+	// staleness.
+	ccfg.AckPolicy = AckOriginalPath
+	pair := NewPair(loop, sim.NewRNG(16), TwoPathConfig(8, 8, 20*time.Millisecond, 40*time.Millisecond), ccfg, scfg)
+	loop.At(500*time.Millisecond, func(time.Duration) {
+		pair.Network.Paths[0].SetExtraDelay(2 * time.Second)
+	})
+	_, done := transfer(t, pair, 1<<20, 60*time.Second)
+	if done == 0 {
+		t.Fatal("transfer did not complete")
+	}
+	st := pair.Server.Stats()
+	if st.RtxBytesSent == 0 {
+		t.Fatal("evacuation should have forced retransmissions on the survivor")
+	}
+	// Late ACK_MP frames for evacuated packets did arrive (the path kept
+	// delivering, just very late) — receiving them is the point of the test.
+	if pair.Server.Path(0) == nil {
+		t.Fatal("path 0 vanished")
+	}
+}

@@ -18,7 +18,7 @@ func (c *Conn) shortHeaderOverhead() int {
 // wakeSend requests a send pass. Safe to call from any handler; the pass
 // runs inline unless we are already inside one.
 func (c *Conn) wakeSend() {
-	if c.inSend || c.state == stateClosed {
+	if c.inSend || c.state >= stateClosing {
 		return
 	}
 	now := c.env.Now()
@@ -739,11 +739,18 @@ func (c *Conn) cancelTimer() {
 
 // nextDeadline computes the earliest pending deadline.
 func (c *Conn) nextDeadline() time.Duration {
+	if c.state == stateClosing || c.state == stateDraining {
+		// Only the drain deadline matters; loss recovery is over.
+		return c.drainDeadline
+	}
 	var deadline time.Duration
 	consider := func(d time.Duration) {
 		if d > 0 && (deadline == 0 || d < deadline) {
 			deadline = d
 		}
+	}
+	if c.cfg.IdleTimeout > 0 {
+		consider(c.lastRecvActivity + c.cfg.IdleTimeout)
 	}
 	if c.state == stateHandshake || !c.handshakeDone {
 		if c.initSpace.HasUnacked() {
@@ -761,6 +768,13 @@ func (c *Conn) nextDeadline() time.Duration {
 		}
 		if c.cfg.QoEStandaloneInterval > 0 && c.cfg.QoEProvider != nil && c.multipath {
 			consider(c.nextStandaloneQoE)
+		}
+		if c.cfg.KeepAliveInterval > 0 {
+			last := c.lastRecvActivity
+			if c.lastKeepAlive > last {
+				last = c.lastKeepAlive
+			}
+			consider(last + c.cfg.KeepAliveInterval)
 		}
 	}
 	return deadline
@@ -807,22 +821,50 @@ func (c *Conn) rearmTimer() {
 	c.timerCancel = c.env.Schedule(deadline, c.onTimer)
 }
 
-// onTimer handles loss, PTO and delayed-ack deadlines.
+// onTimer handles drain, idle, loss, PTO, keepalive and delayed-ack
+// deadlines.
 func (c *Conn) onTimer(now time.Duration) {
 	c.timerCancel = nil
 	if c.state == stateClosed {
 		return
 	}
-	// Handshake retransmission.
+	if c.state == stateClosing || c.state == stateDraining {
+		if now >= c.drainDeadline {
+			c.enterTerminal()
+		} else {
+			c.rearmTimer()
+		}
+		return
+	}
+	// Idle timeout (RFC 9000 §10.1): nothing received for IdleTimeout means
+	// the peer (or every path to it) is gone; close silently.
+	if c.cfg.IdleTimeout > 0 && now >= c.lastRecvActivity+c.cfg.IdleTimeout {
+		c.closeSilently(now, ErrCodeIdleTimeout, "idle timeout")
+		return
+	}
+	// Handshake retransmission, with a terminal error once the PTO budget is
+	// exhausted: a connection that can never complete its handshake must
+	// surface the failure (Stats + OnClosed) instead of stalling silently
+	// with a live retransmission timer.
 	if (c.state == stateHandshake || !c.handshakeDone) && c.initSpace.HasUnacked() {
 		if d := c.initSpace.PTODeadline(); d > 0 && now >= d {
 			c.initSpace.OnPTO(now)
-			if c.initSpace.PTOCount() <= 8 {
-				c.sendInitial()
+			if c.initSpace.PTOCount() > c.cfg.HandshakeMaxPTOs {
+				if c.state == stateHandshake {
+					// No 1-RTT keys yet; nothing useful to send.
+					c.closeSilently(now, ErrCodeHandshakeTimeout, "handshake timed out")
+				} else {
+					// Established (server side) but the peer never confirmed:
+					// close properly in case a path still works.
+					c.Close(ErrCodeHandshakeTimeout, "handshake confirmation timed out")
+				}
+				return
 			}
+			c.sendInitial()
 		}
 	}
 	if c.state == stateEstablished {
+		c.maybeKeepAlive(now)
 		for _, id := range c.pathOrder {
 			p := c.paths[id]
 			if lt := p.Space.LossTime(); lt > 0 && now >= lt {
@@ -841,10 +883,39 @@ func (c *Conn) onTimer(now time.Duration) {
 	c.rearmTimer()
 }
 
+// maybeKeepAlive queues a PING on the primary path when the connection has
+// been receive-silent for KeepAliveInterval, so an idle-but-healthy
+// connection never trips its own idle timeout.
+func (c *Conn) maybeKeepAlive(now time.Duration) {
+	if c.cfg.KeepAliveInterval <= 0 {
+		return
+	}
+	last := c.lastRecvActivity
+	if c.lastKeepAlive > last {
+		last = c.lastKeepAlive
+	}
+	if now < last+c.cfg.KeepAliveInterval {
+		return
+	}
+	c.lastKeepAlive = now
+	c.stats.KeepAlivesSent++
+	c.queueCtrl(&wire.PingFrame{}, int64(c.primaryID), false)
+}
+
 // onPathPTO probes a path after a timeout: the oldest unacked frames are
 // re-queued and transmitted as new packets.
 func (c *Conn) onPathPTO(now time.Duration, p *Path) {
 	probes := p.Space.OnPTO(now)
+	if c.cfg.PathGiveUpPTOs > 0 && !c.cfg.DisablePathHealth && c.multipath &&
+		p.Space.PTOCount() >= c.cfg.PathGiveUpPTOs && c.anotherUsablePath(p) {
+		// The path has timed out so many times in a row that suspicion and
+		// standby demotion were not enough: give up on it outright while a
+		// usable alternative exists. The peer learns via PATH_STATUS(abandon)
+		// and, if this was the primary, a survivor is re-elected.
+		c.stats.AutoAbandonedPaths++
+		c.AbandonPath(p.ID)
+		return
+	}
 	if p.Space.PTOCount() >= 2 {
 		if !c.cfg.DisablePathHealth && !p.suspect && c.multipath && len(c.pathOrder) > 1 {
 			// XLINK path management (Sec 5.3/6): repeated timeouts demote

@@ -21,6 +21,9 @@ step go run ./cmd/xlinkvet ./...
 step go test ./...
 step go test -tags xlinkdebug ./...
 step go test -race ./...
+# Chaos smoke: the fault-injection corpus under assertions + race detector
+# (plain `go test ./...` above already ran it once without either).
+step go test -race -tags xlinkdebug -count=1 ./internal/chaos/
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFrame -fuzztime "$FUZZTIME"
