@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet xlinkvet selftest test debugtest race fuzz chaos check
+.PHONY: build vet xlinkvet selftest test debugtest race fuzz chaos trace check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ chaos:
 		-run 'TestChaos'
 	$(GO) test -race -tags xlinkdebug -count=1 ./internal/transport/ \
 		-run 'TestHandshakeTimeoutTerminal|TestIdleTimeoutTerminal|TestCloseLifecycleStates|TestKeepAliveSustainsIdleConnection|TestPTOGiveUpAbandonsDeadPath|TestEvacuatedPathLateAcksHarmless'
+
+# Replay one chaos scenario with the qlog-style tracer attached and print
+# the summary views (per-path timelines, Alg. 1 decision table,
+# loss/rebuffer correlation). `go run ./cmd/xlinkqlog -list` enumerates
+# scenarios; see DESIGN.md §9.
+SCENARIO ?= interface-death
+trace:
+	$(GO) run ./cmd/xlinkqlog -run $(SCENARIO) -summary
 
 check:
 	./scripts/check.sh

@@ -1,0 +1,283 @@
+// Command xlinkqlog generates and summarizes XLINK's qlog-style NDJSON
+// traces (internal/obs). It closes the observability loop of DESIGN.md §9:
+// any chaos-corpus scenario can be replayed with a tracer attached, and the
+// resulting trace rendered as per-path timelines, an Alg. 1 re-injection
+// decision table and a loss/rebuffer correlation — the views the paper's
+// debugging story (Sec 6) needs.
+//
+// Usage:
+//
+//	xlinkqlog -list                    list the chaos corpus scenarios
+//	xlinkqlog -run <scenario> [-o f]   replay a scenario with tracing and
+//	                                   write the NDJSON trace (default stdout)
+//	xlinkqlog [-metrics] <trace.ndjson> summarize a trace file
+//	xlinkqlog -run <scenario> -summary replay and summarize in one step
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list corpus scenarios and exit")
+	run := flag.String("run", "", "replay this corpus scenario with a tracer attached")
+	out := flag.String("o", "", "write the generated trace to this file (default stdout)")
+	summary := flag.Bool("summary", false, "with -run: summarize instead of dumping the trace")
+	metrics := flag.Bool("metrics", false, "also dump the metrics registry exposition")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, sc := range chaos.Corpus() {
+			fmt.Printf("%-18s seed=%-4d script=%s\n", sc.Name, sc.Seed, sc.Script.Name)
+		}
+	case *run != "":
+		sc, ok := chaos.ScenarioByName(*run)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q (use -list)", *run))
+		}
+		sc.Tracer = obs.NewTrace(sc.Name)
+		res := chaos.Run(sc)
+		if *summary {
+			evs, err := obs.ParseBytes(sc.Tracer.Bytes())
+			if err != nil {
+				fatal(err)
+			}
+			summarize(os.Stdout, sc.Name, evs)
+		} else if *out != "" {
+			if err := os.WriteFile(*out, sc.Tracer.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d events, completed=%v, %d bytes -> %s\n",
+				sc.Name, sc.Tracer.EventCount(), res.Completed, len(sc.Tracer.Bytes()), *out)
+		} else {
+			os.Stdout.Write(sc.Tracer.Bytes())
+		}
+		if *metrics {
+			fmt.Println("== metrics ==")
+			sc.Tracer.Registry().Dump(os.Stdout)
+		}
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		evs, err := obs.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		summarize(os.Stdout, flag.Arg(0), evs)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xlinkqlog:", err)
+	os.Exit(1)
+}
+
+// summarize renders the human views of one trace.
+func summarize(w *os.File, title string, evs []obs.Event) {
+	fmt.Fprintf(w, "trace %s: %d events\n\n", title, len(evs))
+	eventTable(w, evs)
+	pathTimelines(w, evs)
+	decisionTable(w, evs)
+	lossRebufferCorrelation(w, evs)
+}
+
+// eventTable prints per-(origin, name) event counts.
+func eventTable(w *os.File, evs []obs.Event) {
+	type key struct{ origin, name string }
+	counts := map[key]int{}
+	for _, e := range evs {
+		counts[key{e.Origin, string(e.Name)}]++
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].name < keys[j].name
+	})
+	fmt.Fprintln(w, "== event counts ==")
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-8s %-28s %6d\n", k.origin, k.name, counts[k])
+	}
+	fmt.Fprintln(w)
+}
+
+// pathTimelines prints, per origin and path, the lifecycle transitions in
+// time order alongside traffic totals.
+func pathTimelines(w *os.File, evs []obs.Event) {
+	fmt.Fprintln(w, "== path timelines ==")
+	type pkey struct {
+		origin string
+		path   uint64
+	}
+	type tally struct {
+		sent, lost, reinj int
+		sentBytes         uint64
+		lines             []string
+	}
+	tallies := map[pkey]*tally{}
+	get := func(e obs.Event) *tally {
+		k := pkey{e.Origin, e.U64("path")}
+		tl := tallies[k]
+		if tl == nil {
+			tl = &tally{}
+			tallies[k] = tl
+		}
+		return tl
+	}
+	for _, e := range evs {
+		switch e.Name {
+		case obs.EvPathAdded:
+			get(e).lines = append(get(e).lines, fmt.Sprintf("%12v  added (net=%d tech=%s)", e.Time, e.I64("net"), e.Str("tech")))
+		case obs.EvPathValidated:
+			get(e).lines = append(get(e).lines, fmt.Sprintf("%12v  validated", e.Time))
+		case obs.EvPathState:
+			get(e).lines = append(get(e).lines, fmt.Sprintf("%12v  -> %s (%s)", e.Time, e.Str("state"), e.Str("reason")))
+		case obs.EvPathAbandoned:
+			get(e).lines = append(get(e).lines, fmt.Sprintf("%12v  abandoned (%s)", e.Time, e.Str("reason")))
+		case obs.EvPrimaryChanged:
+			// Attribute to the new primary's timeline.
+			k := pkey{e.Origin, e.U64("new")}
+			if tallies[k] == nil {
+				tallies[k] = &tally{}
+			}
+			tallies[k].lines = append(tallies[k].lines,
+				fmt.Sprintf("%12v  elected primary (was %d)", e.Time, e.U64("old")))
+		case obs.EvPacketSent:
+			t := get(e)
+			t.sent++
+			t.sentBytes += e.U64("bytes")
+		case obs.EvPacketLost:
+			get(e).lost++
+		case obs.EvReinjectSend:
+			get(e).reinj++
+		}
+	}
+	keys := make([]pkey, 0, len(tallies))
+	for k := range tallies {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].path < keys[j].path
+	})
+	for _, k := range keys {
+		tl := tallies[k]
+		fmt.Fprintf(w, "  %s path %d: sent=%d (%d bytes) lost=%d reinjected=%d\n",
+			k.origin, k.path, tl.sent, tl.sentBytes, tl.lost, tl.reinj)
+		for _, l := range tl.lines {
+			fmt.Fprintf(w, "    %s\n", l)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// decisionTable prints the Alg. 1 evaluations: Δt against both thresholds
+// and the verdict, collapsing runs of identical verdicts to transitions.
+func decisionTable(w *os.File, evs []obs.Event) {
+	fmt.Fprintln(w, "== qoe re-injection decisions (Alg. 1) ==")
+	var total, enables int
+	lastVerdict := ""
+	for _, e := range evs {
+		if e.Name != obs.EvQoEDecision {
+			continue
+		}
+		total++
+		verdict := "off"
+		if e.Bool("enable") {
+			verdict = "ON"
+			enables++
+		}
+		if verdict != lastVerdict {
+			fmt.Fprintf(w, "  %12v  dt=%-12v tth1=%-8v tth2=%-8v max_deliver=%-12v -> %s\n",
+				e.Time, e.Dur("dt"), e.Dur("tth1"), e.Dur("tth2"), e.Dur("max_deliver"), verdict)
+			lastVerdict = verdict
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "  (none)")
+	} else {
+		fmt.Fprintf(w, "  %d decisions, %d enabled (%.1f%%); transitions shown above\n",
+			total, enables, 100*float64(enables)/float64(total))
+	}
+	fmt.Fprintln(w)
+}
+
+// lossRebufferCorrelation lines up faults, packet losses and player stalls
+// on one timeline — the paper's core observability question ("did this
+// network event cost the viewer anything?").
+func lossRebufferCorrelation(w *os.File, evs []obs.Event) {
+	fmt.Fprintln(w, "== loss / rebuffer correlation ==")
+	const bucket = 250 * time.Millisecond
+	losses := map[time.Duration]int{}
+	var marks []string
+	for _, e := range evs {
+		switch e.Name {
+		case obs.EvPacketLost:
+			losses[e.Time/bucket*bucket]++
+		case obs.EvFaultInjected:
+			marks = append(marks, fmt.Sprintf("%12v  fault %-5s %s", e.Time, e.Str("phase"), e.Str("op")))
+		case obs.EvVideoRebufferStart:
+			marks = append(marks, fmt.Sprintf("%12v  REBUFFER start (#%d)", e.Time, e.I64("count")))
+		case obs.EvVideoRebufferEnd:
+			marks = append(marks, fmt.Sprintf("%12v  rebuffer end (stalled %v)", e.Time, e.Dur("stall")))
+		case obs.EvVideoPlaybackStart:
+			marks = append(marks, fmt.Sprintf("%12v  playback started", e.Time))
+		case obs.EvVideoFinished:
+			marks = append(marks, fmt.Sprintf("%12v  playback finished", e.Time))
+		case obs.EvConnState:
+			marks = append(marks, fmt.Sprintf("%12v  conn %s: %s -> %s", e.Time, e.Origin, e.Str("old"), e.Str("new")))
+		}
+	}
+	times := make([]time.Duration, 0, len(losses))
+	for t := range losses {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		marks = append(marks, fmt.Sprintf("%12v  %d packets lost in [%v, %v)", t, losses[t], t, t+bucket))
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		return parseMarkTime(marks[i]) < parseMarkTime(marks[j])
+	})
+	if len(marks) == 0 {
+		fmt.Fprintln(w, "  (no losses, faults or stalls)")
+	}
+	for _, m := range marks {
+		fmt.Fprintf(w, "  %s\n", m)
+	}
+}
+
+// parseMarkTime recovers the leading duration of a timeline mark for the
+// final merge sort (marks are built per category, then interleaved).
+func parseMarkTime(mark string) time.Duration {
+	s := strings.TrimSpace(mark)
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0
+	}
+	return d
+}

@@ -120,6 +120,7 @@ func runSelftest(loader *vet.Loader, verbose bool) int {
 		{"wireerr", "wireerr", 3},
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
+		{"obsevent", "obsevent", 4},
 	}
 	failed := false
 	for _, tc := range cases {

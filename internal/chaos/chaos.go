@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netem"
+	"repro/internal/obs"
+	"repro/internal/qoe"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/video"
@@ -46,8 +48,16 @@ type Scenario struct {
 	// Deadline bounds the simulated run (default 30 s).
 	Deadline time.Duration
 	// Tweak, when set, adjusts the endpoint configs (idle timeouts,
-	// handshake PTO budgets, ...) before the pair is built.
+	// handshake PTO budgets, ...) before the pair is built. It runs after
+	// the harness defaults (including the re-injection + QoE wiring), so
+	// it can override them.
 	Tweak func(ccfg, scfg *transport.Config)
+	// Tracer, when set, collects the run's qlog-style event stream: both
+	// endpoints emit as "client"/"server", the fault injector as "net",
+	// and the player and QoE controller alongside. nil disables tracing
+	// at zero cost and does not perturb the run (tracing never touches
+	// the RNGs or the clock).
+	Tracer *obs.Trace
 }
 
 // Result is the fully comparable outcome of a run: two Results from the
@@ -78,6 +88,10 @@ type Result struct {
 	// past Deadline (bounded probe). 0 means the loop quiesced — the
 	// no-leaked-timer invariant for terminal scenarios.
 	EventsAfter int
+	// QoEDecisions / QoEEnables count the server-side Alg. 1 evaluations
+	// and how many enabled re-injection — reconciled against the trace's
+	// qoe:reinjection_decision events.
+	QoEDecisions, QoEEnables uint64
 }
 
 // stallTick is the liveness sampling interval.
@@ -104,17 +118,29 @@ func Run(sc Scenario) Result {
 	params.EnableMultipath = true
 	ccfg := transport.Config{Params: params, Seed: sc.Seed}
 	scfg := transport.Config{Params: params, Seed: sc.Seed + 1}
+	// The server runs XLINK's QoE-gated stream-priority re-injection so the
+	// chaos corpus exercises Alg. 1 under faults (not just vanilla-MP).
+	ctrl := qoe.NewController(qoe.Thresholds{Tth1: time.Second, Tth2: 2500 * time.Millisecond})
+	scfg.ReinjectionMode = transport.ReinjectStreamPriority
+	scfg.ReinjectionGate = ctrl.Decide
+	scfg.OnQoE = ctrl.OnSignal
+	ccfg.Tracer = sc.Tracer.Origin("client")
+	scfg.Tracer = sc.Tracer.Origin("server")
+	ctrl.SetTracer(sc.Tracer.Origin("server"))
 	if sc.Tweak != nil {
 		sc.Tweak(&ccfg, &scfg)
 	}
 	pair := transport.NewPair(loop, rng.Fork("net"), sc.Paths, ccfg, scfg)
-	faults.NewInjector(loop, pair.Network, rng.Fork("faults")).Apply(sc.Script)
+	injector := faults.NewInjector(loop, pair.Network, rng.Fork("faults"))
+	injector.SetTracer(sc.Tracer.Origin("net"))
+	injector.Apply(sc.Script)
 
 	v := video.Video{
 		ID: "chaos", Size: sc.VideoBytes,
 		BitrateBps: 2_000_000, FPS: 30, FirstFrameSize: 32 << 10,
 	}
 	player := video.NewPlayer(v, video.DefaultPlayerConfig())
+	player.SetTracer(sc.Tracer.Origin("client"))
 	req := video.NewRequester(pair.Client, v, player, video.DefaultRequesterConfig())
 	srv := video.NewServer(pair.Server, []video.Video{v})
 
@@ -187,5 +213,6 @@ func Run(sc Scenario) Result {
 	res.ClientPrimary = pair.Client.PrimaryPathID()
 	res.AlivePaths = faults.AliveCount(pair.Network)
 	res.EventsAfter = int(loop.Run(quiesceBudget))
+	res.QoEDecisions, res.QoEEnables = ctrl.Stats()
 	return res
 }

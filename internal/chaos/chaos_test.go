@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/faults"
 	"repro/internal/lb"
 	"repro/internal/netem"
 	"repro/internal/sim"
@@ -13,7 +12,9 @@ import (
 	"repro/internal/wire"
 )
 
-// corpusCase pairs a scenario with the invariants it must uphold.
+// corpusCase pairs a Corpus scenario (by name) with the invariants it must
+// uphold. The scenario definitions themselves live in corpus.go so
+// cmd/xlinkqlog can replay them outside the test binary.
 type corpusCase struct {
 	sc Scenario
 	// completes requires the full video to arrive intact before Deadline.
@@ -24,116 +25,26 @@ type corpusCase struct {
 	check func(t *testing.T, r Result)
 }
 
-// corpus is the chaos suite: eight scripted fault scenarios exercising
-// every fault class over the full video pipeline.
+// corpus joins the exported scenarios with their test invariants.
 func corpus() []corpusCase {
-	return []corpusCase{
-		{
-			// Primary blackout: wifi drops for a second mid-transfer; the
-			// survivor must carry the stream with bounded stall.
-			sc: Scenario{
-				Name: "blackout-primary", Seed: 101,
-				Script: faults.Script{Name: "blackout-primary", Ops: []faults.Op{
-					faults.Blackout{Path: 0, From: 500 * time.Millisecond, To: 1500 * time.Millisecond},
-				}},
-				VideoBytes: 2 << 20,
-			},
-			completes:  true,
-			stallBound: 3 * time.Second,
-		},
-		{
-			// Rolling blackouts: the outages overlap for 300 ms with zero
-			// paths alive — that window must not count as stall, and the
-			// transfer must still finish once a path returns.
-			sc: Scenario{
-				Name: "blackout-rolling", Seed: 102,
-				Script: faults.Script{Name: "blackout-rolling", Ops: []faults.Op{
-					faults.Blackout{Path: 0, From: 400 * time.Millisecond, To: 1200 * time.Millisecond},
-					faults.Blackout{Path: 1, From: 900 * time.Millisecond, To: 1700 * time.Millisecond},
-				}},
-				VideoBytes: 2 << 20,
-			},
-			completes:  true,
-			stallBound: 3 * time.Second,
-		},
-		{
-			// Gilbert–Elliott burst loss on both paths for the whole run:
-			// loss recovery must deliver every byte intact.
-			sc: Scenario{
-				Name: "burst-loss", Seed: 103,
-				Script: faults.Script{Name: "burst-loss", Ops: []faults.Op{
-					faults.BurstLoss{Path: 0, From: 0, To: 30 * time.Second, GE: faults.DefaultGE()},
-					faults.BurstLoss{Path: 1, From: 0, To: 30 * time.Second, GE: faults.DefaultGE()},
-				}},
-			},
-			completes:  true,
-			stallBound: 5 * time.Second,
-		},
-		{
-			// RTT spike on the primary (bufferbloat / radio retries): the
-			// path turns suspect, traffic shifts, then recovers.
-			sc: Scenario{
-				Name: "rtt-spike", Seed: 104,
-				Script: faults.Script{Name: "rtt-spike", Ops: []faults.Op{
-					faults.RTTSpike{Path: 0, From: 500 * time.Millisecond, To: 2 * time.Second, Extra: 400 * time.Millisecond},
-				}},
-				VideoBytes: 2 << 20,
-			},
-			completes:  true,
-			stallBound: 3 * time.Second,
-		},
-		{
-			// Duplication + reordering on both paths: the receive path must
-			// discard duplicates and reassemble out-of-order data exactly.
-			sc: Scenario{
-				Name: "dup-reorder", Seed: 105,
-				Script: faults.Script{Name: "dup-reorder", Ops: []faults.Op{
-					faults.DupReorder{Path: 0, From: 0, To: 30 * time.Second,
-						DupRate: 0.05, ReorderRate: 0.1, ReorderDelay: 30 * time.Millisecond},
-					faults.DupReorder{Path: 1, From: 0, To: 30 * time.Second,
-						DupRate: 0.05, ReorderRate: 0.1, ReorderDelay: 30 * time.Millisecond},
-				}},
-			},
-			completes:  true,
-			stallBound: 3 * time.Second,
+	meta := map[string]corpusCase{
+		"blackout-primary": {completes: true, stallBound: 3 * time.Second},
+		"blackout-rolling": {completes: true, stallBound: 3 * time.Second},
+		"burst-loss":       {completes: true, stallBound: 5 * time.Second},
+		"rtt-spike":        {completes: true, stallBound: 3 * time.Second},
+		"dup-reorder": {completes: true, stallBound: 3 * time.Second,
 			check: func(t *testing.T, r Result) {
 				if r.ClientStats.DuplicateBytesRecv == 0 {
 					t.Error("duplication script produced no duplicate bytes")
 				}
-			},
-		},
-		{
-			// Handshake-packet targeting: half of all long-header packets
-			// vanish for 2 s; the PTO machinery must still establish and
-			// the transfer must finish.
-			sc: Scenario{
-				Name: "handshake-loss", Seed: 106,
-				Script: faults.Script{Name: "handshake-loss", Ops: []faults.Op{
-					faults.HandshakeLoss{Path: 0, From: 0, To: 2 * time.Second, Rate: 0.5},
-					faults.HandshakeLoss{Path: 1, From: 0, To: 2 * time.Second, Rate: 0.5},
-				}},
-			},
-			completes:  true,
-			stallBound: 5 * time.Second,
+			}},
+		"handshake-loss": {completes: true, stallBound: 5 * time.Second,
 			check: func(t *testing.T, r Result) {
 				if r.ClientState != "established" {
 					t.Errorf("client state %q, want established", r.ClientState)
 				}
-			},
-		},
-		{
-			// Permanent primary death mid-transfer: clean single-path
-			// fallback — the PTO give-up rule abandons the dead path, a
-			// survivor is re-elected primary, and the transfer completes.
-			sc: Scenario{
-				Name: "interface-death", Seed: 107,
-				Script: faults.Script{Name: "interface-death", Ops: []faults.Op{
-					faults.InterfaceDeath{Path: 0, At: 500 * time.Millisecond},
-				}},
-				VideoBytes: 4 << 20,
-			},
-			completes:  true,
-			stallBound: 4 * time.Second,
+			}},
+		"interface-death": {completes: true, stallBound: 4 * time.Second,
 			check: func(t *testing.T, r Result) {
 				if r.ClientStats.AutoAbandonedPaths == 0 {
 					t.Error("dead primary never abandoned")
@@ -147,24 +58,8 @@ func corpus() []corpusCase {
 				if r.AlivePaths != 1 {
 					t.Errorf("alive paths %d, want 1", r.AlivePaths)
 				}
-			},
-		},
-		{
-			// Total death mid-transfer: both interfaces die for good. Both
-			// endpoints must reach the terminal closed state via idle
-			// timeout and the event loop must quiesce — no leaked timers.
-			sc: Scenario{
-				Name: "total-death", Seed: 108,
-				Script: faults.Script{Name: "total-death", Ops: []faults.Op{
-					faults.InterfaceDeath{Path: 0, At: time.Second},
-					faults.InterfaceDeath{Path: 1, At: time.Second},
-				}},
-				VideoBytes: 16 << 20, // big enough to still be in flight at 1 s
-				Tweak: func(ccfg, scfg *transport.Config) {
-					ccfg.IdleTimeout = 2 * time.Second
-					scfg.IdleTimeout = 2 * time.Second
-				},
-			},
+			}},
+		"total-death": {
 			check: func(t *testing.T, r Result) {
 				if r.Completed {
 					t.Error("transfer completed despite total death at 1s")
@@ -181,22 +76,8 @@ func corpus() []corpusCase {
 					t.Errorf("event loop still live after both terminated: %d events",
 						r.EventsAfter)
 				}
-			},
-		},
-		{
-			// Death before the handshake: the client must give up after its
-			// PTO budget, surface a terminal handshake-timeout error, and
-			// leave no timers behind.
-			sc: Scenario{
-				Name: "handshake-death", Seed: 109,
-				Script: faults.Script{Name: "handshake-death", Ops: []faults.Op{
-					faults.InterfaceDeath{Path: 0, At: 0},
-					faults.InterfaceDeath{Path: 1, At: 0},
-				}},
-				Tweak: func(ccfg, scfg *transport.Config) {
-					ccfg.HandshakeMaxPTOs = 3
-				},
-			},
+			}},
+		"handshake-death": {
 			check: func(t *testing.T, r Result) {
 				if r.Completed || r.StreamBytesRecv != 0 {
 					t.Error("data moved over dead paths")
@@ -212,9 +93,18 @@ func corpus() []corpusCase {
 					t.Errorf("event loop still live after handshake give-up: %d events",
 						r.EventsAfter)
 				}
-			},
-		},
+			}},
 	}
+	var cases []corpusCase
+	for _, sc := range Corpus() {
+		tc, ok := meta[sc.Name]
+		if !ok {
+			panic("corpus scenario without test metadata: " + sc.Name)
+		}
+		tc.sc = sc
+		cases = append(cases, tc)
+	}
+	return cases
 }
 
 // TestChaosCorpus runs every scenario and asserts the shared invariants

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// updateGolden rewrites the committed golden trace:
+//
+//	go test ./internal/chaos -run TestGoldenTrace -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace file")
+
+// goldenScenario is a small, fault-bearing run sized to keep the committed
+// trace reviewable while still exercising blackout handling, re-injection
+// and the video pipeline.
+func goldenScenario() Scenario {
+	return Scenario{
+		Name: "golden", Seed: 42,
+		VideoBytes: 64 << 10,
+		Deadline:   2 * time.Second,
+		Script: faults.Script{Name: "golden", Ops: []faults.Op{
+			faults.Blackout{Path: 0, From: 200 * time.Millisecond, To: 400 * time.Millisecond},
+		}},
+	}
+}
+
+// TestGoldenTrace pins the exact trace bytes of a fixed (scenario, seed)
+// pair. Any diff is either a real behavior change (update the golden file
+// in the same commit, and the diff documents the change) or accidental
+// nondeterminism (a bug: trace emission must be a pure function of the
+// scenario).
+func TestGoldenTrace(t *testing.T) {
+	sc := goldenScenario()
+	sc.Tracer = obs.NewTrace(sc.Name)
+	Run(sc)
+	got := sc.Tracer.Bytes()
+
+	path := filepath.Join("testdata", "golden.trace")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes, %d events)", path, len(got), sc.Tracer.EventCount())
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden trace missing (run with -update to create): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Point at the first diverging line rather than dumping both streams.
+	gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("trace diverges from golden at line %d:\n  got:  %s\n  want: %s\n(rerun with -update if the change is intended)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace length differs from golden: got %d lines, want %d (rerun with -update if intended)",
+		len(gotLines), len(wantLines))
+}

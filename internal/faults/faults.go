@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -37,12 +38,24 @@ type Injector struct {
 	loop *sim.Loop
 	nw   *netem.Network
 	rng  *sim.RNG
+	tr   *obs.Origin
 }
 
 // NewInjector creates an injector over nw. rng seeds the stochastic fault
 // models; fork it per injector so scripts do not perturb other draws.
 func NewInjector(loop *sim.Loop, nw *netem.Network, rng *sim.RNG) *Injector {
 	return &Injector{loop: loop, nw: nw, rng: rng}
+}
+
+// SetTracer installs a structured event tracer: every scripted op then
+// emits fault:injected events when its scheduled phases take effect, so
+// injected faults and the transport's reactions share one timeline. Call
+// before Apply.
+func (in *Injector) SetTracer(o *obs.Origin) { in.tr = o }
+
+// emit records one op phase taking effect at now.
+func (in *Injector) emit(now time.Duration, op Op, phase string) {
+	in.tr.FaultInjected(now, op.String(), phase)
 }
 
 // Apply schedules every op of the script.
@@ -78,8 +91,8 @@ func (o Blackout) apply(in *Injector) {
 	if p == nil {
 		return
 	}
-	in.loop.At(o.From, func(time.Duration) { p.SetDown(true) })
-	in.loop.At(o.To, func(time.Duration) { p.SetDown(false) })
+	in.loop.At(o.From, func(at time.Duration) { in.emit(at, o, "start"); p.SetDown(true) })
+	in.loop.At(o.To, func(at time.Duration) { in.emit(at, o, "end"); p.SetDown(false) })
 }
 
 // --- InterfaceDeath: permanent loss of a path ---
@@ -100,7 +113,7 @@ func (o InterfaceDeath) apply(in *Injector) {
 	if p == nil {
 		return
 	}
-	in.loop.At(o.At, func(time.Duration) { p.SetDown(true) })
+	in.loop.At(o.At, func(at time.Duration) { in.emit(at, o, "start"); p.SetDown(true) })
 }
 
 // --- RTTSpike: a timed latency surge ---
@@ -123,8 +136,8 @@ func (o RTTSpike) apply(in *Injector) {
 	if p == nil {
 		return
 	}
-	in.loop.At(o.From, func(time.Duration) { p.SetExtraDelay(o.Extra) })
-	in.loop.At(o.To, func(time.Duration) { p.SetExtraDelay(0) })
+	in.loop.At(o.From, func(at time.Duration) { in.emit(at, o, "start"); p.SetExtraDelay(o.Extra) })
+	in.loop.At(o.To, func(at time.Duration) { in.emit(at, o, "end"); p.SetExtraDelay(0) })
 }
 
 // --- BurstLoss: Gilbert–Elliott two-state loss ---
@@ -187,8 +200,8 @@ func (o BurstLoss) apply(in *Injector) {
 	}
 	up := &geModel{cfg: o.GE, rng: in.rng.Fork(fmt.Sprintf("ge-%d-up", o.Path))}
 	down := &geModel{cfg: o.GE, rng: in.rng.Fork(fmt.Sprintf("ge-%d-down", o.Path))}
-	in.loop.At(o.From, func(time.Duration) { p.SetDropFuncs(up.drop, down.drop) })
-	in.loop.At(o.To, func(time.Duration) { p.SetDropFuncs(nil, nil) })
+	in.loop.At(o.From, func(at time.Duration) { in.emit(at, o, "start"); p.SetDropFuncs(up.drop, down.drop) })
+	in.loop.At(o.To, func(at time.Duration) { in.emit(at, o, "end"); p.SetDropFuncs(nil, nil) })
 }
 
 // --- DupReorder: duplication and reordering ---
@@ -212,11 +225,13 @@ func (o DupReorder) apply(in *Injector) {
 	if p == nil {
 		return
 	}
-	in.loop.At(o.From, func(time.Duration) {
+	in.loop.At(o.From, func(at time.Duration) {
+		in.emit(at, o, "start")
 		p.SetDuplicate(o.DupRate)
 		p.SetReorder(o.ReorderRate, o.ReorderDelay)
 	})
-	in.loop.At(o.To, func(time.Duration) {
+	in.loop.At(o.To, func(at time.Duration) {
+		in.emit(at, o, "end")
 		p.SetDuplicate(0)
 		p.SetReorder(0, 0)
 	})
@@ -251,8 +266,8 @@ func (o HandshakeLoss) apply(in *Injector) {
 			return rng.Bool(o.Rate)
 		}
 	}
-	in.loop.At(o.From, func(time.Duration) { p.SetDropFuncs(mk("up"), mk("down")) })
-	in.loop.At(o.To, func(time.Duration) { p.SetDropFuncs(nil, nil) })
+	in.loop.At(o.From, func(at time.Duration) { in.emit(at, o, "start"); p.SetDropFuncs(mk("up"), mk("down")) })
+	in.loop.At(o.To, func(at time.Duration) { in.emit(at, o, "end"); p.SetDropFuncs(nil, nil) })
 }
 
 // AliveCount reports how many paths of the network are administratively up.

@@ -1,0 +1,272 @@
+package obs
+
+import "time"
+
+// Typed event emitters. Every method is nil-receiver-safe and takes only
+// scalar arguments so the disabled (nil Origin) path performs no work and
+// no allocations — the zero-overhead guarantee the transport hot paths
+// rely on (see TestNoopTracerZeroAlloc).
+
+// PacketSent records a datagram leaving on a path. kind distinguishes
+// "initial", "1rtt", "ack", "probe", "ctrl" and "close" packets.
+func (o *Origin) PacketSent(now time.Duration, pathID, pn uint64, size int, kind string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPacketSent)
+	o.u64("path", pathID)
+	o.u64("pn", pn)
+	o.i("bytes", int64(size))
+	o.s("kind", kind)
+	o.end()
+}
+
+// PacketReceived records a datagram arriving on a network interface. It is
+// emitted exactly where ConnStats.RecvPackets is incremented, so
+// trace-derived receive counts reconcile with the counter.
+func (o *Origin) PacketReceived(now time.Duration, netIdx, size int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPacketReceived)
+	o.i("net", int64(netIdx))
+	o.i("bytes", int64(size))
+	o.end()
+}
+
+// PacketAcked records one packet newly acknowledged by the peer.
+func (o *Origin) PacketAcked(now time.Duration, pathID, pn uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPacketAcked)
+	o.u64("path", pathID)
+	o.u64("pn", pn)
+	o.end()
+}
+
+// PacketLost records one packet declared lost. trigger attributes the loss
+// declaration ("reordering", "time", "pto", "evacuated").
+func (o *Origin) PacketLost(now time.Duration, pathID, pn uint64, size int, trigger string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPacketLost)
+	o.u64("path", pathID)
+	o.u64("pn", pn)
+	o.i("bytes", int64(size))
+	o.s("trigger", trigger)
+	o.end()
+}
+
+// MetricsUpdated records a congestion-controller state change on a path.
+func (o *Origin) MetricsUpdated(now time.Duration, pathID uint64, cwnd, inFlight int, slowStart bool, srtt time.Duration) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvMetricsUpdated)
+	o.u64("path", pathID)
+	o.i("cwnd", int64(cwnd))
+	o.i("in_flight", int64(inFlight))
+	o.b("slow_start", slowStart)
+	o.d("srtt", srtt)
+	o.end()
+}
+
+// PathAdded records a new path joining the connection.
+func (o *Origin) PathAdded(now time.Duration, pathID uint64, netIdx int, tech string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPathAdded)
+	o.u64("path", pathID)
+	o.i("net", int64(netIdx))
+	o.s("tech", tech)
+	o.end()
+}
+
+// PathValidated records PATH_RESPONSE completing validation of a path.
+func (o *Origin) PathValidated(now time.Duration, pathID uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPathValidated)
+	o.u64("path", pathID)
+	o.end()
+}
+
+// PathStateChanged records a local path state transition with its cause
+// ("suspect", "standby", "available", "peer-standby", ...).
+func (o *Origin) PathStateChanged(now time.Duration, pathID uint64, state, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPathState)
+	o.u64("path", pathID)
+	o.s("state", state)
+	o.s("reason", reason)
+	o.end()
+}
+
+// PathAbandoned records a path leaving service permanently.
+func (o *Origin) PathAbandoned(now time.Duration, pathID uint64, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPathAbandoned)
+	o.u64("path", pathID)
+	o.s("reason", reason)
+	o.end()
+}
+
+// PrimaryChanged records a primary-path re-election.
+func (o *Origin) PrimaryChanged(now time.Duration, oldID, newID uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvPrimaryChanged)
+	o.u64("old", oldID)
+	o.u64("new", newID)
+	o.end()
+}
+
+// ConnStateChanged records a connection lifecycle transition. code and
+// reason carry the close error when entering closing/draining/closed.
+func (o *Origin) ConnStateChanged(now time.Duration, oldState, newState string, code uint64, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvConnState)
+	o.s("old", oldState)
+	o.s("new", newState)
+	o.u64("code", code)
+	o.s("reason", reason)
+	o.end()
+}
+
+// QoESignal records a client QoE feedback arriving at the server-side
+// controller.
+func (o *Origin) QoESignal(now time.Duration, cachedBytes, cachedFrames uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvQoESignal)
+	o.u64("cached_bytes", cachedBytes)
+	o.u64("cached_frames", cachedFrames)
+	o.end()
+}
+
+// QoEDecision records one Alg. 1 double-threshold evaluation: the play-time
+// left Δt, both thresholds, the Eq. 1 max delivery time it was compared
+// against, and the verdict.
+func (o *Origin) QoEDecision(now, dt, tth1, tth2, maxDeliver time.Duration, enable bool) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvQoEDecision)
+	o.d("dt", dt)
+	o.d("tth1", tth1)
+	o.d("tth2", tth2)
+	o.d("max_deliver", maxDeliver)
+	o.b("enable", enable)
+	o.end()
+}
+
+// ReinjectSend records a re-injected chunk leaving on a path.
+func (o *Origin) ReinjectSend(now time.Duration, pathID, streamID, offset uint64, size int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvReinjectSend)
+	o.u64("path", pathID)
+	o.u64("stream", streamID)
+	o.u64("offset", offset)
+	o.i("bytes", int64(size))
+	o.end()
+}
+
+// ReinjectCancel records a queued re-injection dropped before sending
+// (typically because the original copy was acknowledged first).
+func (o *Origin) ReinjectCancel(now time.Duration, streamID, offset uint64, size int, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvReinjectCancel)
+	o.u64("stream", streamID)
+	o.u64("offset", offset)
+	o.i("bytes", int64(size))
+	o.s("reason", reason)
+	o.end()
+}
+
+// VideoFrameCached records the first video frame being fully buffered.
+func (o *Origin) VideoFrameCached(now time.Duration, bytes uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoFrameCached)
+	o.u64("bytes", bytes)
+	o.end()
+}
+
+// VideoFramesDecoded records playback progress as a cumulative decoded
+// frame count.
+func (o *Origin) VideoFramesDecoded(now time.Duration, frames uint64) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoFramesDecoded)
+	o.u64("frames", frames)
+	o.end()
+}
+
+// VideoPlaybackStarted records startup completing.
+func (o *Origin) VideoPlaybackStarted(now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoPlaybackStart)
+	o.end()
+}
+
+// VideoRebufferStart records the player stalling. at is the model's exact
+// buffer-exhaustion instant, which may precede the driving tick.
+func (o *Origin) VideoRebufferStart(now time.Duration, count int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoRebufferStart)
+	o.i("count", int64(count))
+	o.end()
+}
+
+// VideoRebufferEnd records the player resuming after a stall.
+func (o *Origin) VideoRebufferEnd(now, stall time.Duration) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoRebufferEnd)
+	o.d("stall", stall)
+	o.end()
+}
+
+// VideoFinished records playback completing.
+func (o *Origin) VideoFinished(now time.Duration) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvVideoFinished)
+	o.end()
+}
+
+// FaultInjected records a scripted fault op taking effect. op is the op's
+// String() form; phase is "start" or "end" for windowed ops.
+func (o *Origin) FaultInjected(now time.Duration, op, phase string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFaultInjected)
+	o.s("op", op)
+	o.s("phase", phase)
+	o.end()
+}

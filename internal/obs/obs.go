@@ -1,0 +1,231 @@
+// Package obs is the observability seam of the XLINK reproduction: a
+// qlog-flavored structured event tracer plus a lightweight metrics
+// registry. A Trace is an append-only NDJSON event stream whose timestamps
+// come exclusively from the owning sim.Clock (the caller passes `now`; the
+// package itself never reads a clock), so the same (scenario, seed) pair
+// produces a byte-identical trace — traces are diffable artifacts, not
+// logs. Components hold an *Origin, a labeled handle onto a shared Trace;
+// a nil *Origin is the zero-overhead default: every typed event method is
+// nil-safe, takes only scalar arguments, and returns immediately without
+// allocating, so instrumented hot paths (packet send) cost nothing when
+// tracing is off.
+//
+// Layering: obs imports only internal/stats; every other layer (transport,
+// qoe, video, faults, xlink) imports obs. Event names are the registered
+// EventName constants below — the xlinkvet `obsevent` rule rejects ad-hoc
+// string names and wall-clock timestamps at emit sites.
+//
+// A Trace is not internally synchronized: it must be driven from a single
+// goroutine (the sim loop) or under an external lock (the live endpoint's
+// connection mutex), exactly like the transport.Conn it instruments.
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"time"
+)
+
+// EventName is a registered trace event type. All names used with a Trace
+// must be the package-level constants below; the xlinkvet obsevent rule
+// enforces this so the event taxonomy stays a closed, greppable set.
+type EventName string
+
+// The event taxonomy. Names are "category:event" in qlog style.
+const (
+	// Transport packet events.
+	EvPacketSent     EventName = "transport:packet_sent"
+	EvPacketReceived EventName = "transport:packet_received"
+	EvPacketAcked    EventName = "transport:packet_acked"
+	EvPacketLost     EventName = "transport:packet_lost"
+	// Congestion/recovery metrics (qlog recovery:metrics_updated).
+	EvMetricsUpdated EventName = "recovery:metrics_updated"
+	// Path lifecycle.
+	EvPathAdded      EventName = "path:added"
+	EvPathValidated  EventName = "path:validated"
+	EvPathState      EventName = "path:state_changed"
+	EvPathAbandoned  EventName = "path:abandoned"
+	EvPrimaryChanged EventName = "path:primary_changed"
+	// Connection lifecycle.
+	EvConnState EventName = "conn:state_changed"
+	// QoE feedback and Alg. 1 double-threshold decisions.
+	EvQoESignal   EventName = "qoe:signal"
+	EvQoEDecision EventName = "qoe:reinjection_decision"
+	// Re-injection scheduling.
+	EvReinjectSend   EventName = "reinjection:send"
+	EvReinjectCancel EventName = "reinjection:cancel"
+	// Video pipeline.
+	EvVideoFrameCached   EventName = "video:frame_cached"
+	EvVideoFramesDecoded EventName = "video:frames_decoded"
+	EvVideoPlaybackStart EventName = "video:playback_started"
+	EvVideoRebufferStart EventName = "video:rebuffer_start"
+	EvVideoRebufferEnd   EventName = "video:rebuffer_end"
+	EvVideoFinished      EventName = "video:finished"
+	// Fault injection (so injected faults and transport reactions share
+	// one timeline).
+	EvFaultInjected EventName = "fault:injected"
+)
+
+// formatHeader identifies the stream format in the first line of a trace.
+const formatHeader = "xlink-ndjson-01"
+
+// Trace is one NDJSON event stream. Create with NewTrace, hand out labeled
+// Origins to components, and read the result with Bytes.
+type Trace struct {
+	title   string
+	buf     bytes.Buffer
+	reg     *Registry
+	events  uint64
+	scratch []byte // number-formatting scratch, reused across events
+}
+
+// NewTrace creates an empty trace. title labels the stream in its header
+// line (typically the scenario name).
+func NewTrace(title string) *Trace {
+	t := &Trace{title: title, reg: NewRegistry()}
+	t.buf.WriteString(`{"format":"` + formatHeader + `","title":`)
+	t.str(title)
+	t.buf.WriteString("}\n")
+	return t
+}
+
+// Origin returns a labeled emit handle onto the trace. A nil Trace yields
+// a nil Origin, which is the no-op tracer: safe, silent, allocation-free.
+func (t *Trace) Origin(label string) *Origin {
+	if t == nil {
+		return nil
+	}
+	return &Origin{t: t, label: label}
+}
+
+// Registry returns the metrics registry attached to the trace; every
+// emitted event bumps its per-name counter.
+func (t *Trace) Registry() *Registry { return t.reg }
+
+// Bytes returns the NDJSON stream accumulated so far.
+func (t *Trace) Bytes() []byte { return t.buf.Bytes() }
+
+// EventCount returns how many events (excluding the header) were emitted.
+func (t *Trace) EventCount() uint64 { return t.events }
+
+// Origin is a component's handle onto a shared Trace. The label names the
+// emitting vantage point ("client", "server", "net") on every event. All
+// event methods are nil-receiver-safe no-ops.
+type Origin struct {
+	t     *Trace
+	label string
+}
+
+// KV is one extension field of an ad-hoc Emit event.
+type KV struct{ K, V string }
+
+// Emit writes an event with free-form string fields. name must be a
+// registered EventName constant (enforced by xlinkvet's obsevent rule);
+// typed events should use the dedicated methods instead.
+func (o *Origin) Emit(now time.Duration, name EventName, kv ...KV) {
+	if o == nil {
+		return
+	}
+	o.begin(now, name)
+	for _, f := range kv {
+		o.s(f.K, f.V)
+	}
+	o.end()
+}
+
+// --- low-level NDJSON plumbing (deterministic field order, no maps) ---
+
+// begin opens one event line: fixed header fields, then the data object.
+func (o *Origin) begin(now time.Duration, name EventName) {
+	t := o.t
+	t.buf.WriteString(`{"time":`)
+	t.num(int64(now))
+	t.buf.WriteString(`,"origin":`)
+	t.str(o.label)
+	t.buf.WriteString(`,"name":`)
+	t.str(string(name))
+	t.buf.WriteString(`,"data":{`)
+	t.reg.Counter(`trace_events_total{name="` + string(name) + `"}`).Inc()
+}
+
+// end closes the event line.
+func (o *Origin) end() {
+	o.t.buf.WriteString("}}\n")
+	o.t.events++
+}
+
+// sep writes the comma between data fields (the data object tracks its own
+// position: first field follows '{', later fields follow a value).
+func (o *Origin) sep() {
+	if b := o.t.buf.Bytes(); len(b) > 0 && b[len(b)-1] != '{' {
+		o.t.buf.WriteByte(',')
+	}
+}
+
+// u64 writes an unsigned integer field.
+func (o *Origin) u64(key string, v uint64) {
+	o.sep()
+	o.t.str(key)
+	o.t.buf.WriteByte(':')
+	o.t.scratch = strconv.AppendUint(o.t.scratch[:0], v, 10)
+	o.t.buf.Write(o.t.scratch)
+}
+
+// i writes a signed integer field.
+func (o *Origin) i(key string, v int64) {
+	o.sep()
+	o.t.str(key)
+	o.t.buf.WriteByte(':')
+	o.t.num(v)
+}
+
+// d writes a duration field in nanoseconds.
+func (o *Origin) d(key string, v time.Duration) { o.i(key, int64(v)) }
+
+// s writes a string field.
+func (o *Origin) s(key, v string) {
+	o.sep()
+	o.t.str(key)
+	o.t.buf.WriteByte(':')
+	o.t.str(v)
+}
+
+// b writes a boolean field.
+func (o *Origin) b(key string, v bool) {
+	o.sep()
+	o.t.str(key)
+	if v {
+		o.t.buf.WriteString(":true")
+	} else {
+		o.t.buf.WriteString(":false")
+	}
+}
+
+// num appends a signed integer to the stream via the scratch buffer.
+func (t *Trace) num(v int64) {
+	t.scratch = strconv.AppendInt(t.scratch[:0], v, 10)
+	t.buf.Write(t.scratch)
+}
+
+// str appends a JSON string. Event payloads are internal identifiers and
+// short reasons; the escape loop handles quotes, backslashes and control
+// bytes so arbitrary reasons still produce valid JSON.
+func (t *Trace) str(s string) {
+	t.buf.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			t.buf.WriteByte('\\')
+			t.buf.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			t.buf.WriteString(`\u00`)
+			t.buf.WriteByte(hex[c>>4])
+			t.buf.WriteByte(hex[c&0xf])
+		default:
+			t.buf.WriteByte(c)
+		}
+	}
+	t.buf.WriteByte('"')
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is one decoded trace event, as read back by tooling and tests.
+// The emit side never touches this representation (it appends NDJSON
+// directly); Parse exists so consumers can reconcile traces against
+// counters without re-implementing the format.
+type Event struct {
+	Time   time.Duration
+	Origin string
+	Name   EventName
+	Data   map[string]any
+}
+
+// U64 returns a numeric data field as uint64 (0 when absent).
+func (e Event) U64(key string) uint64 {
+	if v, ok := e.Data[key].(float64); ok {
+		return uint64(v)
+	}
+	return 0
+}
+
+// I64 returns a numeric data field as int64 (0 when absent).
+func (e Event) I64(key string) int64 {
+	if v, ok := e.Data[key].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}
+
+// Dur returns a nanosecond data field as a duration (0 when absent).
+func (e Event) Dur(key string) time.Duration { return time.Duration(e.I64(key)) }
+
+// Str returns a string data field ("" when absent).
+func (e Event) Str(key string) string {
+	if v, ok := e.Data[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Bool returns a boolean data field (false when absent).
+func (e Event) Bool(key string) bool {
+	if v, ok := e.Data[key].(bool); ok {
+		return v
+	}
+	return false
+}
+
+// Parse decodes an NDJSON trace stream. The header line (and any line
+// without an event name) is skipped; malformed lines are errors.
+func Parse(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var raw struct {
+			Time   int64          `json:"time"`
+			Origin string         `json:"origin"`
+			Name   string         `json:"name"`
+			Data   map[string]any `json:"data"`
+		}
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		if raw.Name == "" {
+			continue // header / non-event line
+		}
+		out = append(out, Event{
+			Time:   time.Duration(raw.Time),
+			Origin: raw.Origin,
+			Name:   EventName(raw.Name),
+			Data:   raw.Data,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// ParseBytes decodes an NDJSON trace from a byte slice.
+func ParseBytes(b []byte) ([]Event, error) { return Parse(bytes.NewReader(b)) }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Registry is a lightweight metrics registry: named counters, gauges and
+// fixed-bucket histograms with a deterministic text exposition dump.
+// Metric names follow the Prometheus convention, including optional
+// `name{label="value"}` label suffixes baked into the name string. Like a
+// Trace it is not internally synchronized; drive it from one goroutine or
+// under an external lock.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the value by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use. Later calls ignore bounds and return the existing
+// histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *stats.Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = stats.NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump writes the text exposition: one `name value` line per counter and
+// gauge, and `name_bucket{le="..."}`/`name_sum`/`name_count` lines per
+// histogram, all sorted by name for deterministic output.
+func (r *Registry) Dump(w io.Writer) {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, r.counters[n].v)
+	}
+
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %g\n", n, r.gauges[n].v)
+	}
+
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		bounds := h.Bounds()
+		counts := h.BucketCounts()
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bounds) {
+				le = fmt.Sprintf("%g", bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", n, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+	}
+}
+
+// DumpString returns the text exposition as a string.
+func (r *Registry) DumpString() string {
+	var b strings.Builder
+	r.Dump(&b)
+	return b.String()
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/assert"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -53,6 +54,9 @@ type Controller struct {
 	// Decision counters for experiments.
 	decisions uint64
 	enables   uint64
+
+	// tr traces every Alg. 1 evaluation (nil = no-op).
+	tr *obs.Origin
 }
 
 // NewController creates a controller with the given thresholds.
@@ -63,6 +67,10 @@ func NewController(th Thresholds) *Controller {
 
 // SetExtrapolation toggles Δt extrapolation between feedbacks.
 func (c *Controller) SetExtrapolation(on bool) { c.extrapolate = on }
+
+// SetTracer installs a structured event tracer recording every decision
+// (qoe:reinjection_decision with Δt, both thresholds and the verdict).
+func (c *Controller) SetTracer(o *obs.Origin) { c.tr = o }
 
 // Thresholds returns the configured thresholds.
 func (c *Controller) Thresholds() Thresholds { return c.thresholds }
@@ -98,10 +106,12 @@ func (c *Controller) PlaytimeLeft(now time.Duration) time.Duration {
 // cf. the first-video-frame acceleration of Sec 5.1).
 func (c *Controller) Decide(now, maxDeliverTime time.Duration) bool {
 	c.decisions++
-	on := c.thresholds.Decide(c.PlaytimeLeft(now), maxDeliverTime)
+	dt := c.PlaytimeLeft(now)
+	on := c.thresholds.Decide(dt, maxDeliverTime)
 	if on {
 		c.enables++
 	}
+	c.tr.QoEDecision(now, dt, c.thresholds.Tth1, c.thresholds.Tth2, maxDeliverTime, on)
 	return on
 }
 

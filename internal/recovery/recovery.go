@@ -40,6 +40,12 @@ type SentPacket struct {
 	// Meta is opaque scheduler metadata (e.g. stream priority bookkeeping
 	// for re-injection decisions).
 	Meta any
+	// LostTrigger attributes a loss declaration made by threshold
+	// detection: "reordering" (packet threshold) or "time" (time
+	// threshold). Packets bulk-declared by DeclareAllLost leave it empty;
+	// the transport supplies the context ("pto", "evacuated") at its
+	// trace emit site.
+	LostTrigger string
 
 	declaredLost bool
 	acked        bool
@@ -222,6 +228,11 @@ func (s *Space) detectLost(now time.Duration) []*SentPacket {
 		timeLost := now >= sp.SentAt+delay
 		if pktLost || timeLost {
 			sp.declaredLost = true
+			if pktLost {
+				sp.LostTrigger = "reordering"
+			} else {
+				sp.LostTrigger = "time"
+			}
 			lost = append(lost, sp)
 			s.stats.LostPackets++
 			s.stats.LostBytes += uint64(sp.Bytes)

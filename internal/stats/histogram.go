@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a mergeable fixed-bucket histogram: observations are counted
+// against a fixed ascending list of bucket upper bounds plus an implicit
+// +Inf overflow bucket. Two histograms with identical bounds merge by
+// adding counts, which is what lets the metrics registry aggregate
+// per-connection histograms into fleet totals without keeping raw samples.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has one extra +Inf slot
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds.
+// It panics on unsorted or empty bounds: bucket layouts are static program
+// configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+	return h
+}
+
+// LinearBounds returns n ascending bounds start, start+width, ...
+func LinearBounds(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBounds returns n ascending bounds start, start*factor, ...
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample. A value v lands in the first bucket whose
+// upper bound is >= v (Prometheus "le" semantics); values above every bound
+// land in the overflow bucket.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean of observed values, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Bounds returns the bucket upper bounds (not including the +Inf bucket).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket counts; the last entry is the +Inf
+// overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+// Merge adds o's counts into h. The two histograms must share the exact
+// same bucket bounds; mismatched layouts cannot be merged losslessly.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("stats: merge of histograms with %d vs %d buckets", len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			return fmt.Errorf("stats: merge of histograms with differing bound %d: %v vs %v", i, b, o.bounds[i])
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	return nil
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// inside the bucket containing the target rank. The estimate is clamped to
+// the observed min/max so narrow distributions don't report bucket-edge
+// artifacts. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if c == 0 {
+			continue
+		}
+		lo := h.lowerBound(i)
+		hi := h.upperBound(i)
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - float64(cum)) / float64(c)
+		}
+		v := lo + (hi-lo)*frac
+		return h.clamp(v)
+	}
+	return h.clamp(h.max)
+}
+
+// lowerBound returns the inclusive lower edge of bucket i.
+func (h *Histogram) lowerBound(i int) float64 {
+	if i == 0 {
+		// First bucket: anchored at the observed minimum when finite,
+		// otherwise at zero (the common case for non-negative metrics).
+		if !math.IsInf(h.min, 1) && h.min < h.bounds[0] {
+			return h.min
+		}
+		return 0
+	}
+	return h.bounds[i-1]
+}
+
+// upperBound returns the upper edge of bucket i; the overflow bucket is
+// capped at the observed maximum.
+func (h *Histogram) upperBound(i int) float64 {
+	if i >= len(h.bounds) {
+		return h.max
+	}
+	return h.bounds[i]
+}
+
+// clamp bounds an interpolated estimate to the observed range.
+func (h *Histogram) clamp(v float64) float64 {
+	if v < h.min {
+		return h.min
+	}
+	if v > h.max {
+		return h.max
+	}
+	return v
+}
+
+// String renders bucket counts compactly for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d sum=%g", h.count, h.sum)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(h.bounds) {
+			fmt.Fprintf(&b, " le%g=%d", h.bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, " inf=%d", c)
+		}
+	}
+	return b.String()
+}

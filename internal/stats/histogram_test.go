@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramObserveBuckets(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for _, v := range []float64{1, 10, 11, 25, 31, 1000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 2} // le10, le20, le30, +Inf
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: got %d want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1078 {
+		t.Fatalf("sum = %g, want 1078", h.Sum())
+	}
+}
+
+func TestHistogramQuantileEstimate(t *testing.T) {
+	// Uniform 1..100 into 10-wide buckets: quantile estimates should land
+	// within one bucket width of the exact percentile.
+	h := NewHistogram(LinearBounds(10, 10, 10))
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact float64
+	}{
+		{0.50, 50}, {0.90, 90}, {0.99, 99}, {0.10, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.exact) > 10 {
+			t.Errorf("Quantile(%v) = %v, want within one bucket of %v", tc.q, got, tc.exact)
+		}
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want observed min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want observed max 100", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("Quantile on empty = %v, want NaN", got)
+	}
+	if got := h.Mean(); !math.IsNaN(got) {
+		t.Fatalf("Mean on empty = %v, want NaN", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := ExponentialBounds(1, 2, 8)
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	merged := NewHistogram(bounds)
+	for i := 0; i < 200; i++ {
+		v := float64(i%97) + 0.5
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		merged.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != merged.Count() || a.Sum() != merged.Sum() {
+		t.Fatalf("merged count/sum = %d/%g, want %d/%g", a.Count(), a.Sum(), merged.Count(), merged.Sum())
+	}
+	ac, mc := a.BucketCounts(), merged.BucketCounts()
+	for i := range mc {
+		if ac[i] != mc[i] {
+			t.Fatalf("bucket %d after merge = %d, want %d", i, ac[i], mc[i])
+		}
+	}
+	// Quantiles of the merged histogram must equal those of observing the
+	// union directly.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != merged.Quantile(q) {
+			t.Fatalf("Quantile(%v) after merge = %v, want %v", q, a.Quantile(q), merged.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	if err := a.Merge(NewHistogram([]float64{1, 2, 3})); err == nil {
+		t.Fatal("merge with different bucket count should fail")
+	}
+	if err := a.Merge(NewHistogram([]float64{1, 3})); err == nil {
+		t.Fatal("merge with different bounds should fail")
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) should panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

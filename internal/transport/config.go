@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -174,6 +175,11 @@ type Config struct {
 	// OnClosed fires once when the connection leaves service — local
 	// close, peer close, idle timeout, or handshake failure.
 	OnClosed func(now time.Duration, code uint64, reason string, local bool)
+	// Tracer, when set, receives qlog-style structured events for every
+	// packet, path, lifecycle, CC and re-injection decision this
+	// connection makes (see internal/obs). nil is the no-op default: the
+	// emit sites are nil-receiver-safe and allocation-free.
+	Tracer *obs.Origin
 	// Seed randomizes CIDs and challenge payloads deterministically.
 	Seed int64
 }

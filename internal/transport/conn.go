@@ -7,6 +7,7 @@ import (
 	"repro/internal/assert"
 	"repro/internal/cc"
 	"repro/internal/crypto"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -173,13 +174,17 @@ type Conn struct {
 	secondaryTimerArmed bool
 
 	// Lifecycle hardening state (DESIGN.md §8).
-	primaryID        uint64                    // current primary path ID
-	lastRecvActivity time.Duration             // last successfully processed packet
-	lastKeepAlive    time.Duration             // last keepalive PING queued
-	drainDeadline    time.Duration             // closing/draining → closed transition
+	primaryID        uint64                     // current primary path ID
+	lastRecvActivity time.Duration              // last successfully processed packet
+	lastKeepAlive    time.Duration              // last keepalive PING queued
+	drainDeadline    time.Duration              // closing/draining → closed transition
 	closeFrame       *wire.ConnectionCloseFrame // retained for closing-state resends
-	closeRecvCount   uint64                    // incoming packets while closing
-	closedFired      bool                      // OnClosed delivered
+	closeRecvCount   uint64                     // incoming packets while closing
+	closedFired      bool                       // OnClosed delivered
+
+	// tr is the structured event tracer (nil = no-op; every emit below is
+	// nil-receiver-safe and free when disabled).
+	tr *obs.Origin
 
 	stats ConnStats
 }
@@ -202,8 +207,13 @@ func NewConn(env Env, sender DatagramSender, cfg Config) *Conn {
 	c.initSpace = recovery.NewSpace(c.initRTT)
 	c.initLargestRecv = -1
 	c.localMaxData = cfg.Params.InitialMaxData
+	c.tr = cfg.Tracer
 	return c
 }
+
+// SetTracer installs (or clears) the structured event tracer. Call before
+// traffic flows; a nil origin disables tracing at zero cost.
+func (c *Conn) SetTracer(o *obs.Origin) { c.tr = o }
 
 // Stats returns a copy of the connection counters.
 func (c *Conn) Stats() ConnStats { return c.stats }
@@ -367,7 +377,9 @@ func (c *Conn) Start() error {
 		c.localRandom[i] = byte(c.rng.Intn(256))
 	}
 	c.helloPayload = append(append([]byte(nil), c.localRandom[:]...), c.cfg.Params.Append(nil)...)
-	c.lastRecvActivity = c.env.Now() // idle clock starts at first send
+	now := c.env.Now()
+	c.lastRecvActivity = now // idle clock starts at first send
+	c.tr.PathAdded(now, 0, primary.NetIdx, primary.Tech.String())
 	c.sendInitial()
 	c.rearmTimer()
 	return nil
@@ -400,6 +412,7 @@ func (c *Conn) sendInitial() {
 	c.sender.SendDatagram(netIdx, pkt)
 	c.stats.SentPackets++
 	c.stats.SentBytes += uint64(len(pkt))
+	c.tr.PacketSent(now, 0, pn, len(pkt), "initial")
 }
 
 // deriveSessionKeys computes 1-RTT sealers from the PSK and both randoms.
@@ -430,6 +443,7 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 		// the peer's stragglers until the drain deadline.
 		c.stats.RecvPackets++
 		c.stats.RecvBytes += uint64(len(data))
+		c.tr.PacketReceived(now, netIdx, len(data))
 		return
 	}
 	if c.state == stateClosing {
@@ -438,14 +452,16 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 		// a closing pair cannot ping-pong forever.
 		c.stats.RecvPackets++
 		c.stats.RecvBytes += uint64(len(data))
+		c.tr.PacketReceived(now, netIdx, len(data))
 		c.closeRecvCount++
 		if c.closeRecvCount&(c.closeRecvCount-1) == 0 {
-			c.resendClose()
+			c.resendClose(now)
 		}
 		return
 	}
 	c.stats.RecvPackets++
 	c.stats.RecvBytes += uint64(len(data))
+	c.tr.PacketReceived(now, netIdx, len(data))
 	if wire.IsLongHeader(data[0]) {
 		c.handleInitialDatagram(now, netIdx, data)
 	} else {
@@ -517,6 +533,7 @@ func (c *Conn) serverHandleClientInitial(now time.Duration, netIdx int, data []b
 		p.DCID = c.peerCIDs[0]
 		c.paths[0] = p
 		c.pathOrder = append(c.pathOrder, 0)
+		c.tr.PathAdded(now, 0, netIdx, trace.TechWiFi.String())
 		for i := range c.localRandom {
 			c.localRandom[i] = byte(c.rng.Intn(256))
 		}
@@ -580,6 +597,7 @@ func (c *Conn) becomeEstablished(now time.Duration) {
 	}
 	c.state = stateEstablished
 	c.stats.HandshakeRTT = now
+	c.tr.ConnStateChanged(now, stateHandshake.String(), stateEstablished.String(), 0, "")
 	if c.cfg.OnHandshakeDone != nil {
 		c.cfg.OnHandshakeDone(now)
 	}
@@ -640,6 +658,7 @@ func (c *Conn) maybeInitSecondaryPaths(now time.Duration) {
 		p.DCID = c.peerCIDs[seq]
 		c.paths[seq] = p
 		c.pathOrder = append(c.pathOrder, seq)
+		c.tr.PathAdded(now, seq, itf.NetIdx, itf.Tech.String())
 		c.startPathValidation(now, p)
 	}
 }
@@ -660,6 +679,7 @@ func (c *Conn) startPathValidation(now time.Duration, p *Path) {
 		p.pendingChallenge[i] = byte(c.rng.Intn(256))
 	}
 	p.challengeSent = true
+	c.tr.PathStateChanged(now, p.ID, p.State.String(), "challenge-sent")
 	ch := &wire.PathChallengeFrame{Data: p.pendingChallenge}
 	c.queueCtrl(ch, int64(p.ID), true)
 	c.wakeSend()
@@ -701,6 +721,7 @@ func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 		// sequence would be sealed under the wrong per-path nonce.
 		c.paths[pathID] = p
 		c.pathOrder = append(c.pathOrder, pathID)
+		c.tr.PathAdded(now, pathID, netIdx, trace.TechLTE.String())
 	}
 	p.NetIdx = netIdx // follow the packet (handles migration)
 	pn, payload, err := openShort(c.rxSealer, data, c.cfg.CIDLen, uint32(pathID), p.largestRecvPN)
@@ -781,6 +802,7 @@ func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
 			if p.State == PathProbing {
 				p.State = PathActive
 			}
+			c.tr.PathValidated(now, p.ID)
 			c.wakeSend()
 		}
 	case *wire.PathStatusFrame:
@@ -795,11 +817,13 @@ func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
 		c.processAck(now, target, fr.Ranges, fr.AckDelay)
 		if fr.HasQoE && c.cfg.OnQoE != nil {
 			assert.NonNegDur(fr.QoE.PlaytimeLeft(), "qoe Δt")
+			c.tr.QoESignal(now, fr.QoE.CachedBytes, fr.QoE.CachedFrames)
 			c.cfg.OnQoE(now, fr.QoE)
 		}
 	case *wire.QoEControlSignalsFrame:
 		if c.cfg.OnQoE != nil {
 			assert.NonNegDur(fr.QoE.PlaytimeLeft(), "qoe Δt")
+			c.tr.QoESignal(now, fr.QoE.CachedBytes, fr.QoE.CachedFrames)
 			c.cfg.OnQoE(now, fr.QoE)
 		}
 	case *wire.StreamFrame:
@@ -840,6 +864,7 @@ func (c *Conn) unsuspectPath(now time.Duration, p *Path) {
 	if p.advertisedStandby && p.State == PathActive {
 		p.advertisedStandby = false
 		p.lastStatusSeq++
+		c.tr.PathStateChanged(now, p.ID, p.State.String(), "recovered")
 		c.queueCtrl(&wire.PathStatusFrame{
 			PathID: p.ID, StatusSeq: p.lastStatusSeq, Status: wire.PathAvailable,
 		}, -1, false)
@@ -856,15 +881,18 @@ func (c *Conn) handlePathStatus(now time.Duration, fr *wire.PathStatusFrame) {
 	switch fr.Status {
 	case wire.PathAbandon:
 		p.State = PathClosed
+		c.tr.PathAbandoned(now, p.ID, "peer-abandon")
 		c.evacuatePath(now, p)
 	case wire.PathStandby:
 		if p.State == PathActive {
 			p.State = PathStandbyLocal
+			c.tr.PathStateChanged(now, p.ID, p.State.String(), "peer-standby")
 			c.evacuatePath(now, p)
 		}
 	case wire.PathAvailable:
 		if p.State == PathStandbyLocal || p.State == PathProbing {
 			p.State = PathActive
+			c.tr.PathStateChanged(now, p.ID, p.State.String(), "peer-available")
 		}
 	}
 }
@@ -916,6 +944,7 @@ func (c *Conn) processAck(now time.Duration, target *Path, ranges []wire.AckRang
 		target.lastAckAt = now
 	}
 	for _, sp := range res.Acked {
+		c.tr.PacketAcked(now, target.ID, sp.PN)
 		if sp.AckEliciting {
 			target.CC.OnPacketAcked(now, sp.Bytes, target.RTT.Smoothed())
 		}
@@ -927,15 +956,26 @@ func (c *Conn) processAck(now time.Duration, target *Path, ranges []wire.AckRang
 			}
 		}
 	}
-	c.handleLost(now, target, res.Lost)
+	if len(res.Acked) > 0 {
+		c.tr.MetricsUpdated(now, target.ID, target.CC.Window(),
+			target.CC.BytesInFlight(), target.CC.InSlowStart(), target.RTT.Smoothed())
+	}
+	c.handleLost(now, target, res.Lost, "time")
 	if len(res.Acked) > 0 {
 		c.wakeSend()
 	}
 }
 
-// handleLost reacts to packets declared lost on a path.
-func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacket) {
+// handleLost reacts to packets declared lost on a path. fallbackTrigger
+// attributes bulk declarations (DeclareAllLost leaves SentPacket.LostTrigger
+// empty) in the trace: "pto" or "evacuated".
+func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacket, fallbackTrigger string) {
 	for _, sp := range lost {
+		trigger := sp.LostTrigger
+		if trigger == "" {
+			trigger = fallbackTrigger
+		}
+		c.tr.PacketLost(now, p.ID, sp.PN, sp.Bytes, trigger)
 		if sp.AckEliciting {
 			p.CC.OnPacketLost(now, sp.SentAt, sp.Bytes)
 		}
@@ -959,6 +999,8 @@ func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacke
 		}
 	}
 	if len(lost) > 0 {
+		c.tr.MetricsUpdated(now, p.ID, p.CC.Window(),
+			p.CC.BytesInFlight(), p.CC.InSlowStart(), p.RTT.Smoothed())
 		c.wakeSend()
 	}
 }
@@ -969,7 +1011,7 @@ func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacke
 // cleared (the MPTCP-style failover re-injection the paper builds on).
 func (c *Conn) evacuatePath(now time.Duration, p *Path) {
 	lost := p.Space.DeclareAllLost(now)
-	c.handleLost(now, p, lost)
+	c.handleLost(now, p, lost, "evacuated")
 	p.CC.Reset()
 }
 
@@ -1040,6 +1082,7 @@ func (c *Conn) AbandonPath(id uint64) {
 		PathID: id, StatusSeq: p.lastStatusSeq, Status: wire.PathAbandon,
 	}, -1, true)
 	p.State = PathClosed
+	c.tr.PathAbandoned(now, id, "local-abandon")
 	c.evacuatePath(now, p)
 	if id == c.primaryID {
 		c.reelectPrimary(now)
@@ -1079,6 +1122,7 @@ func (c *Conn) reelectPrimary(now time.Duration) {
 	if best == nil {
 		return // no survivor; the idle timeout will end the connection
 	}
+	c.tr.PrimaryChanged(now, c.primaryID, best.ID)
 	c.primaryID = best.ID
 	c.stats.PrimaryReElections++
 }
@@ -1108,6 +1152,7 @@ func (c *Conn) MigratePrimary(netIdx int, tech trace.Technology) {
 	now := c.env.Now()
 	p.NetIdx = netIdx
 	p.Tech = tech
+	c.tr.PathStateChanged(now, p.ID, p.State.String(), "migrated")
 	c.evacuatePath(now, p)
 	p.RTT.Reset()
 	p.suspect = false
@@ -1134,14 +1179,15 @@ func (c *Conn) Close(code uint64, reason string) {
 		return
 	}
 	c.closeFrame = &wire.ConnectionCloseFrame{ErrorCode: code, Reason: reason}
-	c.resendClose()
-	c.enterClosing(c.env.Now(), code, reason)
+	now := c.env.Now()
+	c.resendClose(now)
+	c.enterClosing(now, code, reason)
 }
 
 // resendClose transmits the retained CONNECTION_CLOSE on every path that has
 // a usable destination CID — not just active paths, so a close issued during
 // a blackout still reaches the peer if any address works.
-func (c *Conn) resendClose() {
+func (c *Conn) resendClose(now time.Duration) {
 	if c.closeFrame == nil || c.txSealer == nil {
 		return
 	}
@@ -1156,6 +1202,7 @@ func (c *Conn) resendClose() {
 		c.sender.SendDatagram(p.NetIdx, pkt)
 		c.stats.SentPackets++
 		c.stats.SentBytes += uint64(len(pkt))
+		c.tr.PacketSent(now, p.ID, pn, len(pkt), "close")
 	}
 }
 
@@ -1187,8 +1234,10 @@ func (c *Conn) recordClose(now time.Duration, code uint64, reason string, local 
 
 // enterClosing starts the local-close drain period.
 func (c *Conn) enterClosing(now time.Duration, code uint64, reason string) {
+	old := c.state
 	c.state = stateClosing
 	c.drainDeadline = now + 3*c.maxPathPTO()
+	c.tr.ConnStateChanged(now, old.String(), c.state.String(), code, reason)
 	c.recordClose(now, code, reason, true)
 	c.rearmTimer()
 }
@@ -1199,8 +1248,10 @@ func (c *Conn) enterDraining(now time.Duration, code uint64, reason string) {
 	if c.state >= stateClosing {
 		return
 	}
+	old := c.state
 	c.state = stateDraining
 	c.drainDeadline = now + 3*c.maxPathPTO()
+	c.tr.ConnStateChanged(now, old.String(), c.state.String(), code, reason)
 	c.recordClose(now, code, reason, false)
 	c.rearmTimer()
 }
@@ -1213,12 +1264,15 @@ func (c *Conn) closeSilently(now time.Duration, code uint64, reason string) {
 		return
 	}
 	c.recordClose(now, code, reason, true)
-	c.enterTerminal()
+	c.enterTerminal(now)
 }
 
 // enterTerminal moves to the terminal closed state and cancels all timers,
 // quiescing the event loop.
-func (c *Conn) enterTerminal() {
+func (c *Conn) enterTerminal(now time.Duration) {
+	old := c.state
 	c.state = stateClosed
+	c.tr.ConnStateChanged(now, old.String(), c.state.String(),
+		c.stats.CloseErrorCode, c.stats.CloseReason)
 	c.cancelTimer()
 }

@@ -94,6 +94,7 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 	p.SentBytes += uint64(len(pkt))
 	c.stats.SentPackets++
 	c.stats.SentBytes += uint64(len(pkt))
+	c.tr.PacketSent(now, p.ID, pn, len(pkt), "ctrl")
 }
 
 // updatePathHealth demotes paths that have gone silent while another path
@@ -135,6 +136,7 @@ func (c *Conn) updatePathHealth(now time.Duration) {
 		}
 		if newest > prog && now-prog > threshold {
 			p.suspect = true
+			c.tr.PathStateChanged(now, p.ID, p.State.String(), "recv-stale")
 			c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
 		}
 	}
@@ -203,6 +205,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		case ch.reinjection:
 			reinjBytes += int(ch.length)
 			c.stats.ReinjectedBytesSent += ch.length
+			c.tr.ReinjectSend(now, p.ID, ch.streamID, ch.offset, int(ch.length))
 		case ch.isNew:
 			c.stats.StreamBytesSent += ch.length
 		default:
@@ -229,6 +232,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 	p.ReinjectBytes += uint64(reinjBytes)
 	c.stats.SentPackets++
 	c.stats.SentBytes += uint64(len(pkt))
+	c.tr.PacketSent(now, p.ID, pn, len(pkt), "1rtt")
 	return true
 }
 
@@ -263,6 +267,7 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		p.SentBytes += uint64(len(pkt))
 		c.stats.SentPackets++
 		c.stats.SentBytes += uint64(len(pkt))
+		c.tr.PacketSent(now, p.ID, pn, len(pkt), "probe")
 		return true
 	}
 	return false
@@ -384,7 +389,7 @@ func (c *Conn) pullChunk(now time.Duration, p *Path, maxLen int) (chunk, bool) {
 		}
 		if mode == ReinjectStreamPriority && allowReinj {
 			c.scanReinjections(now, s, 0)
-			if ch, ok := popReinj(&s.reinjQ, p, s, maxLen); ok {
+			if ch, ok := c.popReinj(now, &s.reinjQ, p, s, maxLen); ok {
 				return ch, true
 			}
 		}
@@ -397,7 +402,7 @@ func (c *Conn) pullChunk(now time.Duration, p *Path, maxLen int) (chunk, bool) {
 			c.globalReinjQ = append(c.globalReinjQ, s.reinjQ...)
 			s.reinjQ = nil
 		}
-		if ch, ok := c.popGlobalReinj(p, maxLen); ok {
+		if ch, ok := c.popGlobalReinj(now, p, maxLen); ok {
 			return ch, true
 		}
 	}
@@ -459,7 +464,7 @@ func (c *Conn) pullFramePriority(now time.Duration, s *SendStream, p *Path, maxL
 			if best < 0 {
 				break
 			}
-			if ch, ok := takeReinjAt(&s.reinjQ, best, s, maxLen); ok {
+			if ch, ok := c.takeReinjAt(now, &s.reinjQ, best, s, maxLen); ok {
 				return ch, true
 			}
 		}
@@ -468,7 +473,7 @@ func (c *Conn) pullFramePriority(now time.Duration, s *SendStream, p *Path, maxL
 		return ch, true
 	}
 	if allowReinj {
-		if ch, ok := popReinj(&s.reinjQ, p, s, maxLen); ok {
+		if ch, ok := c.popReinj(now, &s.reinjQ, p, s, maxLen); ok {
 			return ch, true
 		}
 	}
@@ -533,14 +538,14 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 
 // popReinj removes the first eligible re-injection chunk for path p,
 // discarding entries that were fully acknowledged since they were queued.
-func popReinj(q *[]chunk, p *Path, s *SendStream, maxLen int) (chunk, bool) {
+func (c *Conn) popReinj(now time.Duration, q *[]chunk, p *Path, s *SendStream, maxLen int) (chunk, bool) {
 	i := 0
 	for i < len(*q) {
 		if (*q)[i].originPath == p.ID {
 			i++
 			continue
 		}
-		if ch, ok := takeReinjAt(q, i, s, maxLen); ok {
+		if ch, ok := c.takeReinjAt(now, q, i, s, maxLen); ok {
 			return ch, true
 		}
 		// Stale entry was removed at i; re-examine the same index.
@@ -550,7 +555,7 @@ func popReinj(q *[]chunk, p *Path, s *SendStream, maxLen int) (chunk, bool) {
 
 // takeReinjAt extracts (possibly part of) the queued re-injection at index
 // i, skipping data that was acknowledged in the meantime.
-func takeReinjAt(q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
+func (c *Conn) takeReinjAt(now time.Duration, q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
 	ch := (*q)[i]
 	// Trim any prefix acked since enqueue.
 	for ch.length > 0 && s.acked.Contains(ch.offset, ch.offset+1) {
@@ -560,6 +565,8 @@ func takeReinjAt(q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
 		ch.length -= trim
 	}
 	if ch.length == 0 && !ch.fin {
+		orig := (*q)[i]
+		c.tr.ReinjectCancel(now, s.id, orig.offset, int(orig.length), "acked")
 		*q = append((*q)[:i], (*q)[i+1:]...)
 		return chunk{}, false
 	}
@@ -578,7 +585,7 @@ func takeReinjAt(q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
 }
 
 // popGlobalReinj pulls from the appending-mode shared queue.
-func (c *Conn) popGlobalReinj(p *Path, maxLen int) (chunk, bool) {
+func (c *Conn) popGlobalReinj(now time.Duration, p *Path, maxLen int) (chunk, bool) {
 	i := 0
 	for i < len(c.globalReinjQ) {
 		ch := c.globalReinjQ[i]
@@ -591,7 +598,7 @@ func (c *Conn) popGlobalReinj(p *Path, maxLen int) (chunk, bool) {
 			i++
 			continue
 		}
-		if got, ok := takeReinjAt(&c.globalReinjQ, i, s, maxLen); ok {
+		if got, ok := c.takeReinjAt(now, &c.globalReinjQ, i, s, maxLen); ok {
 			return got, true
 		}
 	}
@@ -699,6 +706,7 @@ func (c *Conn) flushAcks(now time.Duration, force bool) {
 		carrier.SentBytes += uint64(len(pkt))
 		c.stats.SentPackets++
 		c.stats.SentBytes += uint64(len(pkt))
+		c.tr.PacketSent(now, carrier.ID, pn, len(pkt), "ack")
 		p.ackQueued = false
 		p.ackElicitingCount = 0
 	}
@@ -830,7 +838,7 @@ func (c *Conn) onTimer(now time.Duration) {
 	}
 	if c.state == stateClosing || c.state == stateDraining {
 		if now >= c.drainDeadline {
-			c.enterTerminal()
+			c.enterTerminal(now)
 		} else {
 			c.rearmTimer()
 		}
@@ -869,7 +877,7 @@ func (c *Conn) onTimer(now time.Duration) {
 			p := c.paths[id]
 			if lt := p.Space.LossTime(); lt > 0 && now >= lt {
 				lost := p.Space.OnLossTimeout(now)
-				c.handleLost(now, p, lost)
+				c.handleLost(now, p, lost, "time")
 			}
 			if pd := p.Space.PTODeadline(); pd > 0 && now >= pd {
 				c.onPathPTO(now, p)
@@ -926,6 +934,7 @@ func (c *Conn) onPathPTO(now time.Duration, p *Path) {
 			p.suspect = true
 			p.advertisedStandby = true
 			p.lastStatusSeq++
+			c.tr.PathStateChanged(now, p.ID, p.State.String(), "pto-suspect")
 			c.queueCtrl(&wire.PathStatusFrame{
 				PathID: p.ID, StatusSeq: p.lastStatusSeq, Status: wire.PathStandby,
 			}, -1, false)
@@ -936,7 +945,7 @@ func (c *Conn) onPathPTO(now time.Duration, p *Path) {
 			// the path is not demoted — the min-RTT scheduler will keep
 			// trusting its stale estimate, the Sec 3 pathology.
 			lost := p.Space.DeclareAllLost(now)
-			c.handleLost(now, p, lost)
+			c.handleLost(now, p, lost, "pto")
 			p.CC.OnRetransmissionTimeout(now)
 		}
 	} else {

@@ -327,6 +327,113 @@ func checkPanicPath(cfg *Config, pkgs []*Package) []Finding {
 	return out
 }
 
+// --- rule: obsevent ---
+
+// obsConstArg reports whether e resolves to a constant declared in an obs
+// package — the only admissible event-name argument.
+func obsConstArg(cfg *Config, pkg *Package, e ast.Expr) bool {
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		id = v.Sel
+	case *ast.Ident:
+		id = v
+	default:
+		return false
+	}
+	if c, ok := pkg.Info.Uses[id].(*types.Const); ok {
+		return c.Pkg() != nil && matchPkg(c.Pkg().Path(), cfg.ObsPkgs)
+	}
+	return false
+}
+
+// checkObsEvent keeps the trace event taxonomy closed and its timestamps
+// deterministic: every argument of obs.EventName type must be a constant
+// registered in the obs package (no ad-hoc strings, no laundering through
+// variables), and no wall-clock expression may flow into any obs call —
+// trace timestamps come from the sim clock, which is what makes traces
+// byte-reproducible and the golden-trace gate meaningful.
+func checkObsEvent(cfg *Config, pkg *Package) []Finding {
+	if len(cfg.ObsPkgs) == 0 || matchPkg(pkg.Path, cfg.ObsPkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		imports := importsByName(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+			obsCallee := false
+			if fn != nil && fn.Pkg() != nil {
+				obsCallee = matchPkg(fn.Pkg().Path(), cfg.ObsPkgs)
+			} else if path := selectorPkgPath(pkg, imports, sel); path != "" {
+				obsCallee = matchPkg(path, cfg.ObsPkgs)
+			}
+			if !obsCallee {
+				return true
+			}
+			// Event-name arguments must be registered constants.
+			if fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					params := sig.Params()
+					for i := 0; i < params.Len() && i < len(call.Args); i++ {
+						named, ok := params.At(i).Type().(*types.Named)
+						if !ok || named.Obj().Name() != "EventName" ||
+							named.Obj().Pkg() == nil ||
+							!matchPkg(named.Obj().Pkg().Path(), cfg.ObsPkgs) {
+							continue
+						}
+						if !obsConstArg(cfg, pkg, call.Args[i]) {
+							out = append(out, Finding{
+								Pos:  pkg.Fset.Position(call.Args[i].Pos()),
+								Rule: "obsevent",
+								Msg: "event name passed to " + sel.Sel.Name +
+									" is not a registered obs.EventName constant; add it to the taxonomy in internal/obs",
+							})
+						}
+					}
+				}
+			} else if sel.Sel.Name == "Emit" && len(call.Args) >= 2 {
+				// No type info: fall back to the one EventName-taking entry.
+				if !obsConstArg(cfg, pkg, call.Args[1]) {
+					out = append(out, Finding{
+						Pos:  pkg.Fset.Position(call.Args[1].Pos()),
+						Rule: "obsevent",
+						Msg:  "event name passed to Emit is not a registered obs.EventName constant; add it to the taxonomy in internal/obs",
+					})
+				}
+			}
+			// No wall-clock expression may feed a trace emit.
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(x ast.Node) bool {
+					s, ok := x.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if selectorPkgPath(pkg, imports, s) == "time" && forbiddenTimeFuncs[s.Sel.Name] {
+						out = append(out, Finding{
+							Pos:  pkg.Fset.Position(s.Pos()),
+							Rule: "obsevent",
+							Msg: "wall-clock time." + s.Sel.Name + " flows into a trace emit; " +
+								"trace timestamps must come from the sim clock so traces stay byte-reproducible",
+						})
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
 // --- rule: maprange ---
 
 var sortPkgs = map[string]bool{"sort": true, "slices": true}

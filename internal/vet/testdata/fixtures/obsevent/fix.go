@@ -1,0 +1,42 @@
+// Package fix is an xlinkvet self-test fixture: every function below
+// violates the obsevent rule — event names must be EventName constants
+// registered in internal/obs, and trace timestamps must come from the sim
+// clock, never the wall clock.
+package fix
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BadLiteralName passes an ad-hoc string event name: 1 finding.
+func BadLiteralName(o *obs.Origin, now time.Duration) {
+	o.Emit(now, "transport:bogus")
+}
+
+// BadLaunderedName routes the name through a variable, escaping the closed
+// taxonomy: 1 finding.
+func BadLaunderedName(o *obs.Origin, now time.Duration) {
+	name := obs.EventName("x:bogus")
+	o.Emit(now, name)
+}
+
+// BadWallClockSince stamps an event off the wall clock: 1 obsevent finding
+// (the determinism finding on the same expression is suppressed — the
+// fixture targets one rule at a time).
+func BadWallClockSince(o *obs.Origin, start time.Time) {
+	//xlinkvet:ignore determinism fixture targets the obsevent rule
+	o.Emit(time.Since(start), obs.EvPacketSent)
+}
+
+// BadWallClockNow threads time.Now into a typed emitter: 1 finding.
+func BadWallClockNow(o *obs.Origin) {
+	//xlinkvet:ignore determinism fixture targets the obsevent rule
+	o.PacketSent(time.Duration(time.Now().UnixNano()), 0, 0, 0, "1rtt")
+}
+
+// GoodEmit uses a registered constant and a sim-clock timestamp: no finding.
+func GoodEmit(o *obs.Origin, now time.Duration) {
+	o.Emit(now, obs.EvPacketSent, obs.KV{K: "k", V: "v"})
+}

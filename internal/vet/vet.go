@@ -11,6 +11,10 @@
 //     paths (wire parsers, transport packet ingestion).
 //   - maprange: no unordered map iteration in deterministic packages unless
 //     the enclosing function re-establishes order with a sort.
+//   - obsevent: trace event names must be EventName constants registered in
+//     internal/obs (closed taxonomy) and no wall-clock expression may feed a
+//     trace emit — timestamps come from the sim clock, keeping traces
+//     byte-reproducible.
 //
 // Findings can be suppressed per line with `//xlinkvet:ignore <rules>` on
 // the same or the preceding line, where <rules> is a comma-separated rule
@@ -55,6 +59,9 @@ type Config struct {
 	// IngestPkgs receive attacker-controlled datagrams: their ingestion
 	// functions must not panic (panicpath).
 	IngestPkgs []string
+	// ObsPkgs hold the structured tracer: callers must pass registered
+	// EventName constants and sim-clock timestamps (obsevent).
+	ObsPkgs []string
 	// SkipPkgs are not analyzed at all (binaries, examples, tooling).
 	SkipPkgs []string
 }
@@ -68,6 +75,7 @@ func FixtureConfig(module, path string) *Config {
 		DeterministicPkgs: []string{path},
 		WirePkgs:          []string{path, module + "/internal/wire"},
 		IngestPkgs:        []string{path},
+		ObsPkgs:           []string{module + "/internal/obs"},
 	}
 }
 
@@ -85,6 +93,7 @@ func DefaultConfig(module string) *Config {
 		},
 		WirePkgs:   []string{p("internal/wire")},
 		IngestPkgs: []string{p("internal/transport")},
+		ObsPkgs:    []string{p("internal/obs")},
 		SkipPkgs: []string{
 			p("cmd"), p("examples"), p("internal/vet"), p("internal/assert"),
 		},
@@ -118,6 +127,7 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 		findings = append(findings, checkDeterminism(cfg, pkg)...)
 		findings = append(findings, checkWireErr(cfg, pkg)...)
 		findings = append(findings, checkMapRange(cfg, pkg)...)
+		findings = append(findings, checkObsEvent(cfg, pkg)...)
 	}
 	findings = append(findings, checkPanicPath(cfg, pkgs)...)
 

@@ -37,6 +37,7 @@ func TestFixturesFire(t *testing.T) {
 		{"wireerr", "wireerr", 3},
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
+		{"obsevent", "obsevent", 4},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -10,6 +10,7 @@ package video
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -103,6 +104,12 @@ type Player struct {
 	// ReinjectSeries is fed by the harness with cumulative re-injected
 	// bytes for the same plots.
 	ReinjectSeries stats.TimeSeries
+
+	// tr traces pipeline milestones (nil = no-op).
+	tr *obs.Origin
+	// decodedFrames is the last frame count reported on the trace, so
+	// video:frames_decoded fires once per decoded frame, not per sample.
+	decodedFrames uint64
 }
 
 // DangerLevel is the play-time-left considered a rebuffer hazard (Sec 7.1).
@@ -116,6 +123,11 @@ func NewPlayer(v Video, cfg PlayerConfig) *Player {
 // Video returns the video being played.
 func (p *Player) Video() Video { return p.video }
 
+// SetTracer installs a structured event tracer recording pipeline
+// milestones: first-frame cached, playback start, decode progress,
+// rebuffer start/end, finish.
+func (p *Player) SetTracer(o *obs.Origin) { p.tr = o }
+
 // OnData delivers n in-order bytes at time now.
 func (p *Player) OnData(now time.Duration, n uint64) {
 	p.Advance(now)
@@ -126,6 +138,7 @@ func (p *Player) OnData(now time.Duration, n uint64) {
 	if !p.haveFirstFrame && p.received >= p.video.FirstFrameSize {
 		p.haveFirstFrame = true
 		p.firstFrameAt = now
+		p.tr.VideoFrameCached(now, p.received)
 	}
 	p.maybeStartOrResume(now)
 	p.sample(now)
@@ -150,16 +163,19 @@ func (p *Player) Advance(now time.Duration) {
 			if p.consumed >= p.video.Size {
 				p.state = stateFinished
 				p.finishedAt = p.lastTime + canPlay
+				p.tr.VideoFinished(p.finishedAt)
 			} else {
 				p.state = stateRebuffering
 				p.rebufferCount++
 				p.rebufferStart = p.lastTime + canPlay
+				p.tr.VideoRebufferStart(p.rebufferStart, p.rebufferCount)
 			}
 		}
 		if p.consumed >= p.video.Size {
 			p.state = stateFinished
 			if p.finishedAt == 0 {
 				p.finishedAt = now
+				p.tr.VideoFinished(now)
 			}
 		}
 	case stateRebuffering:
@@ -179,11 +195,13 @@ func (p *Player) maybeStartOrResume(now time.Duration) {
 			p.state = statePlaying
 			p.started = true
 			p.startedAt = now
+			p.tr.VideoPlaybackStarted(now)
 		}
 	case stateRebuffering:
 		if p.received >= p.video.Size || p.bufferedPlaytime() >= p.cfg.ResumeThreshold {
 			p.rebufferTime += now - p.rebufferStart
 			p.state = statePlaying
+			p.tr.VideoRebufferEnd(now, now-p.rebufferStart)
 		}
 	}
 }
@@ -215,6 +233,13 @@ func (p *Player) sample(now time.Duration) {
 		p.TotalSamples++
 		if p.bufferedPlaytime() < DangerLevel {
 			p.DangerSamples++
+		}
+	}
+	if p.tr != nil && p.video.FPS > 0 {
+		bytesPerFrame := p.video.BytesPerSecond() / float64(p.video.FPS)
+		if frames := uint64(float64(p.consumed) / bytesPerFrame); frames != p.decodedFrames {
+			p.decodedFrames = frames
+			p.tr.VideoFramesDecoded(now, frames)
 		}
 	}
 }

@@ -24,6 +24,10 @@ step go test -race ./...
 # Chaos smoke: the fault-injection corpus under assertions + race detector
 # (plain `go test ./...` above already ran it once without either).
 step go test -race -tags xlinkdebug -count=1 ./internal/chaos/
+# Trace determinism: the same (scenario, seed) must reproduce the committed
+# golden NDJSON trace byte for byte (-count=1 defeats the test cache so the
+# gate re-runs even when nothing changed).
+step go test -count=1 ./internal/chaos/ -run TestGoldenTrace
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFrame -fuzztime "$FUZZTIME"

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/assert"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -52,6 +53,7 @@ type Endpoint struct {
 	conn  *transport.Conn
 	socks []*net.UDPConn
 	peer  []*net.UDPAddr // per netIdx: where to send (client side / learned)
+	trace *obs.Trace     // optional event trace; emitted to under mu
 	done  chan struct{}
 	// cbQ holds user callbacks raised while the lock was held; they run
 	// after release so they may re-enter the endpoint.
@@ -146,7 +148,14 @@ type LiveConfig struct {
 	OnHandshakeDone func(now time.Duration)
 	// QoEProvider supplies client player feedback.
 	QoEProvider func() QoESignal
-	Seed        int64
+	// Tracer, when set, collects the connection's structured event stream.
+	// The trace is driven under the endpoint mutex (obs.Trace is not
+	// internally synchronized); read it with Endpoint.TraceBytes, which
+	// snapshots under the same lock. Timestamps come from the endpoint's
+	// monotonic clock, so live traces are time-consistent but — unlike sim
+	// traces — not byte-reproducible across runs.
+	Tracer *obs.Trace
+	Seed   int64
 }
 
 // Listen starts a live server endpoint on addr (e.g. "127.0.0.1:4242").
@@ -249,6 +258,12 @@ func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
 		// The provider is a pure read; it runs inline (no re-entrancy).
 		tcfg.QoEProvider = func() wire.QoESignal { return cfg.QoEProvider() }
 	}
+	label := "server"
+	if tcfg.IsClient {
+		label = "client"
+	}
+	ep.trace = cfg.Tracer
+	tcfg.Tracer = cfg.Tracer.Origin(label)
 }
 
 // SendDatagram implements transport.DatagramSender over the sockets.
@@ -339,11 +354,41 @@ func (ep *Endpoint) Established() bool {
 	return ep.conn.Established()
 }
 
-// Stats returns transport counters.
+// Stats returns a copy of the transport counters, taken under the endpoint
+// lock. The transport.Conn itself is lock-free and event-loop-confined;
+// every cross-goroutine read must go through one of these locked accessors
+// (the ConnStats value type has no reference fields, so the copy is a
+// consistent snapshot).
 func (ep *Endpoint) Stats() transport.ConnStats {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	return ep.conn.Stats()
+}
+
+// StateName returns the connection lifecycle state, read under the lock.
+func (ep *Endpoint) StateName() string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.StateName()
+}
+
+// Terminated reports terminal closure, read under the lock.
+func (ep *Endpoint) Terminated() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.conn.Terminated()
+}
+
+// TraceBytes snapshots the NDJSON trace accumulated so far (nil when no
+// Tracer was configured). The copy is taken under the endpoint lock, so it
+// is safe to call while the connection is live.
+func (ep *Endpoint) TraceBytes() []byte {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.trace == nil {
+		return nil
+	}
+	return append([]byte(nil), ep.trace.Bytes()...)
 }
 
 // LocalAddrs returns the bound socket addresses.

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestEmulatedSessionAPI(t *testing.T) {
@@ -88,9 +90,11 @@ func TestLiveUDPTransfer(t *testing.T) {
 
 	addr := server.LocalAddrs()[0].String()
 	handshakeCh := make(chan struct{})
+	clientTrace := obs.NewTrace("live-client")
 	client, err := Dial(addr, []string{"127.0.0.1:0", "127.0.0.1:0"},
 		[]Technology{TechWiFi, TechLTE}, LiveConfig{
 			Scheme: SchemeXLINK,
+			Tracer: clientTrace,
 			OnStreamData: func(now time.Duration, s *RecvStream, data []byte, fin bool) {
 				mu.Lock()
 				got.Write(data)
@@ -109,6 +113,34 @@ func TestLiveUDPTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
+
+	// Concurrent observer: under -race this proves the locked accessors
+	// (Stats/StateName/Terminated/TraceBytes snapshots) are safe to call
+	// from any goroutine while the connection is moving data.
+	readerStop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			_ = client.Stats()
+			_ = client.StateName()
+			_ = client.Terminated()
+			_ = client.TraceBytes()
+			_ = server.Stats()
+			_ = server.StateName()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	defer func() {
+		close(readerStop)
+		readerDone.Wait()
+	}()
 
 	select {
 	case <-handshakeCh:
@@ -134,5 +166,33 @@ func TestLiveUDPTransfer(t *testing.T) {
 	}
 	if !client.Established() || !server.Established() {
 		t.Fatal("endpoints should be established")
+	}
+	if client.StateName() != "established" {
+		t.Fatalf("client state %q, want established", client.StateName())
+	}
+
+	// The live trace must parse and contain the transport's core events.
+	evs, err := obs.ParseBytes(client.TraceBytes())
+	if err != nil {
+		t.Fatalf("live trace does not parse: %v", err)
+	}
+	var sent, recv int
+	for _, e := range evs {
+		switch e.Name {
+		case obs.EvPacketSent:
+			sent++
+		case obs.EvPacketReceived:
+			recv++
+		}
+	}
+	if sent == 0 || recv == 0 {
+		t.Fatalf("live trace missing packet events: %d sent, %d received", sent, recv)
+	}
+	// Stats are read after the trace snapshot and only ever grow, so the
+	// trace count bounds the counter from below (exact reconciliation is
+	// the deterministic chaos suite's job).
+	st := client.Stats()
+	if uint64(recv) > st.RecvPackets {
+		t.Fatalf("trace has %d packet_received, stats say only %d", recv, st.RecvPackets)
 	}
 }
