@@ -9,11 +9,17 @@ FUZZTIME ?= 10s
 build:
 	$(GO) build ./...
 
+# Everything static in one shot: standard go vet, the xlinkvet fixture
+# self-test, and the full-tree xlinkvet sweep (all eight rules, including
+# the interprocedural lockheld/guardedby/taintsize families).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/xlinkvet -selftest
+	$(GO) run ./cmd/xlinkvet ./...
 
 # Repo-specific static analysis: determinism, wire error handling,
-# panic-free parse paths, ordered map iteration. See DESIGN.md.
+# panic-free parse paths, ordered map iteration, lock discipline,
+# guarded-by field access, and wire-length taint. See DESIGN.md §10.
 xlinkvet:
 	$(GO) run ./cmd/xlinkvet ./...
 

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	xlinkvet ./...                 analyze the whole module (exit 1 on findings)
+//	xlinkvet -json ./...           same, but emit findings as a JSON array on
+//	                               stdout (deterministic file:line:rule order)
 //	xlinkvet -as <path> <dir>      analyze one directory under an assumed
 //	                               import path, applying every rule (used to
 //	                               prove rules fire on the testdata fixtures)
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +32,7 @@ import (
 func main() {
 	asPath := flag.String("as", "", "treat the single directory argument as this import path and apply every rule")
 	selftest := flag.Bool("selftest", false, "verify each rule fires on the committed violation fixtures")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	verbose := flag.Bool("v", false, "print type-check diagnostics")
 	flag.Parse()
 
@@ -49,7 +53,8 @@ func main() {
 			fatal(err)
 		}
 		reportTypeErrs(*verbose, pkg)
-		os.Exit(report(vet.Run(vet.FixtureConfig(loader.ModPath, *asPath), []*vet.Package{pkg})))
+		findings := vet.Run(vet.FixtureConfig(loader.ModPath, *asPath), []*vet.Package{pkg})
+		os.Exit(report(findings, *jsonOut))
 	default:
 		pkgs, err := loader.LoadModule()
 		if err != nil {
@@ -61,7 +66,7 @@ func main() {
 		cfg := vet.DefaultConfig(loader.ModPath)
 		findings := vet.Run(cfg, pkgs)
 		findings = filterByArgs(findings, flag.Args(), loader.ModDir)
-		os.Exit(report(findings))
+		os.Exit(report(findings, *jsonOut))
 	}
 }
 
@@ -96,9 +101,35 @@ func filterByArgs(findings []vet.Finding, args []string, modDir string) []vet.Fi
 	return out
 }
 
-func report(findings []vet.Finding) int {
-	for _, f := range findings {
-		fmt.Println(f)
+// jsonFinding is the machine-readable finding shape emitted by -json.
+// vet.Run already sorts findings by file, line, rule (column as the final
+// tiebreak), so the array order is deterministic across runs.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func report(findings []vet.Finding, jsonOut bool) int {
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "xlinkvet: %d finding(s)\n", len(findings))
@@ -121,6 +152,9 @@ func runSelftest(loader *vet.Loader, verbose bool) int {
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
 		{"obsevent", "obsevent", 4},
+		{"lockheld", "lockheld", 7},
+		{"guardedby", "guardedby", 4},
+		{"taintsize", "taintsize", 3},
 	}
 	failed := false
 	for _, tc := range cases {

@@ -25,10 +25,13 @@ func (f BackendFunc) Deliver(netIdx int, data []byte) { f(netIdx, data) }
 
 // Router routes datagrams to backends by the server ID byte embedded in
 // connection IDs.
+// A Router is confined to the single goroutine that pumps its listen
+// socket; the annotated routing tables below are mutated by Add/Remove
+// without any lock, which xlinkvet's confined discipline enforces.
 type Router struct {
 	cidLen   int
-	backends map[byte]Backend
-	ids      []byte
+	backends map[byte]Backend // xlinkvet:guardedby confined
+	ids      []byte           // xlinkvet:guardedby confined
 
 	// FallbackRoute, when true, re-routes short-header packets whose server
 	// ID matches no live backend to one chosen by the first CID byte instead

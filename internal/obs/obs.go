@@ -70,13 +70,17 @@ const (
 const formatHeader = "xlink-ndjson-01"
 
 // Trace is one NDJSON event stream. Create with NewTrace, hand out labeled
-// Origins to components, and read the result with Bytes.
+// Origins to components, and read the result with Bytes. A Trace is not
+// internally synchronized: it is confined to whatever loop drives the
+// connection (the sim scheduler or the endpoint lock — see
+// xlink.Endpoint.TraceBytes), which the confined annotations below let
+// xlinkvet enforce.
 type Trace struct {
 	title   string
-	buf     bytes.Buffer
+	buf     bytes.Buffer // xlinkvet:guardedby confined
 	reg     *Registry
-	events  uint64
-	scratch []byte // number-formatting scratch, reused across events
+	events  uint64 // xlinkvet:guardedby confined
+	scratch []byte // xlinkvet:guardedby confined (number-formatting scratch, reused across events)
 }
 
 // NewTrace creates an empty trace. title labels the stream in its header

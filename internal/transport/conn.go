@@ -125,7 +125,12 @@ type Conn struct {
 	cfg    Config
 	rng    *sim.RNG
 
-	state     connState
+	// The connection is event-loop-confined: its owner (the sim harness or
+	// xlink.Endpoint) serializes every entry point, so Conn itself holds no
+	// locks. The mutable core below is annotated confined so xlinkvet
+	// rejects any goroutine-launched path that touches it without
+	// re-serializing through the owner's lock.
+	state     connState // xlinkvet:guardedby confined
 	multipath bool
 
 	// Handshake.
@@ -146,11 +151,11 @@ type Conn struct {
 	peerCIDs  []wire.ConnectionID
 
 	interfaces []Interface
-	paths      map[uint64]*Path
-	pathOrder  []uint64
+	paths      map[uint64]*Path // xlinkvet:guardedby confined
+	pathOrder  []uint64         // xlinkvet:guardedby confined
 
-	sendStreams  map[uint64]*SendStream
-	recvStreams  map[uint64]*RecvStream
+	sendStreams  map[uint64]*SendStream // xlinkvet:guardedby confined
+	recvStreams  map[uint64]*RecvStream // xlinkvet:guardedby confined
 	nextStreamID uint64
 
 	// Connection-level flow control.
@@ -159,7 +164,7 @@ type Conn struct {
 	localMaxData  uint64
 	connDelivered uint64
 
-	ctrlQ        []ctrlItem
+	ctrlQ        []ctrlItem // xlinkvet:guardedby confined
 	globalReinjQ []chunk
 
 	// QoE piggyback throttling (client).

@@ -12,7 +12,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package of the module under analysis.
@@ -49,14 +51,23 @@ func (p *Package) ignored(pos token.Position, rule string) bool {
 // standard library: module-internal imports are resolved by recursive
 // loading, everything else through the compiler "source" importer (which
 // type-checks the standard library from GOROOT source).
+//
+// LoadModule parses every package and type-checks dependency waves on
+// GOMAXPROCS workers (token.FileSet is concurrency-safe; completed
+// *types.Package values are immutable; the shared source importer is
+// serialized behind stdMu). LoadDirAs and the recursive fallback loader
+// stay sequential — they run for fixtures, after or instead of the
+// parallel phase.
 type Loader struct {
 	Fset    *token.FileSet
 	ModPath string
 	ModDir  string
 
+	mu      sync.Mutex          // guards pkgs
 	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle guard
+	loading map[string]bool     // cycle guard (sequential loads only)
 	std     types.Importer
+	stdMu   sync.Mutex // the source importer is not concurrency-safe
 }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
@@ -103,8 +114,28 @@ func NewLoader(dir string) (*Loader, error) {
 	}, nil
 }
 
+func (l *Loader) stdImport(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	return l.std.Import(path)
+}
+
+func (l *Loader) getPkg(path string) *Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pkgs[path]
+}
+
+func (l *Loader) putPkg(pkg *Package) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pkgs[pkg.Path] = pkg
+}
+
 // LoadModule loads every package of the module (skipping testdata and
-// hidden directories), returning them sorted by import path.
+// hidden directories), returning them sorted by import path. Parsing runs
+// fully parallel; type-checking runs in dependency waves, each wave's
+// packages checked concurrently.
 func (l *Loader) LoadModule() ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
@@ -124,8 +155,16 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, dir := range dirs {
+
+	// Phase 1: parse every candidate directory in parallel.
+	type parsed struct {
+		pkg     *Package
+		imports []string // module-internal imports
+		err     error
+	}
+	results := make([]parsed, len(dirs))
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
 		rel, err := filepath.Rel(l.ModDir, dir)
 		if err != nil {
 			return nil, err
@@ -134,17 +173,129 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		if rel != "." {
 			path = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(path)
+		paths[i] = path
+	}
+	parallelDo(len(dirs), func(i int) {
+		pkg, err := l.parseDir(dirs[i], paths[i])
 		if err != nil {
-			if _, empty := err.(errNoFiles); empty {
+			results[i] = parsed{err: err}
+			return
+		}
+		results[i] = parsed{pkg: pkg, imports: moduleImports(l.ModPath, pkg)}
+	})
+
+	skeletons := map[string]*parsed{}
+	var order []string
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			if _, empty := r.err.(errNoFiles); empty {
 				continue
 			}
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", paths[i], r.err)
 		}
-		out = append(out, pkg)
+		skeletons[r.pkg.Path] = r
+		order = append(order, r.pkg.Path)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	sort.Strings(order)
+
+	// Phase 2: type-check in dependency waves. A package is ready when
+	// every module-internal import either has been checked already or is
+	// outside the walked set (then the sequential fallback loads it up
+	// front, so wave workers only ever read completed packages).
+	done := map[string]bool{}
+	remaining := len(skeletons)
+	for remaining > 0 {
+		var wave []string
+		for _, path := range order {
+			if done[path] {
+				continue
+			}
+			ready := true
+			for _, imp := range skeletons[path].imports {
+				if _, inSet := skeletons[imp]; inSet && !done[imp] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, path)
+			}
+		}
+		if len(wave) == 0 {
+			// Import cycle among the remaining packages: fall through to
+			// the sequential loader, which reports the cycle precisely.
+			for _, path := range order {
+				if !done[path] {
+					if _, err := l.load(path); err != nil {
+						return nil, fmt.Errorf("%s: %w", path, err)
+					}
+				}
+			}
+			break
+		}
+		// Pre-load out-of-set module imports sequentially so concurrent
+		// wave workers never race on the fallback loader.
+		for _, path := range wave {
+			for _, imp := range skeletons[path].imports {
+				if _, inSet := skeletons[imp]; !inSet && l.getPkg(imp) == nil {
+					if _, err := l.load(imp); err != nil {
+						return nil, fmt.Errorf("%s: %w", imp, err)
+					}
+				}
+			}
+		}
+		waveErrs := make([]error, len(wave))
+		parallelDo(len(wave), func(i int) {
+			pkg := skeletons[wave[i]].pkg
+			l.typeCheck(pkg, func(imp string) (*types.Package, error) {
+				dep := l.getPkg(imp)
+				if dep == nil {
+					return nil, fmt.Errorf("dependency %s not yet loaded", imp)
+				}
+				return dep.TypesPkg, nil
+			})
+			l.putPkg(pkg)
+			waveErrs[i] = nil
+		})
+		for _, err := range waveErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, path := range wave {
+			done[path] = true
+			remaining--
+		}
+	}
+
+	var out []*Package
+	for _, path := range order {
+		if pkg := l.getPkg(path); pkg != nil {
+			out = append(out, pkg)
+		}
+	}
 	return out, nil
+}
+
+// moduleImports lists pkg's imports that live inside the module.
+func moduleImports(modPath string, pkg *Package) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, file := range pkg.Files {
+		for _, spec := range file.Imports {
+			imp, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (imp == modPath || strings.HasPrefix(imp, modPath+"/")) && !seen[imp] {
+				seen[imp] = true
+				out = append(out, imp)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // LoadDirAs parses and type-checks a single directory (e.g. a testdata
@@ -163,9 +314,10 @@ type errNoFiles struct{ dir string }
 func (e errNoFiles) Error() string { return "no buildable Go files in " + e.dir }
 
 // load returns the package for a module-internal import path, loading it on
-// first use.
+// first use. Sequential: used for fixtures and as the fallback when the
+// parallel wave scheduler cannot make progress.
 func (l *Loader) load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
+	if pkg := l.getPkg(path); pkg != nil {
 		return pkg, nil
 	}
 	if l.loading[path] {
@@ -180,12 +332,29 @@ func (l *Loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.pkgs[path] = pkg
+	l.putPkg(pkg)
 	return pkg, nil
 }
 
-// check parses the buildable files of dir and type-checks them as path.
+// check parses the buildable files of dir and type-checks them as path
+// (sequential path: module-internal imports load recursively).
 func (l *Loader) check(dir, path string) (*Package, error) {
+	pkg, err := l.parseDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.typeCheck(pkg, func(imp string) (*types.Package, error) {
+		dep, err := l.load(imp)
+		if err != nil {
+			return nil, err
+		}
+		return dep.TypesPkg, nil
+	})
+	return pkg, nil
+}
+
+// parseDir parses the buildable non-test files of dir.
+func (l *Loader) parseDir(dir, path string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -214,16 +383,18 @@ func (l *Loader) check(dir, path string) (*Package, error) {
 	if len(pkg.Files) == 0 {
 		return nil, errNoFiles{dir}
 	}
+	return pkg, nil
+}
+
+// typeCheck type-checks an already-parsed package; resolveModule maps
+// module-internal import paths to their *types.Package.
+func (l *Loader) typeCheck(pkg *Package, resolveModule func(string) (*types.Package, error)) {
 	conf := types.Config{
 		Importer: importerFunc(func(imp string) (*types.Package, error) {
 			if imp == l.ModPath || strings.HasPrefix(imp, l.ModPath+"/") {
-				dep, err := l.load(imp)
-				if err != nil {
-					return nil, err
-				}
-				return dep.TypesPkg, nil
+				return resolveModule(imp)
 			}
-			return l.std.Import(imp)
+			return l.stdImport(imp)
 		}),
 		Error: func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
 	}
@@ -235,8 +406,7 @@ func (l *Loader) check(dir, path string) (*Package, error) {
 	// Check returns a usable (if incomplete) package even when soft errors
 	// were reported; rules degrade to syntactic matching where Info is
 	// missing entries.
-	pkg.TypesPkg, _ = conf.Check(path, l.Fset, pkg.Files, pkg.Info)
-	return pkg, nil
+	pkg.TypesPkg, _ = conf.Check(pkg.Path, l.Fset, pkg.Files, pkg.Info)
 }
 
 type importerFunc func(string) (*types.Package, error)

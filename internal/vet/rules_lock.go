@@ -1,0 +1,284 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// --- rule: lockheld ---
+//
+// Nothing slow, re-entrant, or observable may happen while a sync mutex is
+// held: no blocking operation (channel ops, select, net I/O, time.Sleep,
+// sync waits), no call through a function value (a user callback could
+// re-enter the lock), and no obs trace emit (the trace is driven at the
+// lock boundary by design — see xlink/live.go). The check is
+// interprocedural: a call site that holds a lock is charged with every
+// operation its callee closure can reach. The same summaries feed the
+// deadlock checks: re-acquiring a held lock (directly or through a callee)
+// and lock-ordering cycles across the module.
+
+func checkLockHeld(eng *engine) []Finding {
+	var out []Finding
+	var edges []lockEdge
+
+	for _, sum := range eng.sums {
+		fset := sum.pkg.Fset
+		// Direct operations under a held lock.
+		for _, op := range sum.ops {
+			if len(op.held) == 0 {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(op.pos),
+				Rule: "lockheld",
+				Msg: fmt.Sprintf("%s (%s) in %s while holding %s; release the lock first or defer the work",
+					op.kind, op.desc, sum.name, heldNames(op.held)),
+			})
+		}
+		// Operations reachable through callees from a locked call site.
+		for _, cs := range sum.calls {
+			if len(cs.held) == 0 {
+				continue
+			}
+			rs := eng.reach(cs.callee)
+			for k := opKind(0); k < numOpKinds; k++ {
+				ref := rs.byKind[k]
+				if ref == nil {
+					continue
+				}
+				via := ""
+				if len(ref.via) > 0 {
+					via = " via " + strings.Join(ref.via, " → ")
+				}
+				out = append(out, Finding{
+					Pos:  fset.Position(cs.pos),
+					Rule: "lockheld",
+					Msg: fmt.Sprintf("call to %s in %s while holding %s reaches a %s (%s at %s%s)",
+						cs.callee.Name(), sum.name, heldNames(cs.held), k, ref.desc,
+						shortPos(fset.Position(ref.pos)), via),
+				})
+				break // one finding per locked call site, most severe kind first
+			}
+			// Transitive re-acquisition of a lock already held here.
+			for id, pos := range eng.transAcquires(cs.callee) {
+				if cs.held[id] {
+					out = append(out, Finding{
+						Pos:  fset.Position(cs.pos),
+						Rule: "lockheld",
+						Msg: fmt.Sprintf("call to %s in %s re-acquires %s (at %s), which is already held here — deadlock",
+							cs.callee.Name(), sum.name, id, shortPos(fset.Position(pos))),
+					})
+				} else {
+					for h := range cs.held {
+						edges = append(edges, lockEdge{from: h, to: id, pos: cs.pos})
+					}
+				}
+			}
+		}
+		// Direct acquisition edges: self-loops are immediate deadlocks,
+		// the rest feed the ordering graph.
+		for _, e := range sum.edges {
+			if e.from == e.to {
+				out = append(out, Finding{
+					Pos:  fset.Position(e.pos),
+					Rule: "lockheld",
+					Msg: fmt.Sprintf("%s acquires %s while already holding it — self-deadlock (sync.Mutex is not reentrant)",
+						sum.name, e.from),
+				})
+				continue
+			}
+			edges = append(edges, e)
+		}
+	}
+
+	out = append(out, lockOrderCycles(eng, edges)...)
+	return out
+}
+
+// lockOrderCycles reports each strongly connected component of the
+// lock-ordering graph (edge A→B: B acquired while A held) once, at the
+// earliest edge position inside the component. Two goroutines walking the
+// same cycle in different places deadlock.
+func lockOrderCycles(eng *engine, edges []lockEdge) []Finding {
+	adj := map[lockID][]lockID{}
+	edgePos := map[[2]lockID]token.Pos{}
+	nodeSet := map[lockID]bool{}
+	for _, e := range edges {
+		key := [2]lockID{e.from, e.to}
+		if old, ok := edgePos[key]; !ok || e.pos < old {
+			edgePos[key] = e.pos
+		}
+		nodeSet[e.from] = true
+		nodeSet[e.to] = true
+	}
+	for key := range edgePos {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	var nodes []lockID
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for n := range adj {
+		sort.Slice(adj[n], func(i, j int) bool { return adj[n][i] < adj[n][j] })
+	}
+
+	// Tarjan's SCC over the (tiny) lock graph.
+	index := map[lockID]int{}
+	low := map[lockID]int{}
+	onStack := map[lockID]bool{}
+	var stack []lockID
+	var sccs [][]lockID
+	next := 0
+	var strongconnect func(v lockID)
+	strongconnect = func(v lockID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, seen := index[wn]; !seen {
+				strongconnect(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []lockID
+			for {
+				wn := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[wn] = false
+				scc = append(scc, wn)
+				if wn == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var out []Finding
+	for _, scc := range sccs {
+		sort.Slice(scc, func(i, j int) bool { return scc[i] < scc[j] })
+		in := map[lockID]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		var pos token.Pos
+		for key, p := range edgePos {
+			if in[key[0]] && in[key[1]] && (pos == token.NoPos || p < pos) {
+				pos = p
+			}
+		}
+		names := make([]string, len(scc))
+		for i, n := range scc {
+			names[i] = string(n)
+		}
+		out = append(out, Finding{
+			Pos:  eng.position(pos),
+			Rule: "lockheld",
+			Msg: "lock-order cycle between " + strings.Join(names, ", ") +
+				": these locks are acquired in conflicting orders on different paths — pick one global order",
+		})
+	}
+	return out
+}
+
+// position resolves a token.Pos against the (shared) FileSet of any
+// summarized package.
+func (eng *engine) position(pos token.Pos) token.Position {
+	if len(eng.pkgs) > 0 {
+		return eng.pkgs[0].Fset.Position(pos)
+	}
+	return token.Position{}
+}
+
+func shortPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d", pathBase(p.Filename), p.Line)
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// --- rule: guardedby ---
+//
+// A struct field annotated `xlinkvet:guardedby <mu>` may only be read or
+// written where the summary proves the named mutex held. One level of
+// caller credit keeps locked-helper idioms annotation-free: an unexported
+// function whose every static call site holds the lock (and which is never
+// referenced as a value or launched as a goroutine) counts as locked. A
+// field annotated `xlinkvet:guardedby confined` belongs to a structure
+// driven from a single event loop: it may not be touched from any
+// goroutine-launched path that has not re-serialized through a lock.
+
+func checkGuardedBy(eng *engine) []Finding {
+	out := append([]Finding(nil), eng.guardErrs...)
+	for _, sum := range eng.sums {
+		fset := sum.pkg.Fset
+		for _, acc := range sum.accesses {
+			gi := eng.guards[acc.field]
+			if gi == nil || gi.bad != "" {
+				continue
+			}
+			if gi.confined {
+				if eng.goReach[sum] {
+					out = append(out, Finding{
+						Pos:  fset.Position(acc.pos),
+						Rule: "guardedby",
+						Msg: fmt.Sprintf("field %s is confined to its owner's event loop but %s is reachable from a goroutine launch; serialize through a lock before touching it",
+							acc.field.Name(), sum.name),
+					})
+				}
+				continue
+			}
+			if acc.held[gi.lock] || eng.lockedByCallers(sum, gi.lock) {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(acc.pos),
+				Rule: "guardedby",
+				Msg: fmt.Sprintf("field %s is guarded by %s, which is not held in %s (and not provably held by every caller); lock it or route through a locked accessor",
+					acc.field.Name(), gi.lock, sum.name),
+			})
+		}
+	}
+	return out
+}
+
+// lockedByCallers grants one level of interprocedural credit: every
+// execution of sum provably happens under id. That requires a named,
+// unexported function whose uses are exactly its static call sites, all of
+// which hold the lock.
+func (eng *engine) lockedByCallers(sum *funcSummary, id lockID) bool {
+	if sum.fn == nil || sum.fn.Exported() {
+		return false
+	}
+	sites := eng.callSitesOf[sum.fn]
+	if len(sites) == 0 || eng.usesCount[sum.fn] != len(sites) {
+		return false // never called, referenced as a value, or go-launched
+	}
+	for _, cs := range sites {
+		if !cs.held[id] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,390 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// --- rule: taintsize ---
+//
+// A length decoded from the wire (the first result of wire.ParseVarint /
+// wire.ParseVarintMinimal) is attacker-controlled: up to 2^62-1. Before it
+// reaches an allocation (`make` size/capacity) or a slice-expression
+// bound, it must pass a comparison — any relational test mentioning the
+// value counts, which is how every parser in internal/wire bounds lengths
+// against the remaining buffer. Taint propagates through assignments,
+// arithmetic, and conversions within a function, and interprocedurally
+// into parameters: a function whose integer parameter reaches a sink
+// unchecked becomes a sink itself at every call site (computed to a
+// fixpoint across the wire and ingest packages).
+
+// varintSources are the wire decoding entry points whose first result is
+// an attacker-controlled length/count.
+var varintSources = map[string]bool{
+	"ParseVarint":        true,
+	"ParseVarintMinimal": true,
+}
+
+// taintOrigin tracks where a tainted value came from, for messages and for
+// attributing sink hits to function parameters.
+type taintOrigin struct {
+	root types.Object // the originally tainted object (parse result or param)
+	pos  token.Pos    // where this object became tainted
+}
+
+type taintHit struct {
+	root types.Object
+	pos  token.Pos
+	desc string
+}
+
+func checkTaintSize(cfg *Config, pkgs []*Package) []Finding {
+	var scope []*Package
+	for _, pkg := range pkgs {
+		if matchPkg(pkg.Path, cfg.WirePkgs) || matchPkg(pkg.Path, cfg.IngestPkgs) {
+			scope = append(scope, pkg)
+		}
+	}
+	if len(scope) == 0 {
+		return nil
+	}
+
+	// Fixpoint over parameter sinks: seed every integer parameter as
+	// tainted and see which reach a sink unchecked; a newly discovered
+	// sink parameter can make its callers' parameters sinks too.
+	sinkParams := map[*types.Func][]bool{}
+	type declFn struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		fn   *types.Func
+	}
+	var decls []declFn
+	for _, pkg := range scope {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+					if fn, ok := pkg.Info.Defs[decl.Name].(*types.Func); ok {
+						decls = append(decls, declFn{pkg, decl, fn})
+					}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, df := range decls {
+			params := paramObjects(df.pkg, df.decl)
+			if len(params) == 0 {
+				continue
+			}
+			seeds := map[types.Object]taintOrigin{}
+			for _, p := range params {
+				if p != nil {
+					seeds[p] = taintOrigin{root: p, pos: p.Pos()}
+				}
+			}
+			hits := taintFunc(cfg, df.pkg, df.decl, seeds, sinkParams)
+			mask := make([]bool, len(params))
+			copy(mask, sinkParams[df.fn])
+			if len(mask) < len(params) {
+				mask = append(mask, make([]bool, len(params)-len(mask))...)
+			}
+			for _, h := range hits {
+				for i, p := range params {
+					if p != nil && h.root == p && !mask[i] {
+						mask[i] = true
+						changed = true
+					}
+				}
+			}
+			sinkParams[df.fn] = mask
+		}
+	}
+
+	// Findings pass: seed taints from wire-parse calls only.
+	var out []Finding
+	for _, df := range decls {
+		hits := taintFunc(cfg, df.pkg, df.decl, nil, sinkParams)
+		for _, h := range hits {
+			out = append(out, Finding{
+				Pos:  df.pkg.Fset.Position(h.pos),
+				Rule: "taintsize",
+				Msg:  h.desc,
+			})
+		}
+	}
+	return out
+}
+
+// paramObjects lists the integer-typed parameter objects of decl, in
+// signature order (nil for parameters of other types, to keep indices
+// aligned with sinkParams masks).
+func paramObjects(pkg *Package, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && isIntType(obj.Type()) {
+				out = append(out, obj)
+			} else {
+				out = append(out, nil)
+			}
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+		}
+	}
+	return out
+}
+
+func isIntType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// taintFunc analyzes one function body: seeds (plus any wire-parse call
+// results) are tainted; taint spreads through assignments; a relational
+// comparison mentioning a tainted object sanitizes it from that position
+// on; a tainted, unsanitized object reaching a make size, a slice bound,
+// or a sink parameter of a callee is a hit.
+func taintFunc(cfg *Config, pkg *Package, decl *ast.FuncDecl, seeds map[types.Object]taintOrigin, sinkParams map[*types.Func][]bool) []taintHit {
+	taint := map[types.Object]taintOrigin{}
+	for k, v := range seeds {
+		taint[k] = v
+	}
+	imports := importsByName(fileOf(pkg, decl))
+
+	// Pass 1 (twice, to catch forward chains): taint seeds from parse
+	// calls and propagate through assignments.
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isVarintSource(cfg, pkg, imports, call) {
+					if len(as.Lhs) >= 1 {
+						if obj := lhsObject(pkg, as.Lhs[0]); obj != nil {
+							if _, seen := taint[obj]; !seen {
+								taint[obj] = taintOrigin{root: obj, pos: as.Pos()}
+							}
+						}
+					}
+					return true
+				}
+			}
+			// Propagation: any RHS mentioning a tainted object taints every
+			// LHS object (arithmetic and conversions ride along).
+			var src types.Object
+			for _, r := range as.Rhs {
+				if obj, _ := mentionsTainted(pkg, r, taint, nil); obj != nil {
+					src = obj
+					break
+				}
+			}
+			if src == nil {
+				return true
+			}
+			for _, l := range as.Lhs {
+				if obj := lhsObject(pkg, l); obj != nil {
+					if _, seen := taint[obj]; !seen {
+						taint[obj] = taintOrigin{root: taint[src].root, pos: as.Pos()}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(taint) == 0 {
+		return nil
+	}
+
+	// Pass 2: sanitization points — the earliest relational comparison
+	// mentioning each tainted object.
+	sanit := map[types.Object]token.Pos{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(x ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := identObject(pkg, id)
+				if obj == nil {
+					return true
+				}
+				if _, tainted := taint[obj]; !tainted {
+					return true
+				}
+				if old, ok := sanit[obj]; !ok || be.Pos() < old {
+					sanit[obj] = be.Pos()
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass 3: sinks.
+	var hits []taintHit
+	unsanitized := func(e ast.Expr) (types.Object, token.Pos) {
+		return mentionsTainted(pkg, e, taint, sanit)
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" {
+				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin || pkg.Info.Uses[id] == nil {
+					for _, arg := range n.Args[1:] {
+						if obj, pos := unsanitized(arg); obj != nil {
+							hits = append(hits, taintHit{
+								root: taint[obj].root, pos: pos,
+								desc: fmt.Sprintf("allocation size %q derives from a wire-decoded length with no bounds check before this point; compare it against the remaining buffer or a limit first", obj.Name()),
+							})
+						}
+					}
+				}
+				return true
+			}
+			// Calls whose parameters are known sinks.
+			var fn *types.Func
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				fn, _ = pkg.Info.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+			}
+			if fn != nil {
+				if mask := sinkParams[fn]; mask != nil {
+					for i, arg := range n.Args {
+						if i < len(mask) && mask[i] {
+							if obj, pos := unsanitized(arg); obj != nil {
+								hits = append(hits, taintHit{
+									root: taint[obj].root, pos: pos,
+									desc: fmt.Sprintf("wire-decoded length %q flows unchecked into %s, whose parameter reaches an allocation or slice bound; bounds-check it before the call", obj.Name(), fn.Name()),
+								})
+							}
+						}
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+				if b == nil {
+					continue
+				}
+				if obj, pos := unsanitized(b); obj != nil {
+					hits = append(hits, taintHit{
+						root: taint[obj].root, pos: pos,
+						desc: fmt.Sprintf("slice bound %q derives from a wire-decoded length with no bounds check before this point; validate it against len() first", obj.Name()),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return hits
+}
+
+// mentionsTainted returns the first tainted object mentioned in e that is
+// used after its taint point and (when sanit is non-nil) not sanitized
+// before the use.
+func mentionsTainted(pkg *Package, e ast.Expr, taint map[types.Object]taintOrigin, sanit map[types.Object]token.Pos) (types.Object, token.Pos) {
+	var found types.Object
+	var foundPos token.Pos
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := identObject(pkg, id)
+		if obj == nil {
+			return true
+		}
+		origin, tainted := taint[obj]
+		if !tainted || id.Pos() < origin.pos {
+			return true
+		}
+		if sanit != nil {
+			if sp, ok := sanit[obj]; ok && sp <= id.Pos() {
+				return true
+			}
+		}
+		found = obj
+		foundPos = id.Pos()
+		return false
+	})
+	return found, foundPos
+}
+
+func identObject(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+func lhsObject(pkg *Package, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if id.Name == "_" {
+		return nil
+	}
+	return identObject(pkg, id)
+}
+
+// isVarintSource reports whether call invokes one of the wire varint
+// decoders (qualified from another package or unqualified within a wire
+// package itself).
+func isVarintSource(cfg *Config, pkg *Package, imports map[string]string, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if !varintSources[fun.Sel.Name] {
+			return false
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			return matchPkg(fn.Pkg().Path(), cfg.WirePkgs)
+		}
+		path := selectorPkgPath(pkg, imports, fun)
+		return path != "" && matchPkg(path, cfg.WirePkgs)
+	case *ast.Ident:
+		if !varintSources[fun.Name] {
+			return false
+		}
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok && fn.Pkg() != nil {
+			return matchPkg(fn.Pkg().Path(), cfg.WirePkgs)
+		}
+		return matchPkg(pkg.Path, cfg.WirePkgs)
+	}
+	return false
+}
+
+// fileOf returns the *ast.File containing decl.
+func fileOf(pkg *Package, decl *ast.FuncDecl) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= decl.Pos() && decl.End() <= f.End() {
+			return f
+		}
+	}
+	if len(pkg.Files) > 0 {
+		return pkg.Files[0]
+	}
+	return &ast.File{}
+}

@@ -1,0 +1,66 @@
+// Package fix is an xlinkvet self-test fixture for the guardedby rule:
+// annotated fields accessed without their guard, confined state touched
+// from a goroutine-launched path, and an unresolvable annotation.
+// 4 findings expected.
+package fix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// xlinkvet:guardedby mu
+	n int
+	// xlinkvet:guardedby confined
+	q []int
+	// xlinkvet:guardedby missing — finding: guardedby (no such field)
+	bad int
+}
+
+// UnlockedRead reads a guarded field without mu: 1 finding.
+func (c *counter) UnlockedRead() int {
+	return c.n // finding: guardedby
+}
+
+// UnlockedWrite writes a guarded field without mu: 1 finding.
+func (c *counter) UnlockedWrite(v int) {
+	c.n = v // finding: guardedby
+}
+
+// SpawnReset touches confined state from a launched goroutine: 1 finding.
+func (c *counter) SpawnReset() {
+	go func() {
+		c.q = nil // finding: guardedby (confined, goroutine-reachable)
+	}()
+}
+
+// LockedIncr holds the guard across the access: no finding.
+func (c *counter) LockedIncr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bump relies on its (only) caller holding mu — the analyzer's one-level
+// caller credit proves it: no finding.
+func (c *counter) bump() {
+	c.n++
+}
+
+// LockedBump is bump's single call site, under the lock.
+func (c *counter) LockedBump() {
+	c.mu.Lock()
+	c.bump()
+	c.mu.Unlock()
+}
+
+// Push touches confined state from an ordinary (non-goroutine) path — the
+// owner's loop: no finding.
+func (c *counter) Push(v int) {
+	c.q = append(c.q, v)
+}
+
+// Suppressed documents an access the analyzer cannot prove safe: no finding.
+func (c *counter) Suppressed() int {
+	//xlinkvet:ignore guardedby — fixture: reader is wait-free by external contract
+	return c.n
+}

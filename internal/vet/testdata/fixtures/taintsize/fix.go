@@ -1,0 +1,61 @@
+// Package fix is an xlinkvet self-test fixture for the taintsize rule: a
+// wire-decoded length must pass a bounds comparison before it reaches an
+// allocation or a slice bound, including through callee parameters.
+// 3 findings expected.
+package fix
+
+import "repro/internal/wire"
+
+// UnboundedAlloc allocates whatever the attacker encoded: 1 finding.
+func UnboundedAlloc(b []byte) []byte {
+	n, _, err := wire.ParseVarint(b)
+	if err != nil {
+		return nil
+	}
+	return make([]byte, n) // finding: taintsize
+}
+
+// SliceBound reslices by an unchecked decoded length: 1 finding.
+func SliceBound(b []byte) []byte {
+	n, off, err := wire.ParseVarint(b)
+	if err != nil {
+		return nil
+	}
+	return b[off : off+int(n)] // finding: taintsize
+}
+
+// alloc's integer parameter reaches make, so the parameter is a sink.
+func alloc(n uint64) []byte {
+	return make([]byte, n)
+}
+
+// CallSink passes an unchecked decoded length into a sink parameter:
+// 1 finding at the call.
+func CallSink(b []byte) []byte {
+	n, _, err := wire.ParseVarint(b)
+	if err != nil {
+		return nil
+	}
+	return alloc(n) // finding: taintsize
+}
+
+// BoundedAlloc compares the decoded length against the buffer before
+// allocating: no finding.
+func BoundedAlloc(b []byte) []byte {
+	n, _, err := wire.ParseVarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Suppressed documents an allocation capped by a caller contract the
+// analyzer cannot see: no finding.
+func Suppressed(b []byte) []byte {
+	n, _, err := wire.ParseVarint(b)
+	if err != nil {
+		return nil
+	}
+	//xlinkvet:ignore taintsize — fixture: caller guarantees b was length-capped upstream
+	return make([]byte, n)
+}

@@ -1,6 +1,7 @@
 // Package vet implements xlinkvet, the repo-specific static analyzer that
 // enforces the determinism and robustness invariants the XLINK reproduction
-// depends on (see DESIGN.md "Determinism & correctness tooling"):
+// depends on (see DESIGN.md "Determinism & correctness tooling" and
+// "Concurrency & taint discipline"):
 //
 //   - determinism: no wall-clock time or global math/rand in deterministic
 //     packages — time and randomness must flow through internal/sim so
@@ -15,6 +16,23 @@
 //     internal/obs (closed taxonomy) and no wall-clock expression may feed a
 //     trace emit — timestamps come from the sim clock, keeping traces
 //     byte-reproducible.
+//   - lockheld: nothing blocking, re-entrant, or observable may happen while
+//     a sync.Mutex/RWMutex is held — no channel ops, net I/O, time.Sleep or
+//     sync waits, no call through a function value (user callbacks re-enter),
+//     no obs trace emit — whether performed directly or reached through the
+//     static call graph; plus self-deadlock and lock-order-cycle detection.
+//   - guardedby: a struct field annotated `xlinkvet:guardedby <mu>` may only
+//     be accessed where the interprocedural summary proves <mu> held
+//     (`confined` marks event-loop-owned state that goroutine-launched paths
+//     must not touch without re-serializing through a lock).
+//   - taintsize: a length decoded by internal/wire must pass a bounds
+//     comparison before it reaches an allocation or a slice bound, including
+//     through callee parameters.
+//
+// The last three rules run on the interprocedural summary engine in
+// summary.go: per-function summaries of lock transitions, blocking
+// operations, callback invocations, trace emits, guarded-field accesses and
+// static call sites, with module-wide closures over the call graph.
 //
 // Findings can be suppressed per line with `//xlinkvet:ignore <rules>` on
 // the same or the preceding line, where <rules> is a comma-separated rule
@@ -22,14 +40,17 @@
 // justification.
 //
 // The analyzer is stdlib-only: go/parser + go/ast + go/types with a source
-// importer, no external dependencies.
+// importer, no external dependencies. Loading and per-package analysis are
+// parallelized across GOMAXPROCS.
 package vet
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation.
@@ -54,13 +75,16 @@ type Config struct {
 	// package itself, which owns the real clock).
 	NonDeterministicPkgs []string
 	// WirePkgs hold the wire codec: parse-function error results must be
-	// checked (wireerr) and parse functions must not panic (panicpath).
+	// checked (wireerr), parse functions must not panic (panicpath), and
+	// decoded lengths must be bounds-checked before allocation (taintsize).
 	WirePkgs []string
 	// IngestPkgs receive attacker-controlled datagrams: their ingestion
-	// functions must not panic (panicpath).
+	// functions must not panic (panicpath) and wire-decoded lengths flowing
+	// through them must be bounds-checked (taintsize).
 	IngestPkgs []string
 	// ObsPkgs hold the structured tracer: callers must pass registered
-	// EventName constants and sim-clock timestamps (obsevent).
+	// EventName constants and sim-clock timestamps (obsevent), and emits
+	// count as forbidden operations under a lock (lockheld).
 	ObsPkgs []string
 	// SkipPkgs are not analyzed at all (binaries, examples, tooling).
 	SkipPkgs []string
@@ -117,19 +141,39 @@ func (c *Config) deterministic(path string) bool {
 func (c *Config) skipped(path string) bool { return matchPkg(path, c.SkipPkgs) }
 
 // Run applies every rule to the loaded packages and returns the surviving
-// findings (ignore directives already applied), sorted by position.
+// findings (ignore directives already applied), sorted by file, line, rule.
+// Per-package rules and summary construction run on GOMAXPROCS workers.
 func Run(cfg *Config, pkgs []*Package) []Finding {
-	var findings []Finding
+	var active []*Package
 	for _, pkg := range pkgs {
-		if cfg.skipped(pkg.Path) {
-			continue
+		if !cfg.skipped(pkg.Path) {
+			active = append(active, pkg)
 		}
-		findings = append(findings, checkDeterminism(cfg, pkg)...)
-		findings = append(findings, checkWireErr(cfg, pkg)...)
-		findings = append(findings, checkMapRange(cfg, pkg)...)
-		findings = append(findings, checkObsEvent(cfg, pkg)...)
 	}
-	findings = append(findings, checkPanicPath(cfg, pkgs)...)
+
+	// Single-package rules: independent across packages.
+	perPkg := make([][]Finding, len(active))
+	parallelDo(len(active), func(i int) {
+		pkg := active[i]
+		var fs []Finding
+		fs = append(fs, checkDeterminism(cfg, pkg)...)
+		fs = append(fs, checkWireErr(cfg, pkg)...)
+		fs = append(fs, checkMapRange(cfg, pkg)...)
+		fs = append(fs, checkObsEvent(cfg, pkg)...)
+		perPkg[i] = fs
+	})
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+
+	// Interprocedural rules over the summary engine, plus the module-wide
+	// panic-path and taint analyses.
+	eng := newEngine(cfg, active)
+	findings = append(findings, checkLockHeld(eng)...)
+	findings = append(findings, checkGuardedBy(eng)...)
+	findings = append(findings, checkPanicPath(cfg, active)...)
+	findings = append(findings, checkTaintSize(cfg, active)...)
 
 	var kept []Finding
 	for _, f := range findings {
@@ -147,7 +191,10 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return kept[i].Rule < kept[j].Rule
+		if kept[i].Rule != kept[j].Rule {
+			return kept[i].Rule < kept[j].Rule
+		}
+		return a.Column < b.Column
 	})
 	return kept
 }
@@ -159,4 +206,36 @@ func pkgByFile(pkgs []*Package, filename string) *Package {
 		}
 	}
 	return nil
+}
+
+// parallelDo runs fn(0..n-1) on up to GOMAXPROCS workers. With one worker
+// (or one item) it degenerates to a plain loop, so single-core machines
+// pay no synchronization overhead.
+func parallelDo(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }

@@ -38,6 +38,9 @@ func TestFixturesFire(t *testing.T) {
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
 		{"obsevent", "obsevent", 4},
+		{"lockheld", "lockheld", 7},
+		{"guardedby", "guardedby", 4},
+		{"taintsize", "taintsize", 3},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -1,6 +1,8 @@
 #!/bin/sh
 # Full verification gate for the XLINK reproduction: build, go vet, the
-# repo-specific xlinkvet analyzer (self-test first, then the real tree),
+# repo-specific xlinkvet analyzer (self-test first, then the real tree —
+# including the interprocedural lockheld/guardedby/taintsize rules, so a
+# new unjustified suppression or lock-discipline violation fails here),
 # the test suite in release and xlinkdebug-assertion modes, the race
 # detector, and a short fuzz smoke on every wire-format target.
 #

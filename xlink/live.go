@@ -38,7 +38,10 @@ func (e realEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
 	//xlinkvet:ignore determinism — real-time adapter: timers must fire on the wall clock
 	t := time.AfterFunc(delay, func() {
 		e.ep.mu.Lock()
-		fn(e.Now())
+		// Timer callbacks are the transport's own event-loop turns; they run
+		// under the endpoint lock like every other entry point, and anything
+		// user-visible they produce is deferred through cbQ.
+		fn(e.Now()) //xlinkvet:ignore lockheld — transport-internal timer body, not a user callback
 		e.ep.mu.Unlock()
 		e.ep.flushCallbacks()
 	})
@@ -48,20 +51,29 @@ func (e realEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
 // Endpoint is a live XLINK endpoint over real UDP sockets: a server with
 // one socket, or a multi-homed client with one socket per interface.
 type Endpoint struct {
-	mu    sync.Mutex
-	env   realEnv
-	conn  *transport.Conn
+	mu   sync.Mutex
+	env  realEnv
+	conn *transport.Conn // xlinkvet:guardedby mu
+	// xlinkvet:guardedby mu
 	socks []*net.UDPConn
-	peer  []*net.UDPAddr // per netIdx: where to send (client side / learned)
-	trace *obs.Trace     // optional event trace; emitted to under mu
+	// xlinkvet:guardedby mu
+	peer []*net.UDPAddr // per netIdx: where to send (client side / learned)
+	// xlinkvet:guardedby mu
+	trace *obs.Trace // optional event trace; emitted to under mu
 	done  chan struct{}
 	// cbQ holds user callbacks raised while the lock was held; they run
 	// after release so they may re-enter the endpoint.
-	cbQ []func()
+	cbQ []func() // xlinkvet:guardedby mu
 }
 
 // enqueueCallback defers a user callback; the endpoint lock must be held.
-func (ep *Endpoint) enqueueCallback(fn func()) { ep.cbQ = append(ep.cbQ, fn) }
+// It is invoked only from the transport callback wrappers installed by
+// applyLive, and the transport itself only runs under ep.mu (every entry
+// point in this file locks before calling in), so the guard holds — but the
+// proof is one hop beyond what the analyzer's caller credit covers.
+func (ep *Endpoint) enqueueCallback(fn func()) {
+	ep.cbQ = append(ep.cbQ, fn) //xlinkvet:ignore guardedby — transport-invoked under ep.mu; see comment above
+}
 
 // flushCallbacks runs deferred user callbacks outside the lock, in order.
 func (ep *Endpoint) flushCallbacks() {
@@ -84,16 +96,29 @@ func (ep *Endpoint) flushCallbacks() {
 // internal documentation for WriteFrame's video-frame priority semantics.
 type Stream struct {
 	ep *Endpoint
-	s  *transport.SendStream
+	s  *transport.SendStream // xlinkvet:guardedby ep.mu
 }
 
 // ID returns the stream ID.
-func (st *Stream) ID() uint64 { return st.s.ID() }
+func (st *Stream) ID() uint64 {
+	st.ep.mu.Lock()
+	defer st.ep.mu.Unlock()
+	return st.s.ID()
+}
 
 // Write queues data for sending.
+//
+// The lockheld suppressions on the transport calls below (and in Close,
+// AbandonPath, readLoop, Dial and Endpoint.Close) share one justification:
+// the endpoint deliberately drives the single-threaded transport under
+// ep.mu. Callbacks the transport may invoke on that path are either
+// deferred through cbQ by the applyLive wrappers (OnStreamData,
+// OnStreamOpen, OnHandshakeDone) or synchronous pure providers
+// (QoEProvider, CCFactory) that do not re-enter the endpoint; OnClosed is
+// never installed in live mode.
 func (st *Stream) Write(data []byte) {
 	st.ep.mu.Lock()
-	st.s.Write(data)
+	st.s.Write(data) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Write doc
 	st.ep.mu.Unlock()
 	st.ep.flushCallbacks()
 }
@@ -101,7 +126,7 @@ func (st *Stream) Write(data []byte) {
 // WriteFrame queues one video frame with a priority.
 func (st *Stream) WriteFrame(data []byte, prio int) {
 	st.ep.mu.Lock()
-	st.s.WriteFrame(data, prio)
+	st.s.WriteFrame(data, prio) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Write doc
 	st.ep.mu.Unlock()
 	st.ep.flushCallbacks()
 }
@@ -116,7 +141,7 @@ func (st *Stream) SetPriority(p int) {
 // Close marks the stream finished after all queued data.
 func (st *Stream) Close() {
 	st.ep.mu.Lock()
-	st.s.Close()
+	st.s.Close() //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Write doc
 	st.ep.mu.Unlock()
 	st.ep.flushCallbacks()
 }
@@ -172,7 +197,11 @@ func Listen(addr string, cfg LiveConfig) (*Endpoint, error) {
 	x := core.New(cfg.Scheme, cfg.Options)
 	tcfg := x.ServerConfig(cfg.Seed)
 	applyLive(ep, &tcfg, cfg)
-	ep.conn = transport.NewConn(ep.env, ep, tcfg)
+	conn := transport.NewConn(ep.env, ep, tcfg)
+	ep.mu.Lock()
+	ep.trace = cfg.Tracer
+	ep.conn = conn
+	ep.mu.Unlock()
 	go ep.readLoop(0, sock)
 	return ep, nil
 }
@@ -201,40 +230,49 @@ func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig
 		socks = append(socks, sock)
 	}
 	ep := newEndpoint(socks)
+	peers := make([]*net.UDPAddr, 0, len(socks))
 	for range socks {
-		ep.peer = append(ep.peer, raddr)
+		peers = append(peers, raddr)
 	}
 	x := core.New(cfg.Scheme, cfg.Options)
 	tcfg := x.ClientConfig(cfg.Seed)
 	tcfg.IsClient = true
 	applyLive(ep, &tcfg, cfg)
-	ep.conn = transport.NewConn(ep.env, ep, tcfg)
+	conn := transport.NewConn(ep.env, ep, tcfg)
 	for i, tech := range techs {
-		ep.conn.AddInterface(i, tech)
-	}
-	for i, sock := range socks {
-		go ep.readLoop(i, sock)
+		conn.AddInterface(i, tech)
 	}
 	ep.mu.Lock()
-	err = ep.conn.Start()
+	ep.trace = cfg.Tracer
+	ep.peer = peers
+	ep.conn = conn
+	err = conn.Start() //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
 	ep.mu.Unlock()
 	ep.flushCallbacks()
 	if err != nil {
 		ep.Close()
 		return nil, err
 	}
+	for i, sock := range socks {
+		go ep.readLoop(i, sock)
+	}
 	return ep, nil
 }
 
 func newEndpoint(socks []*net.UDPConn) *Endpoint {
-	ep := &Endpoint{socks: socks, done: make(chan struct{})}
+	ep := &Endpoint{
+		socks: socks,
+		peer:  make([]*net.UDPAddr, 0, len(socks)),
+		done:  make(chan struct{}),
+	}
 	ep.env = realEnv{clock: sim.NewRealClock(), ep: ep}
-	ep.peer = make([]*net.UDPAddr, 0, len(socks))
 	return ep
 }
 
 // applyLive copies the user callbacks into the transport config, wrapping
-// each so it is deferred past the endpoint lock.
+// each so it is deferred past the endpoint lock. It must run before the
+// endpoint is published (Listen/Dial assign ep.trace under the lock
+// themselves).
 func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
 	if len(cfg.PSK) > 0 {
 		tcfg.PSK = cfg.PSK
@@ -262,18 +300,22 @@ func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
 	if tcfg.IsClient {
 		label = "client"
 	}
-	ep.trace = cfg.Tracer
 	tcfg.Tracer = cfg.Tracer.Origin(label)
 }
 
-// SendDatagram implements transport.DatagramSender over the sockets.
+// SendDatagram implements transport.DatagramSender over the sockets. The
+// transport only invokes it while the endpoint holds ep.mu (every entry
+// point in this file locks before driving the connection), so the guarded
+// fields are safe to read here — taking the lock again would self-deadlock.
+// That inversion (callee relies on its caller's caller holding the lock) is
+// beyond the analyzer's one-level caller credit, hence the suppression.
 func (ep *Endpoint) SendDatagram(netIdx int, data []byte) {
-	if netIdx >= len(ep.socks) {
+	socks, peer := ep.socks, ep.peer //xlinkvet:ignore guardedby — invoked by the transport under ep.mu; see doc comment
+	if netIdx >= len(socks) {
 		return
 	}
-	sock := ep.socks[netIdx]
-	if netIdx < len(ep.peer) && ep.peer[netIdx] != nil {
-		sock.WriteToUDP(data, ep.peer[netIdx])
+	if netIdx < len(peer) && peer[netIdx] != nil {
+		socks[netIdx].WriteToUDP(data, peer[netIdx])
 	}
 }
 
@@ -300,7 +342,7 @@ func (ep *Endpoint) readLoop(netIdx int, sock *net.UDPConn) {
 		if !ep.conn.IsClient() {
 			idx = ep.learnPeerLocked(from)
 		}
-		ep.conn.HandleDatagram(ep.env.Now(), idx, pkt)
+		ep.conn.HandleDatagram(ep.env.Now(), idx, pkt) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
 		ep.mu.Unlock()
 		ep.flushCallbacks()
 	}
@@ -342,7 +384,7 @@ func (ep *Endpoint) StreamFor(id uint64) *Stream {
 // app detected that Wi-Fi was switched off (Sec 6, "Path close").
 func (ep *Endpoint) AbandonPath(id uint64) {
 	ep.mu.Lock()
-	ep.conn.AbandonPath(id)
+	ep.conn.AbandonPath(id) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
 	ep.mu.Unlock()
 	ep.flushCallbacks()
 }
@@ -406,7 +448,7 @@ func (ep *Endpoint) LocalAddrs() []net.Addr {
 func (ep *Endpoint) Close() {
 	ep.mu.Lock()
 	if ep.conn != nil {
-		ep.conn.Close(0, "closed")
+		ep.conn.Close(0, "closed") //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
 	}
 	// Snapshot under the lock: the server side appends to ep.socks as it
 	// learns client addresses (learnPeerLocked), and done may be closed by
