@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet xlinkvet selftest test debugtest race fuzz chaos trace check
+.PHONY: build vet xlinkvet selftest test debugtest race fuzz chaos trace bench benchdiff check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,18 @@ chaos:
 SCENARIO ?= interface-death
 trace:
 	$(GO) run ./cmd/xlinkqlog -run $(SCENARIO) -summary
+
+# Run the per-layer benchmark suite and record a labeled snapshot into
+# BENCH_5.json (ns/op, B/op, allocs/op). LABEL=before captures a baseline;
+# the default label is "after". See DESIGN.md §11.
+LABEL ?= after
+bench:
+	./scripts/bench.sh $(LABEL)
+
+# Compare the committed before/after snapshots; fails on >10% ns/op
+# regression on any benchmark present in both.
+benchdiff:
+	$(GO) run ./cmd/xlink-benchdiff -file BENCH_5.json -old before -new after
 
 check:
 	./scripts/check.sh

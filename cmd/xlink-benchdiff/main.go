@@ -1,0 +1,333 @@
+// Command xlink-benchdiff records `go test -bench` output into a JSON
+// snapshot file and compares two snapshots, failing on performance
+// regressions. It is the regression gate behind `make bench` (DESIGN.md
+// §11).
+//
+// Record a snapshot (merging into an existing file and label — a partial
+// re-run only refreshes the benchmarks it contains):
+//
+//	go test -run '^$' -bench . -benchmem ./... | tee raw.txt
+//	xlink-benchdiff -record -label after -in raw.txt -out BENCH_5.json
+//
+// Compare two labels of one file, or two single-snapshot files:
+//
+//	xlink-benchdiff -file BENCH_5.json -old before -new after
+//	xlink-benchdiff old.json new.json
+//
+// The comparison exits non-zero when any benchmark present in both
+// snapshots regressed by more than -max-regress percent in ns/op (default
+// 10). Allocation deltas are always reported; -max-alloc-regress optionally
+// gates allocs/op too.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's recorded numbers. Extra holds custom
+// b.ReportMetric units (e.g. the paper-figure benchmarks' rebuffer rates).
+type Metrics struct {
+	NsOp     float64            `json:"ns_op"`
+	BOp      float64            `json:"b_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Extra    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one labeled benchmark run.
+type Snapshot struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// File is the BENCH json layout: a set of labeled snapshots, typically
+// "before" and "after".
+type File struct {
+	Schema    string              `json:"schema"`
+	Snapshots map[string]Snapshot `json:"snapshots"`
+}
+
+const schema = "xlink-bench/1"
+
+func main() {
+	var (
+		record          = flag.Bool("record", false, "parse -in benchmark output and merge it into -out under -label")
+		label           = flag.String("label", "after", "snapshot label to record")
+		in              = flag.String("in", "-", "benchmark output to parse (- = stdin)")
+		out             = flag.String("out", "BENCH_5.json", "snapshot file to write")
+		file            = flag.String("file", "", "snapshot file holding both labels to compare")
+		oldLabel        = flag.String("old", "before", "baseline snapshot label")
+		newLabel        = flag.String("new", "after", "candidate snapshot label")
+		maxRegress      = flag.Float64("max-regress", 10, "max tolerated ns/op regression in percent")
+		maxAllocRegress = flag.Float64("max-alloc-regress", -1, "max tolerated allocs/op regression in percent (<0 = report only)")
+	)
+	flag.Parse()
+
+	if *record {
+		if err := runRecord(*in, *out, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "xlink-benchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	oldSnap, newSnap, err := loadPair(*file, flag.Args(), *oldLabel, *newLabel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xlink-benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions := compare(os.Stdout, oldSnap, newSnap, *maxRegress, *maxAllocRegress)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "xlink-benchdiff: %d regression(s) beyond gate\n", regressions)
+		os.Exit(1)
+	}
+}
+
+// runRecord parses raw `go test -bench` output and merges it into the
+// snapshot file under the given label: benchmarks present in the input
+// update (or add) their entry, benchmarks absent from the input are kept —
+// so a partial re-run (one package, one figure) refreshes just its own
+// numbers.
+func runRecord(in, out, label string) error {
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", in)
+	}
+	bf := &File{Schema: schema, Snapshots: map[string]Snapshot{}}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, bf); err != nil {
+			return fmt.Errorf("existing %s: %w", out, err)
+		}
+		if bf.Snapshots == nil {
+			bf.Snapshots = map[string]Snapshot{}
+		}
+	}
+	bf.Schema = schema
+	merged := bf.Snapshots[label].Benchmarks
+	if merged == nil {
+		merged = map[string]Metrics{}
+	}
+	for name, m := range benches {
+		merged[name] = m
+	}
+	bf.Snapshots[label] = Snapshot{Benchmarks: merged}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks under %q in %s\n", len(benches), label, out)
+	return nil
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Benchmarks are keyed as "<package>.<name>" (package from the
+// preceding "pkg:" line, module prefix stripped) so identically named
+// benchmarks in different packages cannot collide.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			if i := strings.Index(pkg, "/"); i >= 0 {
+				pkg = pkg[i+1:] // strip module name
+			} else {
+				pkg = "root"
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := Metrics{}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsOp = v
+				ok = true
+			case "B/op":
+				m.BOp = v
+			case "allocs/op":
+				m.AllocsOp = v
+			case "MB/s":
+				// Redundant with ns/op + SetBytes; skip.
+			default:
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[unit] = v
+			}
+		}
+		if ok {
+			key := name
+			if pkg != "" {
+				key = pkg + "." + name
+			}
+			out[key] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// loadPair resolves the two snapshots to compare: either two labels from
+// one -file, or two positional snapshot files (using the requested label
+// when present, else the file's only snapshot).
+func loadPair(file string, args []string, oldLabel, newLabel string) (Snapshot, Snapshot, error) {
+	if file != "" {
+		bf, err := loadFile(file)
+		if err != nil {
+			return Snapshot{}, Snapshot{}, err
+		}
+		oldSnap, ok := bf.Snapshots[oldLabel]
+		if !ok {
+			return Snapshot{}, Snapshot{}, fmt.Errorf("%s: no snapshot %q", file, oldLabel)
+		}
+		newSnap, ok := bf.Snapshots[newLabel]
+		if !ok {
+			return Snapshot{}, Snapshot{}, fmt.Errorf("%s: no snapshot %q", file, newLabel)
+		}
+		return oldSnap, newSnap, nil
+	}
+	if len(args) != 2 {
+		return Snapshot{}, Snapshot{}, fmt.Errorf("usage: xlink-benchdiff [-record ...] | -file F -old L1 -new L2 | old.json new.json")
+	}
+	oldSnap, err := loadSnapshot(args[0], oldLabel)
+	if err != nil {
+		return Snapshot{}, Snapshot{}, err
+	}
+	newSnap, err := loadSnapshot(args[1], newLabel)
+	if err != nil {
+		return Snapshot{}, Snapshot{}, err
+	}
+	return oldSnap, newSnap, nil
+}
+
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	bf := &File{}
+	if err := json.Unmarshal(data, bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// loadSnapshot picks the wanted label from a file, falling back to the
+// file's only snapshot.
+func loadSnapshot(path, label string) (Snapshot, error) {
+	bf, err := loadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if s, ok := bf.Snapshots[label]; ok {
+		return s, nil
+	}
+	if len(bf.Snapshots) == 1 {
+		for _, s := range bf.Snapshots {
+			return s, nil
+		}
+	}
+	return Snapshot{}, fmt.Errorf("%s: no snapshot %q (have %d labels)", path, label, len(bf.Snapshots))
+}
+
+// compare prints the delta table and returns the number of gated
+// regressions.
+func compare(w io.Writer, oldSnap, newSnap Snapshot, maxRegress, maxAllocRegress float64) int {
+	names := make([]string, 0, len(oldSnap.Benchmarks))
+	for name := range oldSnap.Benchmarks {
+		if _, ok := newSnap.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %9s %9s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns%", "old al/op", "new al/op", "Δal%")
+	for _, name := range names {
+		o, n := oldSnap.Benchmarks[name], newSnap.Benchmarks[name]
+		dNs := pctDelta(o.NsOp, n.NsOp)
+		dAl := pctDelta(o.AllocsOp, n.AllocsOp)
+		flag := ""
+		if dNs > maxRegress {
+			flag = "  << ns/op regression"
+			regressions++
+		}
+		if maxAllocRegress >= 0 && dAl > maxAllocRegress {
+			flag += "  << allocs/op regression"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-52s %14.1f %14.1f %7.1f%% %9.1f %9.1f %7.1f%%%s\n",
+			name, o.NsOp, n.NsOp, dNs, o.AllocsOp, n.AllocsOp, dAl, flag)
+	}
+	for _, snap := range []struct {
+		label string
+		only  Snapshot
+		other Snapshot
+	}{{"old", oldSnap, newSnap}, {"new", newSnap, oldSnap}} {
+		var missing []string
+		for name := range snap.only.Benchmarks {
+			if _, ok := snap.other.Benchmarks[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			fmt.Fprintf(w, "%-52s (only in %s snapshot)\n", name, snap.label)
+		}
+	}
+	return regressions
+}
+
+// pctDelta returns the relative change from old to new in percent;
+// positive means new is worse (slower / more allocations).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}

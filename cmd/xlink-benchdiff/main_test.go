@@ -1,0 +1,129 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/wire
+cpu: AMD EPYC
+BenchmarkVarintAppend-8   	80041635	        14.85 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStreamFrameAppend-8	 4805679	       248.9 ns/op	4821.76 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/wire	2.461s
+pkg: repro
+BenchmarkFig1_VanillaMPDynamics-8	       2	 503143862 ns/op	         0.1230 rebuffer_ratio	 1024 B/op	      12 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, ok := benches["internal/wire.BenchmarkVarintAppend"]
+	if !ok {
+		t.Fatalf("missing wire benchmark; have %v", benches)
+	}
+	if va.NsOp != 14.85 || va.BOp != 0 || va.AllocsOp != 0 {
+		t.Errorf("VarintAppend = %+v", va)
+	}
+	sf := benches["internal/wire.BenchmarkStreamFrameAppend"]
+	if sf.NsOp != 248.9 {
+		t.Errorf("StreamFrameAppend ns/op = %v", sf.NsOp)
+	}
+	fig, ok := benches["root.BenchmarkFig1_VanillaMPDynamics"]
+	if !ok {
+		t.Fatalf("missing root-package benchmark; have %v", benches)
+	}
+	if fig.Extra["rebuffer_ratio"] != 0.1230 {
+		t.Errorf("custom metric = %v", fig.Extra)
+	}
+	if fig.AllocsOp != 12 {
+		t.Errorf("Fig1 allocs/op = %v", fig.AllocsOp)
+	}
+}
+
+func snap(nsOp, allocs float64) Snapshot {
+	return Snapshot{Benchmarks: map[string]Metrics{
+		"internal/transport.BenchmarkRoundTrip": {NsOp: nsOp, AllocsOp: allocs},
+	}}
+}
+
+func TestCompareGate(t *testing.T) {
+	// Within tolerance: 8% slower passes a 10% gate.
+	if n := compare(io.Discard, snap(1000, 100), snap(1080, 100), 10, -1); n != 0 {
+		t.Errorf("8%% regression flagged under 10%% gate: %d", n)
+	}
+	// Beyond tolerance: 20% slower must fail.
+	if n := compare(io.Discard, snap(1000, 100), snap(1200, 100), 10, -1); n == 0 {
+		t.Error("20% regression not flagged under 10% gate")
+	}
+	// Improvement never fails.
+	if n := compare(io.Discard, snap(1000, 100), snap(500, 40), 10, 0); n != 0 {
+		t.Errorf("improvement flagged as regression: %d", n)
+	}
+	// Alloc gate only active when threshold >= 0.
+	if n := compare(io.Discard, snap(1000, 100), snap(1000, 150), 10, -1); n != 0 {
+		t.Errorf("alloc delta flagged with gate disabled: %d", n)
+	}
+	if n := compare(io.Discard, snap(1000, 100), snap(1000, 150), 10, 0); n == 0 {
+		t.Error("50% alloc regression not flagged with 0% alloc gate")
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if d := pctDelta(100, 110); d != 10 {
+		t.Errorf("pctDelta(100,110) = %v", d)
+	}
+	if d := pctDelta(0, 0); d != 0 {
+		t.Errorf("pctDelta(0,0) = %v", d)
+	}
+	if d := pctDelta(0, 5); d != 100 {
+		t.Errorf("pctDelta(0,5) = %v", d)
+	}
+}
+
+func TestRecordMergesIntoLabel(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	write := func(name, text string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	first := write("first.txt", `pkg: repro/internal/wire
+BenchmarkA 	100	 10.0 ns/op	 1 B/op	 1 allocs/op
+BenchmarkB 	100	 20.0 ns/op	 2 B/op	 2 allocs/op
+`)
+	second := write("second.txt", `pkg: repro/internal/wire
+BenchmarkB 	100	 30.0 ns/op	 3 B/op	 3 allocs/op
+`)
+	if err := runRecord(first, out, "before"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRecord(second, out, "before"); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := loadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bf.Snapshots["before"].Benchmarks
+	if len(got) != 2 {
+		t.Fatalf("want A kept and B updated (2 entries), got %d: %v", len(got), got)
+	}
+	if a := got["internal/wire.BenchmarkA"]; a.NsOp != 10.0 {
+		t.Fatalf("BenchmarkA should survive partial re-record, got %+v", a)
+	}
+	if b := got["internal/wire.BenchmarkB"]; b.NsOp != 30.0 || b.AllocsOp != 3 {
+		t.Fatalf("BenchmarkB should be updated, got %+v", b)
+	}
+}

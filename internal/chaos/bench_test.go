@@ -1,0 +1,26 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// BenchmarkScenario runs one full fault-injection scenario end to end —
+// handshake, 1 MiB video transfer under Gilbert-Elliott burst loss, QoE
+// feedback and re-injection — the heaviest single consumer of the
+// transport + sim hot paths. It tracks the compound effect of the per-layer
+// optimizations on a paper-shaped workload.
+func BenchmarkScenario(b *testing.B) {
+	sc, ok := chaos.ScenarioByName("burst-loss")
+	if !ok {
+		b.Fatal("burst-loss scenario missing from corpus")
+	}
+	var res chaos.Result
+	for i := 0; i < b.N; i++ {
+		res = chaos.Run(sc)
+	}
+	if !res.Completed || res.VerifyErrors != 0 {
+		b.Fatalf("scenario degraded: completed=%v verifyErrors=%d", res.Completed, res.VerifyErrors)
+	}
+}

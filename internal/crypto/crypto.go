@@ -51,11 +51,18 @@ func expand(secret []byte, label string, length int) []byte {
 }
 
 // Sealer protects and unprotects packets for one connection. It is safe to
-// share between paths: nonces are derived per (path, packet number).
+// share between paths: nonces are derived per (path, packet number). It is
+// NOT safe for concurrent use — the nonce and header-protection scratch
+// below are reused across calls so the hot path does not allocate; all
+// simulated components run on one event loop.
 type Sealer struct {
 	aead cipher.AEAD
 	iv   [ivLen]byte
 	hp   cipher.Block // header protection cipher
+
+	nbuf  [ivLen]byte // nonce scratch
+	hpIn  [16]byte    // header protection sample block
+	hpOut [16]byte    // header protection cipher output
 }
 
 // NewSealer derives a Sealer from a connection secret. Client and server
@@ -84,10 +91,13 @@ func NewSealer(secret []byte, label string) (*Sealer, error) {
 	return s, nil
 }
 
-// nonce computes the per-path AEAD nonce: 32-bit CID sequence number, two
-// zero bits, 62-bit packet number, left-padded to the IV length, XOR IV.
-func (s *Sealer) nonce(pathID uint32, pn uint64) [ivLen]byte {
-	var n [ivLen]byte
+// nonce fills the Sealer's nonce scratch with the per-path AEAD nonce:
+// 32-bit CID sequence number, two zero bits, 62-bit packet number,
+// left-padded to the IV length, XOR IV. Writing into Sealer-owned scratch
+// (instead of returning an array) keeps the value off the heap when it is
+// passed through the cipher.AEAD interface.
+func (s *Sealer) nonce(pathID uint32, pn uint64) []byte {
+	n := &s.nbuf
 	// 96-bit path-and-packet-number: 4 bytes path, 8 bytes (2 zero bits +
 	// 62-bit pn) — pn must fit in 62 bits, which QUIC guarantees.
 	n[0] = byte(pathID >> 24)
@@ -100,22 +110,21 @@ func (s *Sealer) nonce(pathID uint32, pn uint64) [ivLen]byte {
 	for i := range n {
 		n[i] ^= s.iv[i]
 	}
-	return n
+	return n[:]
 }
 
 // Seal encrypts payload for packet pn on path pathID, authenticating header
 // as associated data. The ciphertext (payload + 16-byte tag) is appended to
-// dst.
+// dst. Passing payload[:0] as dst encrypts in place.
 func (s *Sealer) Seal(dst, header, payload []byte, pathID uint32, pn uint64) []byte {
-	n := s.nonce(pathID, pn)
-	return s.aead.Seal(dst, n[:], payload, header)
+	return s.aead.Seal(dst, s.nonce(pathID, pn), payload, header)
 }
 
 // Open decrypts ciphertext for packet pn on path pathID. It returns
 // ErrDecrypt if authentication fails (wrong key, wrong path, tampering).
+// Passing ciphertext[:0] as dst decrypts in place.
 func (s *Sealer) Open(dst, header, ciphertext []byte, pathID uint32, pn uint64) ([]byte, error) {
-	n := s.nonce(pathID, pn)
-	out, err := s.aead.Open(dst, n[:], ciphertext, header)
+	out, err := s.aead.Open(dst, s.nonce(pathID, pn), ciphertext, header)
 	if err != nil {
 		return nil, ErrDecrypt
 	}
@@ -125,12 +134,13 @@ func (s *Sealer) Open(dst, header, ciphertext []byte, pathID uint32, pn uint64) 
 // HeaderMask returns the 5-byte header protection mask for a ciphertext
 // sample, per the QUIC header protection construction.
 func (s *Sealer) HeaderMask(sample []byte) [5]byte {
-	var block [16]byte
-	copy(block[:], sample)
-	var enc [16]byte
-	s.hp.Encrypt(enc[:], block[:])
+	n := copy(s.hpIn[:], sample)
+	for i := n; i < len(s.hpIn); i++ {
+		s.hpIn[i] = 0
+	}
+	s.hp.Encrypt(s.hpOut[:], s.hpIn[:])
 	var mask [5]byte
-	copy(mask[:], enc[:5])
+	copy(mask[:], s.hpOut[:5])
 	return mask
 }
 

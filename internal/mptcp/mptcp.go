@@ -80,7 +80,7 @@ type Sender struct {
 	done     bool
 	DoneAt   time.Duration
 	onDone   func(now time.Duration)
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 
 	// Stats.
 	SentBytes        uint64
@@ -309,9 +309,7 @@ func (s *Sender) onDataAck(now time.Duration, ack uint64) {
 	if s.dataAck >= s.total && !s.done {
 		s.done = true
 		s.DoneAt = now
-		if s.rtoTimer != nil {
-			s.rtoTimer.Stop()
-		}
+		s.rtoTimer.Stop()
 		if s.onDone != nil {
 			s.onDone(now)
 		}
@@ -368,10 +366,7 @@ func (s *Sender) fastestSubflow() *subflow {
 // armRTO schedules the retransmission timeout for the earliest outstanding
 // segment.
 func (s *Sender) armRTO(now time.Duration) {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Stop()
 	if s.done {
 		return
 	}

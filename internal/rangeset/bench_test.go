@@ -1,0 +1,82 @@
+package rangeset
+
+import "testing"
+
+// Benchmarks for the rangeset operations that run per received packet
+// (recvPNs.Add), per acked chunk (acked.Add + rtx.Subtract) and per ACK
+// build. Steady-state Add/Subtract on warm sets are alloc-gated: merging
+// into existing ranges must not allocate (DESIGN.md §11).
+
+var benchSink uint64
+
+// BenchmarkAddSequential models in-order packet-number tracking: every Add
+// extends the last range.
+func BenchmarkAddSequential(b *testing.B) {
+	var s Set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink += s.Add(uint64(i), uint64(i)+1)
+	}
+}
+
+// BenchmarkAddFillGap models light reordering: the even value arrives after
+// the odd one, merging three ranges into one. The set stays tiny.
+func BenchmarkAddFillGap(b *testing.B) {
+	var s Set
+	b.ReportAllocs()
+	base := uint64(0)
+	for i := 0; i < b.N; i++ {
+		s.Add(base+1, base+2)
+		s.Add(base, base+1)
+		base += 2
+	}
+	benchSink = s.Size()
+}
+
+// BenchmarkSubtractFront models rtx-queue consumption: ranges are carved
+// off the front as chunks are retransmitted.
+func BenchmarkSubtractFront(b *testing.B) {
+	var s Set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 3000
+		s.Add(base, base+2400)
+		s.Subtract(base, base+1200)
+		s.Subtract(base+1200, base+2400)
+	}
+	benchSink = s.Size()
+}
+
+// BenchmarkAckRangesWalk models buildAckRanges: a descending walk over a
+// 32-range set, the shape of an ACK frame under heavy reordering.
+func BenchmarkAckRangesWalk(b *testing.B) {
+	var s Set
+	for i := 0; i < 32; i++ {
+		start := uint64(i) * 10
+		s.Add(start, start+5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs := s.All()
+		var total uint64
+		for j := len(rs) - 1; j >= 0; j-- {
+			total += rs[j].Len()
+		}
+		benchSink = total
+	}
+}
+
+// BenchmarkContains models the acked.Contains probes in chunk trimming.
+func BenchmarkContains(b *testing.B) {
+	var s Set
+	for i := 0; i < 16; i++ {
+		start := uint64(i) * 100
+		s.Add(start, start+50)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Contains(725, 726) {
+			benchSink++
+		}
+	}
+}

@@ -20,38 +20,45 @@ type Set struct {
 }
 
 // Add inserts [start, end), merging as needed, and returns the number of
-// values that were not already present.
+// values that were not already present. The set is edited in place; steady
+// state (extending or merging into existing ranges) does not allocate.
 func (s *Set) Add(start, end uint64) uint64 {
 	if start >= end {
 		return 0
 	}
+	n := len(s.ranges)
+	// lo: first range that overlaps or touches [start, end) from the left;
+	// hi: one past the last such range. Everything in [lo, hi) merges.
+	lo := 0
+	for lo < n && s.ranges[lo].End < start {
+		lo++
+	}
+	hi := lo
+	for hi < n && s.ranges[hi].Start <= end {
+		hi++
+	}
+	if lo == hi {
+		// Nothing to merge with: open a slot at lo.
+		s.ranges = append(s.ranges, Range{})
+		copy(s.ranges[lo+1:], s.ranges[lo:])
+		s.ranges[lo] = Range{start, end}
+		s.checkWellFormed("Add")
+		return end - start
+	}
 	added := end - start
-	merged := Range{start, end}
-	var out []Range
-	placed := false
-	for _, r := range s.ranges {
-		switch {
-		case r.End < merged.Start:
-			out = append(out, r)
-		case r.Start > merged.End:
-			if !placed {
-				out = append(out, merged)
-				placed = true
-			}
-			out = append(out, r)
-		default:
-			os, oe := max64(merged.Start, r.Start), min64(merged.End, r.End)
-			if oe > os {
-				added -= oe - os
-			}
-			merged.Start = min64(merged.Start, r.Start)
-			merged.End = max64(merged.End, r.End)
+	ms, me := start, end
+	for i := lo; i < hi; i++ {
+		r := s.ranges[i]
+		if os, oe := max64(start, r.Start), min64(end, r.End); oe > os {
+			added -= oe - os
 		}
+		ms = min64(ms, r.Start)
+		me = max64(me, r.End)
 	}
-	if !placed {
-		out = append(out, merged)
+	s.ranges[lo] = Range{ms, me}
+	if hi > lo+1 {
+		s.ranges = append(s.ranges[:lo+1], s.ranges[hi:]...)
 	}
-	s.ranges = out
 	s.checkWellFormed("Add")
 	return added
 }
@@ -126,25 +133,48 @@ func (s *Set) FirstMissing(from, limit uint64) (start, end uint64) {
 	return limit, limit
 }
 
-// Subtract removes [start, end) from the set.
+// Subtract removes [start, end) from the set. The set is edited in place;
+// only the split case (carving a hole out of one range) can allocate.
 func (s *Set) Subtract(start, end uint64) {
 	if start >= end {
 		return
 	}
-	var out []Range
-	for _, r := range s.ranges {
-		if r.End <= start || r.Start >= end {
-			out = append(out, r)
-			continue
-		}
-		if r.Start < start {
-			out = append(out, Range{r.Start, start})
-		}
-		if r.End > end {
-			out = append(out, Range{end, r.End})
+	n := len(s.ranges)
+	// lo: first range with values at or after start.
+	lo := 0
+	for lo < n && s.ranges[lo].End <= start {
+		lo++
+	}
+	if lo == n || s.ranges[lo].Start >= end {
+		return
+	}
+	if r := s.ranges[lo]; r.Start < start && r.End > end {
+		// [start, end) is strictly inside one range: split it.
+		s.ranges = append(s.ranges, Range{})
+		copy(s.ranges[lo+1:], s.ranges[lo:])
+		s.ranges[lo] = Range{r.Start, start}
+		s.ranges[lo+1] = Range{end, r.End}
+		s.checkWellFormed("Subtract")
+		return
+	}
+	// Trim the edge ranges, drop fully covered ones.
+	w := lo
+	hi := lo
+	for hi < n && s.ranges[hi].Start < end {
+		r := s.ranges[hi]
+		hi++
+		switch {
+		case r.Start < start:
+			s.ranges[w] = Range{r.Start, start}
+			w++
+		case r.End > end:
+			s.ranges[w] = Range{end, r.End}
+			w++
 		}
 	}
-	s.ranges = out
+	if w != hi {
+		s.ranges = append(s.ranges[:w], s.ranges[hi:]...)
+	}
 	s.checkWellFormed("Subtract")
 }
 

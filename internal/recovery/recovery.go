@@ -6,7 +6,7 @@
 package recovery
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/assert"
@@ -34,9 +34,6 @@ type SentPacket struct {
 	Bytes int
 	// AckEliciting reports whether the packet must be acknowledged.
 	AckEliciting bool
-	// Frames are the retransmittable frames carried, so lost data can be
-	// re-queued by the transport.
-	Frames []wire.Frame
 	// Meta is opaque scheduler metadata (e.g. stream priority bookkeeping
 	// for re-injection decisions).
 	Meta any
@@ -51,7 +48,10 @@ type SentPacket struct {
 	acked        bool
 }
 
-// AckResult reports the outcome of processing one ACK frame.
+// AckResult reports the outcome of processing one ACK frame. The Acked and
+// Lost slices alias per-Space scratch buffers: they are valid until the next
+// loss-detection call (OnAck, OnLossTimeout, DeclareAllLost, OnPTO) on the
+// same Space and must be copied to be retained.
 type AckResult struct {
 	// Acked are newly acknowledged packets, ascending by PN.
 	Acked []*SentPacket
@@ -75,6 +75,11 @@ type Space struct {
 	lossTime    time.Duration // earliest pending time-threshold loss, 0 = none
 	ptoCount    int
 	lastProbeAt time.Duration // when OnPTO last fired, anchoring backoff
+
+	// Scratch buffers backing the slices returned from loss detection;
+	// see AckResult for the ownership contract.
+	ackedScratch []*SentPacket
+	lostScratch  []*SentPacket
 
 	// Counters for instrumentation.
 	stats Stats
@@ -123,7 +128,7 @@ func (s *Space) OnPacketSent(sp *SentPacket) {
 }
 
 // InFlight returns the ack-eliciting packets not yet acked or lost,
-// ascending by PN.
+// ascending by PN. It allocates; hot paths should use EachInFlight.
 func (s *Space) InFlight() []*SentPacket {
 	var out []*SentPacket
 	for _, sp := range s.sent {
@@ -132,6 +137,19 @@ func (s *Space) InFlight() []*SentPacket {
 		}
 	}
 	return out
+}
+
+// EachInFlight visits the ack-eliciting packets not yet acked or lost,
+// ascending by PN, without allocating. The visitor must not mutate the
+// Space; returning false stops the walk.
+func (s *Space) EachInFlight(fn func(*SentPacket) bool) {
+	for _, sp := range s.sent {
+		if !sp.acked && !sp.declaredLost && sp.AckEliciting {
+			if !fn(sp) {
+				return
+			}
+		}
+	}
 }
 
 // HasUnacked reports whether any ack-eliciting packet is outstanding — the
@@ -178,6 +196,7 @@ func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.D
 	}
 	largest := ranges[0].Largest
 	newlyAckedLargest := false
+	res.Acked = s.ackedScratch[:0]
 	for _, r := range ranges {
 		for pn := r.Smallest; ; pn++ {
 			if sp, ok := s.byPN[pn]; ok && !sp.acked {
@@ -196,10 +215,20 @@ func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.D
 			}
 		}
 	}
+	s.ackedScratch = res.Acked[:0]
 	if len(res.Acked) == 0 {
+		res.Acked = nil
 		return res
 	}
-	sort.Slice(res.Acked, func(i, j int) bool { return res.Acked[i].PN < res.Acked[j].PN })
+	slices.SortFunc(res.Acked, func(a, b *SentPacket) int {
+		switch {
+		case a.PN < b.PN:
+			return -1
+		case a.PN > b.PN:
+			return 1
+		}
+		return 0
+	})
 	if int64(largest) > s.largestAcked {
 		s.largestAcked = int64(largest)
 	}
@@ -212,14 +241,15 @@ func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.D
 	return res
 }
 
-// detectLost applies packet- and time-threshold loss detection.
+// detectLost applies packet- and time-threshold loss detection. The
+// returned slice aliases the Space's scratch buffer (see AckResult).
 func (s *Space) detectLost(now time.Duration) []*SentPacket {
 	if s.largestAcked < 0 {
 		return nil
 	}
 	s.lossTime = 0
 	delay := s.lossDelay()
-	var lost []*SentPacket
+	lost := s.lostScratch[:0]
 	for _, sp := range s.sent {
 		if sp.acked || sp.declaredLost || int64(sp.PN) > s.largestAcked {
 			continue
@@ -240,6 +270,10 @@ func (s *Space) detectLost(now time.Duration) []*SentPacket {
 			// Not lost yet, but will be at sentAt+delay unless acked.
 			s.lossTime = sp.SentAt + delay
 		}
+	}
+	s.lostScratch = lost[:0]
+	if len(lost) == 0 {
+		return nil
 	}
 	return lost
 }
@@ -296,7 +330,7 @@ func (s *Space) OnPTO(now time.Duration) []*SentPacket {
 	s.ptoCount++
 	s.stats.PTOs++
 	s.lastProbeAt = now
-	var probes []*SentPacket
+	probes := s.lostScratch[:0]
 	for _, sp := range s.sent {
 		if sp.acked || sp.declaredLost || !sp.AckEliciting {
 			continue
@@ -306,6 +340,10 @@ func (s *Space) OnPTO(now time.Duration) []*SentPacket {
 			break
 		}
 	}
+	s.lostScratch = probes[:0]
+	if len(probes) == 0 {
+		return nil
+	}
 	return probes
 }
 
@@ -313,7 +351,7 @@ func (s *Space) OnPTO(now time.Duration) []*SentPacket {
 // returns them. It is used when a path is abandoned or demoted so its
 // stranded data can be rescheduled onto surviving paths.
 func (s *Space) DeclareAllLost(now time.Duration) []*SentPacket {
-	var lost []*SentPacket
+	lost := s.lostScratch[:0]
 	for _, sp := range s.sent {
 		if sp.acked || sp.declaredLost || !sp.AckEliciting {
 			continue
@@ -325,13 +363,18 @@ func (s *Space) DeclareAllLost(now time.Duration) []*SentPacket {
 	}
 	s.lossTime = 0
 	s.gc()
+	s.lostScratch = lost[:0]
+	if len(lost) == 0 {
+		return nil
+	}
 	return lost
 }
 
 // PTOCount returns the current backoff exponent.
 func (s *Space) PTOCount() int { return s.ptoCount }
 
-// gc trims fully resolved packets from the front of the send history.
+// gc trims fully resolved packets from the front of the send history,
+// shifting the retained tail down in place.
 func (s *Space) gc() {
 	i := 0
 	for i < len(s.sent) && (s.sent[i].acked || s.sent[i].declaredLost) {
@@ -339,6 +382,10 @@ func (s *Space) gc() {
 		i++
 	}
 	if i > 0 {
-		s.sent = append([]*SentPacket(nil), s.sent[i:]...)
+		n := copy(s.sent, s.sent[i:])
+		for j := n; j < len(s.sent); j++ {
+			s.sent[j] = nil
+		}
+		s.sent = s.sent[:n]
 	}
 }

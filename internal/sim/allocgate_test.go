@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAllocGateScheduleFire gates the timer free list (scripts/check.sh runs
+// every TestAllocGate*): once the free list is warm, a schedule→fire cycle
+// and a schedule→stop cycle must not allocate. The value-type Timer handle
+// and event recycling exist precisely for this.
+func TestAllocGateScheduleFire(t *testing.T) {
+	l := NewLoop()
+	fn := func(time.Duration) {}
+	for i := 0; i < 64; i++ { // warm the free list
+		l.At(l.Now()+time.Millisecond, fn)
+	}
+	l.Run(1 << 20)
+	if avg := testing.AllocsPerRun(200, func() {
+		l.At(l.Now()+time.Millisecond, fn)
+		l.Run(1 << 20)
+	}); avg != 0 {
+		t.Fatalf("schedule→fire allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		tm := l.At(l.Now()+time.Hour, fn)
+		tm.Stop()
+		l.Run(1 << 20)
+	}); avg != 0 {
+		t.Fatalf("schedule→stop allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Benchmarks for the event loop, the substrate every simulated experiment
+// runs on. Timer scheduling and cancellation are the per-packet companions
+// of the transport hot path (rearmTimer cancels and re-schedules on every
+// send pass), so schedule/stop churn is alloc-gated (DESIGN.md §11).
+
+var benchFired int
+
+// BenchmarkScheduleFire measures the schedule→fire cycle with no
+// cancellation: one event is pushed and popped per iteration.
+func BenchmarkScheduleFire(b *testing.B) {
+	l := NewLoop()
+	fn := func(time.Duration) { benchFired++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.After(time.Microsecond, fn)
+		if !l.Step() {
+			b.Fatal("no event fired")
+		}
+	}
+}
+
+// BenchmarkScheduleStopFire models the transport's rearmTimer churn: each
+// iteration schedules two timers, cancels one, and fires the other — the
+// cancelled timer must not pile up in the heap (the Timer.Stop leak fixed
+// in this layer) and steady-state churn must not allocate.
+func BenchmarkScheduleStopFire(b *testing.B) {
+	l := NewLoop()
+	fn := func(time.Duration) { benchFired++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := l.After(time.Millisecond, fn)
+		l.After(time.Microsecond, fn)
+		t.Stop()
+		if !l.Step() {
+			b.Fatal("no event fired")
+		}
+	}
+	if l.Pending() > b.N {
+		b.Fatalf("dead events accumulated: %d pending after %d iterations", l.Pending(), b.N)
+	}
+}
+
+// BenchmarkRunUntilIdle measures draining a pre-filled heap, the shape of
+// RunUntil inside experiments.
+func BenchmarkRunUntilIdle(b *testing.B) {
+	fn := func(time.Duration) { benchFired++ }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := NewLoop()
+		for j := 0; j < 64; j++ {
+			l.After(time.Duration(j)*time.Microsecond, fn)
+		}
+		l.RunUntil(time.Millisecond)
+	}
+}

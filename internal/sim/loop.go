@@ -8,38 +8,57 @@ import (
 // Event is a callback scheduled to run at a virtual time instant.
 type Event func(now time.Duration)
 
+// scheduledEvent is a heap node. Nodes are recycled through Loop.free once
+// they fire, are collected dead, or are swept by compaction; gen is bumped
+// on every recycle so stale Timer handles can detect reuse.
 type scheduledEvent struct {
 	at   time.Duration
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	gen  uint64
 	fn   Event
 	dead bool
 	idx  int
 }
 
-// Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled.
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// Timer is valid and behaves as already-fired. Timers are values; copying
+// one copies the handle, and all copies observe the same event.
 type Timer struct {
 	ev   *scheduledEvent
+	gen  uint64
 	loop *Loop
+}
+
+// live reports whether the handle still refers to a pending event: the node
+// must not have been recycled out from under us (gen), stopped (dead), or
+// popped (idx).
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.dead && t.ev.idx >= 0
 }
 
 // Stop cancels the timer. It is a no-op if the event already fired or was
 // already stopped. It reports whether the event was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+func (t Timer) Stop() bool {
+	if !t.live() {
 		return false
 	}
 	t.ev.dead = true
+	t.loop.dead++
+	t.loop.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
-}
+func (t Timer) Pending() bool { return t.live() }
 
-// When returns the virtual time the event will fire at.
-func (t *Timer) When() time.Duration { return t.ev.at }
+// When returns the virtual time the event will fire at, or 0 if it is no
+// longer pending.
+func (t Timer) When() time.Duration {
+	if !t.live() {
+		return 0
+	}
+	return t.ev.at
+}
 
 type eventHeap []*scheduledEvent
 
@@ -78,7 +97,18 @@ type Loop struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	free        []*scheduledEvent // recycled nodes, capped at maxFree
+	dead        int               // stopped events still in the heap
+	compactions uint64
 }
+
+// maxFree bounds the recycling pool; beyond it, nodes are left to the GC.
+const maxFree = 256
+
+// compactMinDead is the floor below which stopped events are left for their
+// deadline pop to collect; sweeping tiny heaps isn't worth the work.
+const compactMinDead = 64
 
 // NewLoop returns an empty loop at virtual time zero.
 func NewLoop() *Loop {
@@ -95,21 +125,75 @@ func (l *Loop) Fired() uint64 { return l.fired }
 // timers not yet collected).
 func (l *Loop) Pending() int { return len(l.events) }
 
+// DeadPending returns the number of stopped events still occupying the heap.
+// Bounded by construction: compaction sweeps them once they exceed half the
+// heap (past compactMinDead).
+func (l *Loop) DeadPending() int { return l.dead }
+
+// Compactions returns how many dead-event sweeps have run.
+func (l *Loop) Compactions() uint64 { return l.compactions }
+
 // At schedules fn to run at the absolute virtual time at. Events scheduled
 // in the past run at the current time, never rewinding the clock.
-func (l *Loop) At(at time.Duration, fn Event) *Timer {
+func (l *Loop) At(at time.Duration, fn Event) Timer {
 	if at < l.now {
 		at = l.now
 	}
-	ev := &scheduledEvent{at: at, seq: l.seq, fn: fn}
+	var ev *scheduledEvent
+	if n := len(l.free); n > 0 {
+		ev = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		ev = &scheduledEvent{}
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = at, l.seq, fn, false
 	l.seq++
 	heap.Push(&l.events, ev)
-	return &Timer{ev: ev, loop: l}
+	return Timer{ev: ev, gen: ev.gen, loop: l}
 }
 
 // After schedules fn to run d from now.
-func (l *Loop) After(d time.Duration, fn Event) *Timer {
+func (l *Loop) After(d time.Duration, fn Event) Timer {
 	return l.At(l.now+d, fn)
+}
+
+// recycle returns a popped or swept node to the free pool, invalidating any
+// outstanding Timer handles and releasing the event closure.
+func (l *Loop) recycle(ev *scheduledEvent) {
+	ev.gen++
+	ev.fn = nil
+	if len(l.free) < maxFree {
+		l.free = append(l.free, ev)
+	}
+}
+
+// maybeCompact sweeps stopped events out of the heap once they outnumber
+// the live ones. Heap layout does not affect pop order — Less is a total
+// order on (at, seq) — so sweeping preserves event-loop determinism.
+func (l *Loop) maybeCompact() {
+	if l.dead <= compactMinDead || l.dead*2 <= len(l.events) {
+		return
+	}
+	live := l.events[:0]
+	for _, ev := range l.events {
+		if ev.dead {
+			ev.idx = -1
+			l.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(l.events); i++ {
+		l.events[i] = nil
+	}
+	l.events = live
+	for i, ev := range l.events {
+		ev.idx = i
+	}
+	heap.Init(&l.events)
+	l.dead = 0
+	l.compactions++
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -118,11 +202,15 @@ func (l *Loop) Step() bool {
 	for len(l.events) > 0 {
 		ev := heap.Pop(&l.events).(*scheduledEvent)
 		if ev.dead {
+			l.dead--
+			l.recycle(ev)
 			continue
 		}
 		l.now = ev.at
 		l.fired++
-		ev.fn(l.now)
+		fn := ev.fn
+		l.recycle(ev)
+		fn(l.now)
 		return true
 	}
 	return false
@@ -136,7 +224,8 @@ func (l *Loop) RunUntil(deadline time.Duration) {
 		// Peek.
 		next := l.events[0]
 		if next.dead {
-			heap.Pop(&l.events)
+			l.dead--
+			l.recycle(heap.Pop(&l.events).(*scheduledEvent))
 			continue
 		}
 		if next.at > deadline {

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestStopNoUnboundedDeadGrowth drives the transport's rearmTimer pattern —
+// schedule far-future timer, cancel it, repeat — and asserts stopped events
+// cannot accumulate in the heap (the Timer.Stop leak): compaction must keep
+// the dead population bounded regardless of churn volume.
+func TestStopNoUnboundedDeadGrowth(t *testing.T) {
+	l := NewLoop()
+	fired := 0
+	// A small live population so the heap is never dominated by live events.
+	for i := 0; i < 10; i++ {
+		l.After(time.Hour, func(time.Duration) { fired++ })
+	}
+	const churn = 5000
+	// Dead events are swept once they exceed both compactMinDead and half
+	// the heap; with 10 live events the bound is compactMinDead + 1.
+	bound := compactMinDead + 1
+	for i := 0; i < churn; i++ {
+		tm := l.After(30*time.Minute, func(time.Duration) { t.Error("stopped timer fired") })
+		if !tm.Stop() {
+			t.Fatalf("Stop() = false on pending timer (iteration %d)", i)
+		}
+		if d := l.DeadPending(); d > bound {
+			t.Fatalf("dead events grew unbounded: %d pending dead after %d stops (bound %d)", d, i+1, bound)
+		}
+		if p := l.Pending(); p > bound+10 {
+			t.Fatalf("heap grew unbounded: %d pending after %d stops", p, i+1)
+		}
+	}
+	if l.Compactions() == 0 {
+		t.Error("no compactions counted after heavy stop churn")
+	}
+	l.RunUntil(2 * time.Hour)
+	if fired != 10 {
+		t.Errorf("live events fired = %d, want 10", fired)
+	}
+}
+
+// TestCompactionPreservesOrder stops a random-ish subset of a large schedule
+// and checks the survivors still fire in exact (at, seq) order: sweeping
+// the heap must not perturb event-loop determinism.
+func TestCompactionPreservesOrder(t *testing.T) {
+	l := NewLoop()
+	type exp struct {
+		at  time.Duration
+		seq int
+	}
+	var want []exp
+	var got []int
+	// Interleave kept and stopped events, many sharing the same instant so
+	// the seq tie-breaker is exercised across a compaction.
+	for i := 0; i < 400; i++ {
+		at := time.Duration(i%13) * time.Millisecond
+		seq := i
+		tm := l.At(at, func(now time.Duration) { got = append(got, seq) })
+		if i%3 != 0 {
+			tm.Stop()
+		} else {
+			want = append(want, exp{at, seq})
+		}
+	}
+	if l.Compactions() == 0 {
+		t.Fatal("expected at least one compaction with 2/3 of 400 events stopped")
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	l.Run(0)
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].seq {
+			t.Fatalf("fire order diverged at %d: got seq %d, want %d", i, got[i], want[i].seq)
+		}
+	}
+}
+
+// TestTimerHandleSurvivesReuse checks the generation guard: once a node is
+// recycled and reused for a new event, a stale handle must not cancel or
+// observe the new tenant.
+func TestTimerHandleSurvivesReuse(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	stale := l.After(time.Millisecond, func(time.Duration) {})
+	l.Step() // fires and recycles the node
+	fresh := l.After(time.Millisecond, func(time.Duration) { fired = true })
+	if stale.Pending() {
+		t.Error("stale handle reports pending after node reuse")
+	}
+	if stale.Stop() {
+		t.Error("stale handle stopped the reused node's new event")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer not pending")
+	}
+	l.Step()
+	if !fired {
+		t.Error("new event was cancelled through a stale handle")
+	}
+	if stale.When() != 0 || fresh.When() != 0 {
+		t.Error("When() nonzero on dead handles")
+	}
+}
+
+// TestStopChurnDoesNotAllocate pins the free-list behavior: steady-state
+// schedule/stop/fire cycles must reuse nodes rather than allocate.
+func TestStopChurnDoesNotAllocate(t *testing.T) {
+	l := NewLoop()
+	n := 0
+	fn := func(time.Duration) { n++ }
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 100; i++ {
+		l.After(time.Millisecond, fn)
+		l.After(time.Hour, fn).Stop()
+		l.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l.After(time.Millisecond, fn)
+		l.After(time.Hour, fn).Stop()
+		l.Step()
+	})
+	if allocs > 0 {
+		t.Errorf("schedule/stop/fire churn allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -178,6 +178,29 @@ type Conn struct {
 	inSend              bool
 	secondaryTimerArmed bool
 
+	// Hot-path scratch (DESIGN.md §11). Event-loop confined like the rest of
+	// the mutable core; each buffer is valid only until the next packet is
+	// assembled (send side) or delivered (recv side), so nothing below may be
+	// retained across events. inRecv guards against reentrant datagram
+	// delivery clobbering recvBuf/recvFrames mid-dispatch.
+	sendBuf    []byte             // xlinkvet:guardedby confined
+	sendFrames []wire.Frame       // xlinkvet:guardedby confined
+	sfScratch  []*wire.StreamFrame // xlinkvet:guardedby confined
+	sfUsed     int
+	recvBuf    []byte       // xlinkvet:guardedby confined
+	recvFrames []wire.Frame // xlinkvet:guardedby confined
+	inRecv     bool
+
+	// Cached per-pass orderings (DESIGN.md §11): rebuilt only when their
+	// dirty flag is set, instead of re-filtered and re-sorted on every send
+	// pass. streamOrder is (priority, id) over sendStreams; usableBase is
+	// pathOrder filtered to Usable()&&DCID!=nil.
+	streamOrder      []*SendStream // xlinkvet:guardedby confined
+	streamOrderDirty bool
+	usableBase       []*Path // xlinkvet:guardedby confined
+	pathsDirty       bool
+	sendablePaths    []*Path // per-call CanSend filter scratch
+
 	// Lifecycle hardening state (DESIGN.md §8).
 	primaryID        uint64                     // current primary path ID
 	lastRecvActivity time.Duration              // last successfully processed packet
@@ -408,7 +431,6 @@ func (c *Conn) sendInitial() {
 	pkt := sealLong(c.initTxSealer, dcid, scid, pn, c.initSpace.LargestAcked(), payload)
 	c.initSpace.OnPacketSent(&recovery.SentPacket{
 		PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
-		Frames: []wire.Frame{cf},
 	})
 	netIdx := 0
 	if p := c.paths[0]; p != nil {
@@ -729,7 +751,24 @@ func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 		c.tr.PathAdded(now, pathID, netIdx, trace.TechLTE.String())
 	}
 	p.NetIdx = netIdx // follow the packet (handles migration)
-	pn, payload, err := openShort(c.rxSealer, data, c.cfg.CIDLen, uint32(pathID), p.largestRecvPN)
+	// Decrypt and parse into the connection's receive scratch. A handler
+	// below may synchronously trigger the peer to deliver another datagram
+	// back to us (direct-delivery test harnesses); the inRecv guard makes
+	// that nested delivery fall back to fresh allocations instead of
+	// clobbering the buffers this frame loop is still reading.
+	reentrant := c.inRecv
+	var pn uint64
+	var payload []byte
+	var err error
+	if reentrant {
+		pn, payload, _, err = openShort(c.rxSealer, nil, data, c.cfg.CIDLen, uint32(pathID), p.largestRecvPN)
+	} else {
+		c.inRecv = true
+		defer func() { c.inRecv = false }()
+		var buf []byte
+		pn, payload, buf, err = openShort(c.rxSealer, c.recvBuf, data, c.cfg.CIDLen, uint32(pathID), p.largestRecvPN)
+		c.recvBuf = buf
+	}
 	if err != nil {
 		return
 	}
@@ -738,7 +777,15 @@ func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 		// Receiving 1-RTT confirms the peer has our keys.
 		c.handshakeDone = true
 	}
-	frames, err := wire.ParseAll(payload)
+	var frames []wire.Frame
+	if reentrant {
+		frames, err = wire.ParseAll(payload)
+	} else {
+		frames, err = wire.AppendFrames(c.recvFrames[:0], payload)
+		if frames != nil {
+			c.recvFrames = frames[:0]
+		}
+	}
 	if err != nil {
 		return
 	}
@@ -1044,6 +1091,7 @@ func (c *Conn) Stream(id uint64) *SendStream {
 		s.peerMaxData = c.peerStreamLimit()
 	}
 	c.sendStreams[id] = s
+	c.streamOrderDirty = true
 	return s
 }
 

@@ -43,6 +43,11 @@ func (e SimEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
 // DatagramSender transmits a UDP payload on a network interface. For
 // emulated runs this is netem; for live runs it writes to a UDP socket.
 // netIdx identifies the local interface/path the datagram leaves on.
+//
+// Ownership: data aliases the connection's reusable packet scratch
+// (DESIGN.md §11) and is valid only for the duration of the call.
+// Implementations that queue, delay or record the datagram must copy it;
+// netem's Link.Send and the UDP socket write both do.
 type DatagramSender interface {
 	SendDatagram(netIdx int, data []byte)
 }

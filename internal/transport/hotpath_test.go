@@ -1,0 +1,231 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Tests for the hot-path scratch/caching work of DESIGN.md §11: cached path
+// and stream orderings must be indistinguishable from a full rebuild, and
+// buffer reuse must never corrupt data an upper layer retained.
+
+// refUsablePaths is the uncached reference implementation usableSendPaths
+// replaced: filter pathOrder by Usable, window space and a known DCID.
+func refUsablePaths(c *Conn) []*Path {
+	var out []*Path
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		if p.Usable() && p.CC.CanSend(cc.MaxDatagramSize) && p.DCID != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func samePaths(a, b []*Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPathSelectionOrderUnchanged drives the cached usableSendPaths through
+// path-state mutations and checks it always matches the reference rebuild —
+// in content AND order, since MinRTTSelector breaks RTT ties by position.
+func TestPathSelectionOrderUnchanged(t *testing.T) {
+	var got uint64
+	pair := benchPair(t, &got)
+	c := pair.Client
+	if len(c.pathOrder) < 2 {
+		t.Fatalf("want ≥2 paths, got %d", len(c.pathOrder))
+	}
+	check := func(step string) {
+		t.Helper()
+		c.pathsDirty = true // what maybeSend does at pass entry
+		cached := c.usableSendPaths()
+		if ref := refUsablePaths(c); !samePaths(cached, ref) {
+			t.Fatalf("%s: cached paths %v != reference %v", step, ids(cached), ids(ref))
+		}
+		// A second call without mutations must serve the cache unchanged.
+		again := c.usableSendPaths()
+		if ref := refUsablePaths(c); !samePaths(again, ref) {
+			t.Fatalf("%s: cached second call diverged from reference", step)
+		}
+	}
+	check("baseline")
+
+	p0 := c.paths[c.pathOrder[0]]
+	p1 := c.paths[c.pathOrder[1]]
+
+	p0.suspect = true
+	check("first path suspect")
+	p0.suspect = false
+	check("first path recovered")
+
+	p1.State = PathStandbyLocal
+	check("second path standby")
+	p1.State = PathActive
+	check("second path active again")
+
+	dcid := p1.DCID
+	p1.DCID = nil
+	check("second path without DCID")
+	p1.DCID = dcid
+	check("DCID restored")
+}
+
+func ids(paths []*Path) []uint64 {
+	out := make([]uint64, len(paths))
+	for i, p := range paths {
+		out[i] = p.ID
+	}
+	return out
+}
+
+// TestStreamOrderCacheMatchesSort checks the cached (priority, ID) stream
+// order against a reference rebuild across creation and re-prioritization.
+func TestStreamOrderCacheMatchesSort(t *testing.T) {
+	var got uint64
+	pair := benchPair(t, &got)
+	c := pair.Client
+
+	ref := func() []*SendStream {
+		out := make([]*SendStream, 0, len(c.sendStreams))
+		for _, s := range c.sendStreams {
+			out = append(out, s)
+		}
+		for i := 1; i < len(out); i++ { // insertion sort, independent impl
+			for j := i; j > 0; j-- {
+				a, b := out[j-1], out[j]
+				if a.prio < b.prio || (a.prio == b.prio && a.id < b.id) {
+					break
+				}
+				out[j-1], out[j] = out[j], out[j-1]
+			}
+		}
+		return out
+	}
+	check := func(step string) {
+		t.Helper()
+		gotOrder := c.streamsInOrder()
+		want := ref()
+		if len(gotOrder) != len(want) {
+			t.Fatalf("%s: %d streams cached, want %d", step, len(gotOrder), len(want))
+		}
+		for i := range want {
+			if gotOrder[i] != want[i] {
+				t.Fatalf("%s: stream order differs at %d: got id=%d want id=%d",
+					step, i, gotOrder[i].id, want[i].id)
+			}
+		}
+	}
+
+	s4 := c.Stream(4)
+	s8 := c.Stream(8)
+	c.Stream(12)
+	check("three streams, default priorities")
+
+	s8.SetPriority(-1) // jump ahead of everything
+	check("stream 8 promoted")
+
+	s4.SetPriority(-1) // tie with s8: ID breaks it
+	check("priority tie")
+
+	c.Stream(2) // new stream invalidates via length change
+	check("fourth stream added")
+}
+
+// TestRecvScratchCopyOnRetain asserts the copy-on-retain discipline end to
+// end: the receive path parses frames out of a reused decrypt scratch, so
+// data handed to the application must have been copied into stream-owned
+// storage. The callback retains the delivered slices WITHOUT copying; if any
+// layer below handed out scratch-backed bytes, later packets would overwrite
+// them and the final comparison would fail.
+func TestRecvScratchCopyOnRetain(t *testing.T) {
+	params := wire.DefaultTransportParams()
+	params.EnableMultipath = true
+	ccfg := Config{Params: params, Seed: 1, MaxAckDelay: time.Millisecond}
+	scfg := Config{Params: params, Seed: 2, MaxAckDelay: time.Millisecond}
+	var parts [][]byte // retained verbatim across subsequent packets
+	scfg.OnStreamData = func(now time.Duration, s *RecvStream, data []byte, fin bool) {
+		parts = append(parts, data)
+	}
+	loop := sim.NewLoop()
+	pair := NewPair(loop, sim.NewRNG(7),
+		TwoPathConfig(200, 200, 2*time.Millisecond, 6*time.Millisecond), ccfg, scfg)
+	if err := pair.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pair.RunUntil(500 * time.Millisecond)
+	if !pair.Client.Established() {
+		t.Fatal("pair did not establish")
+	}
+
+	// Distinctly patterned chunks, each spanning several packets.
+	const chunks = 16
+	const chunkLen = 3000
+	st := pair.Client.OpenStream()
+	var want []byte
+	for i := 0; i < chunks; i++ {
+		chunk := bytes.Repeat([]byte{byte(i + 1)}, chunkLen)
+		want = append(want, chunk...)
+		st.Write(chunk)
+		pair.RunUntil(pair.Loop.Now() + 20*time.Millisecond)
+	}
+	pair.RunUntil(pair.Loop.Now() + 200*time.Millisecond)
+
+	var gotBytes []byte
+	for _, p := range parts {
+		gotBytes = append(gotBytes, p...)
+	}
+	if len(gotBytes) != len(want) {
+		t.Fatalf("delivered %d bytes, want %d", len(gotBytes), len(want))
+	}
+	if !bytes.Equal(gotBytes, want) {
+		for i := range want {
+			if gotBytes[i] != want[i] {
+				t.Fatalf("retained delivery corrupted at offset %d: got 0x%02x want 0x%02x",
+					i, gotBytes[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAllocGateRoundTrip gates allocations of the full single-packet
+// send→recv→ack round trip (scripts/check.sh runs every TestAllocGate*).
+// The seed baseline was 98 allocs/op; the pooling work brought it to ~22.
+// The gate sits at 48 — tight enough that losing any one scratch buffer
+// (packet, frames, ack ranges, recv parse) trips it, loose enough to absorb
+// run-to-run jitter from timer scheduling.
+func TestAllocGateRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state warmup")
+	}
+	payload := make([]byte, 1200)
+	var got uint64
+	pair := benchPair(t, &got)
+	st := pair.Client.OpenStream()
+	for i := 0; i < 32; i++ { // warm scratch buffers and pools
+		roundTrip(pair, st, payload)
+	}
+	const gate = 48
+	avg := testing.AllocsPerRun(200, func() {
+		roundTrip(pair, st, payload)
+	})
+	if avg > gate {
+		t.Fatalf("round trip allocates %.1f/op, gate is %d (seed baseline: 98)", avg, gate)
+	}
+	if got == 0 {
+		t.Fatal("no data delivered")
+	}
+}

@@ -15,13 +15,44 @@ import (
 
 const headerSampleLen = 16
 
-// sealShort builds a protected 1-RTT packet: short header + sealed payload.
-func sealShort(sealer *crypto.Sealer, dcid wire.ConnectionID, pathID uint32,
-	pn uint64, largestAcked int64, payload []byte) []byte {
+// sealShortInto assembles a protected 1-RTT packet into buf's storage,
+// appending from buf's length: short header, frames serialized in place,
+// PADDING up to the header-protection sample minimum, and an in-place AEAD
+// seal (the 16-byte tag is reserved up front so sealing cannot reallocate
+// away from buf). The returned packet aliases buf when capacity suffices;
+// callers reuse a per-connection scratch and must treat the previous packet
+// as invalid once the next one is assembled.
+func sealShortInto(buf []byte, sealer *crypto.Sealer, dcid wire.ConnectionID, pathID uint32,
+	pn uint64, largestAcked int64, frames []wire.Frame) []byte {
 	pnLen := wire.PacketNumberLen(pn, largestAcked)
+	buf = wire.AppendShort(buf, dcid, pn, pnLen)
+	hdrLen := len(buf)
+	buf = wire.AppendAll(buf, frames)
 	// Header protection needs ciphertext from pnOffset+4 for 16 bytes:
 	// payload+tag must cover (4-pnLen)+16; the tag provides 16, so pad the
 	// payload to at least 4-pnLen bytes.
+	for len(buf)-hdrLen < 4-pnLen {
+		buf = append(buf, 0) // PADDING frame
+	}
+	if need := len(buf) + crypto.Overhead; cap(buf) < need {
+		grown := make([]byte, len(buf), need)
+		copy(grown, buf)
+		buf = grown
+	}
+	sealed := sealer.Seal(buf[hdrLen:hdrLen], buf[:hdrLen], buf[hdrLen:], pathID, pn)
+	pkt := buf[:hdrLen+len(sealed)]
+	pnOffset := 1 + len(dcid)
+	sample := pkt[pnOffset+4 : pnOffset+4+headerSampleLen]
+	sealer.ProtectHeader(&pkt[0], pkt[pnOffset:pnOffset+pnLen], sample)
+	return pkt
+}
+
+// sealShort builds a protected 1-RTT packet from a pre-serialized payload,
+// allocating the result. Cold paths (close resends) and tests use it; the
+// send path assembles into connection scratch via sealShortInto.
+func sealShort(sealer *crypto.Sealer, dcid wire.ConnectionID, pathID uint32,
+	pn uint64, largestAcked int64, payload []byte) []byte {
+	pnLen := wire.PacketNumberLen(pn, largestAcked)
 	for len(payload) < 4-pnLen {
 		payload = append(payload, 0) // PADDING frame
 	}
@@ -33,17 +64,20 @@ func sealShort(sealer *crypto.Sealer, dcid wire.ConnectionID, pathID uint32,
 	return pkt
 }
 
-// openShort unprotects and decrypts a 1-RTT packet. The caller resolves the
+// openShort unprotects and decrypts a 1-RTT packet into scratch (the
+// caller's reusable buffer; pass nil to allocate). The caller resolves the
 // DCID to a path (pathID for the nonce, largestPN for number recovery)
-// before calling. It returns the packet number and plaintext payload.
-func openShort(sealer *crypto.Sealer, data []byte, cidLen int,
-	pathID uint32, largestPN int64) (uint64, []byte, error) {
+// before calling. It returns the packet number, the plaintext payload
+// (aliasing the returned buffer), and the possibly-grown buffer to retain
+// for the next call. data is never modified, even on failure.
+func openShort(sealer *crypto.Sealer, scratch, data []byte, cidLen int,
+	pathID uint32, largestPN int64) (uint64, []byte, []byte, error) {
 	pnOffset := 1 + cidLen
 	if len(data) < pnOffset+4+headerSampleLen {
-		return 0, nil, wire.ErrTruncated
+		return 0, nil, scratch, wire.ErrTruncated
 	}
-	// Work on a copy so the caller's buffer is untouched on failure.
-	pkt := append([]byte(nil), data...)
+	// Work on a copy so the caller's datagram is untouched on failure.
+	pkt := append(scratch[:0], data...)
 	sample := pkt[pnOffset+4 : pnOffset+4+headerSampleLen]
 	// Unmask the first byte to learn pnLen, then the pn bytes.
 	mask := sealer.HeaderMask(sample)
@@ -58,11 +92,12 @@ func openShort(sealer *crypto.Sealer, data []byte, cidLen int,
 	}
 	pn := wire.DecodePacketNumber(trunc, pnLen, largestPN)
 	hdrLen := pnOffset + pnLen
-	payload, err := sealer.Open(nil, pkt[:hdrLen], pkt[hdrLen:], pathID, pn)
+	// In-place decrypt: the plaintext overwrites the ciphertext region.
+	payload, err := sealer.Open(pkt[hdrLen:hdrLen], pkt[:hdrLen], pkt[hdrLen:], pathID, pn)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, pkt, err
 	}
-	return pn, payload, nil
+	return pn, payload, pkt, nil
 }
 
 // sealLong builds a protected Initial packet.

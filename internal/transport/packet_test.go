@@ -23,7 +23,7 @@ func TestSealOpenShortRoundTrip(t *testing.T) {
 	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
 	payload := []byte("some frames here")
 	pkt := sealShort(sealer, dcid, 3, 42, 40, payload)
-	pn, got, err := openShort(sealer, pkt, len(dcid), 3, 41)
+	pn, got, _, err := openShort(sealer, nil, pkt, len(dcid), 3, 41)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestOpenShortRejectsWrongPath(t *testing.T) {
 	sealer := testSealer(t)
 	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
 	pkt := sealShort(sealer, dcid, 3, 42, 40, []byte("x"))
-	if _, _, err := openShort(sealer, pkt, len(dcid), 4, 41); err == nil {
+	if _, _, _, err := openShort(sealer, nil, pkt, len(dcid), 4, 41); err == nil {
 		t.Fatal("wrong path nonce must fail to decrypt")
 	}
 }
@@ -51,7 +51,7 @@ func TestOpenShortRejectsCorruption(t *testing.T) {
 	for i := 0; i < len(pkt); i++ {
 		bad := append([]byte(nil), pkt...)
 		bad[i] ^= 0xff
-		if _, _, err := openShort(sealer, bad, len(dcid), 0, -1); err == nil {
+		if _, _, _, err := openShort(sealer, nil, bad, len(dcid), 0, -1); err == nil {
 			// Flipping a bit in the unprotected DCID changes where the
 			// receiver looks up the path; the caller resolves that before
 			// openShort, so only header/ciphertext bits must fail here.
@@ -68,7 +68,7 @@ func TestOpenShortTruncated(t *testing.T) {
 	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
 	pkt := sealShort(sealer, dcid, 0, 7, -1, []byte("payload"))
 	for i := 0; i < len(pkt); i++ {
-		if _, _, err := openShort(sealer, pkt[:i], len(dcid), 0, -1); err == nil {
+		if _, _, _, err := openShort(sealer, nil, pkt[:i], len(dcid), 0, -1); err == nil {
 			t.Fatalf("truncation at %d not detected", i)
 		}
 	}
@@ -102,7 +102,7 @@ func TestSealShortTinyPayloadPadded(t *testing.T) {
 	dcid := wire.ConnectionID{1, 2, 3, 4, 5, 6, 7, 8}
 	for size := 0; size < 8; size++ {
 		pkt := sealShort(sealer, dcid, 1, uint64(size), -1, make([]byte, size))
-		if _, _, err := openShort(sealer, pkt, len(dcid), 1, -1); err != nil {
+		if _, _, _, err := openShort(sealer, nil, pkt, len(dcid), 1, -1); err != nil {
 			t.Fatalf("size %d: %v", size, err)
 		}
 	}
@@ -115,7 +115,7 @@ func TestPropertyPacketRoundTrip(t *testing.T) {
 		largest := int64(1000)
 		pn := uint64(largest) + 1 + uint64(pnDelta%64)
 		pkt := sealShort(sealer, dcid, pathID, pn, largest, payload)
-		gotPN, got, err := openShort(sealer, pkt, len(dcid), pathID, largest)
+		gotPN, got, _, err := openShort(sealer, nil, pkt, len(dcid), pathID, largest)
 		if err != nil || gotPN != pn {
 			return false
 		}

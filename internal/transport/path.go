@@ -89,6 +89,14 @@ type Path struct {
 	// for this path's space may arrive on another path).
 	lastAckAt time.Duration
 
+	// Ack-assembly scratch (DESIGN.md §11). Per path, not per connection:
+	// one outgoing packet may carry ack frames for several paths
+	// (appendAcksFor), but each path contributes at most one, and the frame
+	// is only referenced until that packet is serialized.
+	ackRangesScratch []wire.AckRange
+	ackScratch       wire.AckFrame
+	ackMPScratch     wire.AckMPFrame
+
 	// Stats.
 	SentBytes     uint64
 	RecvBytes     uint64
@@ -143,15 +151,17 @@ func (p *Path) recordRecv(pn uint64, now time.Duration, ackEliciting bool) (dup 
 }
 
 // buildAckRanges converts received PNs into wire ACK ranges (descending),
-// capped at maxRanges.
+// capped at maxRanges. The returned slice aliases the path's scratch and is
+// valid until the next call for this path.
 func (p *Path) buildAckRanges(maxRanges int) []wire.AckRange {
 	rs := p.recvPNs.All()
 	if len(rs) == 0 {
 		return nil
 	}
-	var out []wire.AckRange
+	out := p.ackRangesScratch[:0]
 	for i := len(rs) - 1; i >= 0 && len(out) < maxRanges; i-- {
 		out = append(out, wire.AckRange{Smallest: rs[i].Start, Largest: rs[i].End - 1})
 	}
+	p.ackRangesScratch = out
 	return out
 }

@@ -37,6 +37,13 @@ func (c *Conn) maybeSend(now time.Duration) {
 	c.inSend = true
 	defer func() { c.inSend = false }()
 
+	// Invalidate the cached usable-path base once per pass: handlers that
+	// ran since the last pass may have changed path state, DCIDs or
+	// pathOrder. Nothing inside the pass itself mutates them (asserted by
+	// the rebuild cross-check in usableSendPaths), so one rebuild per pass
+	// replaces one rebuild per sendOnePacket iteration.
+	c.pathsDirty = true
+
 	c.updatePathHealth(now)
 	c.maybeSendStandaloneQoE(now)
 	c.flushAcks(now, false)
@@ -73,20 +80,21 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 		return
 	}
 	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
-	var frames []wire.Frame
+	frames := c.sendFrames[:0]
 	meta := &packetMeta{}
 	eliciting := false
 	frames, eliciting = c.appendCtrl(p, frames, meta, &budget, eliciting)
+	c.sendFrames = frames[:0]
 	if len(frames) == 0 {
 		return
 	}
-	payload := wire.AppendAll(nil, frames)
 	pn := p.Space.NextPN()
-	pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
+	c.sendBuf = pkt[:0]
 	if eliciting {
 		p.Space.OnPacketSent(&recovery.SentPacket{
 			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
-			Frames: frames, Meta: meta,
+			Meta: meta,
 		})
 	}
 	c.sender.SendDatagram(p.NetIdx, pkt)
@@ -142,15 +150,45 @@ func (c *Conn) updatePathHealth(now time.Duration) {
 	}
 }
 
-// usableSendPaths returns validated paths with congestion window space.
+// usableSendPaths returns validated paths with congestion window space, in
+// pathOrder order (the selector's tie-break order — never re-sorted). The
+// Usable()&&DCID base set is cached in usableBase and rebuilt only when
+// pathsDirty is set (once per maybeSend pass); only the volatile CanSend
+// filter runs per call, into the sendablePaths scratch. The result is valid
+// until the next call.
 func (c *Conn) usableSendPaths() []*Path {
-	var out []*Path
-	for _, id := range c.pathOrder {
-		p := c.paths[id]
-		if p.Usable() && p.CC.CanSend(cc.MaxDatagramSize) && p.DCID != nil {
+	if c.pathsDirty {
+		c.usableBase = c.usableBase[:0]
+		for _, id := range c.pathOrder {
+			p := c.paths[id]
+			if p.Usable() && p.DCID != nil {
+				c.usableBase = append(c.usableBase, p)
+			}
+		}
+		c.pathsDirty = false
+	}
+	if assert.Enabled {
+		// Cross-check the cache against a full rebuild: a handler mutating
+		// path state mid-pass would silently change path selection.
+		i := 0
+		for _, id := range c.pathOrder {
+			p := c.paths[id]
+			if p.Usable() && p.DCID != nil {
+				assert.That(i < len(c.usableBase) && c.usableBase[i] == p,
+					"stale usableBase cache at %d", i)
+				i++
+			}
+		}
+		assert.That(i == len(c.usableBase),
+			"usableBase cache holds %d paths, rebuild found %d", len(c.usableBase), i)
+	}
+	out := c.sendablePaths[:0]
+	for _, p := range c.usableBase {
+		if p.CC.CanSend(cc.MaxDatagramSize) {
 			out = append(out, p)
 		}
 	}
+	c.sendablePaths = out
 	return out
 }
 
@@ -171,7 +209,8 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		return false
 	}
 	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
-	var frames []wire.Frame
+	frames := c.sendFrames[:0]
+	c.sfUsed = 0
 	meta := &packetMeta{}
 	eliciting := false
 
@@ -189,7 +228,8 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 			break
 		}
 		s := c.sendStreams[ch.streamID]
-		sf := &wire.StreamFrame{
+		sf := c.nextStreamFrame()
+		*sf = wire.StreamFrame{
 			StreamID: ch.streamID,
 			Offset:   ch.offset,
 			Fin:      ch.fin,
@@ -213,16 +253,17 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		}
 	}
 
+	c.sendFrames = frames[:0]
 	if len(frames) == 0 {
 		return false
 	}
-	payload := wire.AppendAll(nil, frames)
 	pn := p.Space.NextPN()
-	pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
+	c.sendBuf = pkt[:0]
 	if eliciting {
 		p.Space.OnPacketSent(&recovery.SentPacket{
 			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
-			Frames: frames, Meta: meta,
+			Meta: meta,
 		})
 		p.CC.OnPacketSent(now, len(pkt))
 	}
@@ -247,19 +288,20 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		if p == nil || p.DCID == nil || p.State == PathClosed {
 			continue
 		}
-		frames := []wire.Frame{item.frame}
+		frames := append(c.sendFrames[:0], item.frame)
+		c.sendFrames = frames[:0]
 		meta := &packetMeta{}
 		if item.reliable {
 			meta.ctrl = append(meta.ctrl, item.frame)
 		}
 		c.ctrlQ = append(c.ctrlQ[:i], c.ctrlQ[i+1:]...)
-		payload := wire.AppendAll(nil, frames)
 		pn := p.Space.NextPN()
-		pkt := sealShort(c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), payload)
+		pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
+		c.sendBuf = pkt[:0]
 		if wire.AckEliciting(item.frame) {
 			p.Space.OnPacketSent(&recovery.SentPacket{
 				PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
-				Frames: frames, Meta: meta,
+				Meta: meta,
 			})
 		}
 		c.sender.SendDatagram(p.NetIdx, pkt)
@@ -299,20 +341,48 @@ func (c *Conn) appendCtrl(p *Path, frames []wire.Frame, meta *packetMeta, budget
 	return frames, eliciting
 }
 
-// streamsInOrder returns send streams sorted by (priority, ID) — the
-// paper's early-stream-first order.
-func (c *Conn) streamsInOrder() []*SendStream {
-	out := make([]*SendStream, 0, len(c.sendStreams))
-	for _, s := range c.sendStreams {
-		out = append(out, s)
+// nextStreamFrame hands out a reusable STREAM frame from the connection's
+// scratch pool, growing it on first use. Every field of the returned frame
+// is overwritten by the caller; the frame is only referenced until the
+// packet holding it is serialized, so reuse across packets is safe.
+func (c *Conn) nextStreamFrame() *wire.StreamFrame {
+	if c.sfUsed == len(c.sfScratch) {
+		c.sfScratch = append(c.sfScratch, &wire.StreamFrame{})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].prio != out[j].prio {
-			return out[i].prio < out[j].prio
+	sf := c.sfScratch[c.sfUsed]
+	c.sfUsed++
+	return sf
+}
+
+// streamsInOrder returns send streams sorted by (priority, ID) — the
+// paper's early-stream-first order. The sort is cached and rebuilt only
+// when a stream is created or re-prioritized (streams are never removed),
+// hoisting a per-pullChunk sort out of the send loop. (priority, ID) is a
+// total order — IDs are unique — so the rebuild is deterministic despite
+// map iteration.
+func (c *Conn) streamsInOrder() []*SendStream {
+	if c.streamOrderDirty || len(c.streamOrder) != len(c.sendStreams) {
+		c.streamOrder = c.streamOrder[:0]
+		for _, s := range c.sendStreams {
+			c.streamOrder = append(c.streamOrder, s)
 		}
-		return out[i].id < out[j].id
-	})
-	return out
+		sort.Slice(c.streamOrder, func(i, j int) bool {
+			a, b := c.streamOrder[i], c.streamOrder[j]
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return a.id < b.id
+		})
+		c.streamOrderDirty = false
+	}
+	if assert.Enabled {
+		for i := 1; i < len(c.streamOrder); i++ {
+			a, b := c.streamOrder[i-1], c.streamOrder[i]
+			assert.That(a.prio < b.prio || (a.prio == b.prio && a.id < b.id),
+				"cached stream order stale at %d", i)
+		}
+	}
+	return c.streamOrder
 }
 
 // maxDeliverTime computes Eq. 1: max over paths with unacked packets of
@@ -490,10 +560,10 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 	}
 	for _, id := range c.pathOrder {
 		src := c.paths[id]
-		for _, sp := range src.Space.InFlight() {
+		src.Space.EachInFlight(func(sp *recovery.SentPacket) bool {
 			meta, ok := sp.Meta.(*packetMeta)
 			if !ok || meta.reinjected {
-				continue
+				return true
 			}
 			match := false
 			for _, ch := range meta.chunks {
@@ -520,7 +590,8 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 			if match {
 				meta.reinjected = true
 			}
-		}
+			return true
+		})
 	}
 	// Keep the queue ordered by frame priority (stable for FIFO ties).
 	sort.SliceStable(s.reinjQ, func(i, j int) bool {
@@ -654,10 +725,14 @@ func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
 			}
 		}
 	}
+	// The frame structs are per-path scratch, overwritten wholesale each
+	// build; the caller serializes them before the next build for this path.
 	if !c.multipath {
-		return &wire.AckFrame{Ranges: ranges, AckDelay: delay}
+		p.ackScratch = wire.AckFrame{Ranges: ranges, AckDelay: delay}
+		return &p.ackScratch
 	}
-	f := &wire.AckMPFrame{PathID: p.ID, Ranges: ranges, AckDelay: delay}
+	f := &p.ackMPScratch
+	*f = wire.AckMPFrame{PathID: p.ID, Ranges: ranges, AckDelay: delay}
 	if c.cfg.QoEProvider != nil {
 		interval := c.cfg.QoEFeedbackInterval
 		if !c.qoeSentAny || interval == 0 || now-c.lastQoEAt >= interval {
@@ -698,9 +773,11 @@ func (c *Conn) flushAcks(now time.Duration, force bool) {
 		if carrier == nil || carrier.DCID == nil {
 			continue
 		}
-		payload := f.Append(nil)
+		frames := append(c.sendFrames[:0], f)
+		c.sendFrames = frames[:0]
 		pn := carrier.Space.NextPN()
-		pkt := sealShort(c.txSealer, carrier.DCID, uint32(carrier.ID), pn, carrier.Space.LargestAcked(), payload)
+		pkt := sealShortInto(c.sendBuf[:0], c.txSealer, carrier.DCID, uint32(carrier.ID), pn, carrier.Space.LargestAcked(), frames)
+		c.sendBuf = pkt[:0]
 		c.sender.SendDatagram(carrier.NetIdx, pkt)
 		carrier.SentPackets++
 		carrier.SentBytes += uint64(len(pkt))

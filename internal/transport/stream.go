@@ -94,7 +94,12 @@ func (s *SendStream) ID() uint64 { return s.id }
 func (s *SendStream) Priority() int { return s.prio }
 
 // SetPriority overrides the stream priority.
-func (s *SendStream) SetPriority(p int) { s.prio = p }
+func (s *SendStream) SetPriority(p int) {
+	if s.prio != p {
+		s.prio = p
+		s.conn.streamOrderDirty = true // cached (prio, id) order is stale
+	}
+}
 
 // Write appends data to the stream's send buffer. It never blocks; flow
 // control gates transmission, not buffering.

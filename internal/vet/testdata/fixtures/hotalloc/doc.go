@@ -1,0 +1,30 @@
+// Package hotalloc is a stub fixture reserving the `hotalloc` rule name: a
+// planned xlinkvet check that hot-path functions stay allocation-free (no
+// make/new/append-growth/closure-escape reachable from them). The rule is
+// not implemented yet — today the property is enforced DYNAMICALLY by the
+// TestAllocGate* tests that scripts/check.sh runs — so this package is not
+// in the selftest case list and contains no violations. It documents the
+// alloc-gated surface so the static rule, when written, starts from the
+// same catalogue the gates cover (DESIGN.md §11):
+//
+//	internal/sim:       Loop.At / Loop.After / Timer.Stop / event dispatch
+//	                    (free-listed nodes, value Timer handles) —
+//	                    TestAllocGateScheduleFire.
+//	internal/crypto:    Sealer.Seal / Sealer.Open with in-place dst,
+//	                    Sealer.HeaderMask (receiver-owned scratch) —
+//	                    TestAllocGateSealOpen.
+//	internal/rangeset:  Set.Add / Set.Subtract once the backing array is
+//	                    warm (in-place merge/shift) —
+//	                    TestAllocGateAddSubtract.
+//	internal/transport: sealShortInto / openShort / the sendOnePacket
+//	                    assembly path (per-Conn packet+frame scratch,
+//	                    per-Path ack scratch, cached orderings), gated as a
+//	                    whole through the round-trip ceiling —
+//	                    TestAllocGateRoundTrip.
+//	internal/obs:       nil-origin trace emits (zero-cost when disabled;
+//	                    preserved by construction — nil-receiver methods
+//	                    return before building anything).
+//
+// A future rule would mark these functions (e.g. `xlinkvet:hotalloc`) and
+// flag any allocation the escape analysis cannot prove away.
+package hotalloc

@@ -122,7 +122,14 @@ func ParseFrame(b []byte) (Frame, int, error) {
 
 // ParseAll decodes every frame in a packet payload.
 func ParseAll(b []byte) ([]Frame, error) {
-	var frames []Frame
+	return AppendFrames(nil, b)
+}
+
+// AppendFrames decodes every frame in a packet payload, appending to frames
+// (pass a reused slice truncated to [:0] to avoid the per-packet slice
+// allocation; the parsed frame values themselves are still allocated). On
+// error the appended prefix is discarded and nil is returned.
+func AppendFrames(frames []Frame, b []byte) ([]Frame, error) {
 	for len(b) > 0 {
 		f, n, err := ParseFrame(b)
 		if err != nil {

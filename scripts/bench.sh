@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and record a labeled snapshot into BENCH_5.json.
+#
+# Usage:
+#   scripts/bench.sh [label]          # default label: after
+#   BENCHTIME=2s scripts/bench.sh before
+#
+# The raw `go test -bench` output is kept in bench-<label>.txt (gitignored);
+# the parsed snapshot is merged into BENCH_5.json by xlink-benchdiff.
+set -eu
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-after}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_5.json}"
+RAW="bench-${LABEL}.txt"
+
+# The micro + integration benchmark packages, cheapest first. The root
+# package holds the paper-figure benchmarks (full experiment runs) and is
+# driven with -benchtime=1x regardless of BENCHTIME: one run per figure is
+# the meaningful unit, and KeyMetrics are deterministic per seed.
+MICRO_PKGS="./internal/wire ./internal/crypto ./internal/rangeset ./internal/sim ./internal/transport ./internal/chaos"
+
+echo "== bench: micro packages (benchtime=${BENCHTIME}) =="
+go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME}" ${MICRO_PKGS} | tee "${RAW}"
+
+echo "== bench: paper-figure benchmarks (benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkFig1_VanillaMPDynamics$|BenchmarkFig11_Table3_XlinkABTest$' \
+	-benchmem -benchtime 1x . | tee -a "${RAW}"
+
+echo "== record snapshot '${LABEL}' into ${OUT} =="
+go run ./cmd/xlink-benchdiff -record -label "${LABEL}" -in "${RAW}" -out "${OUT}"
