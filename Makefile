@@ -10,8 +10,9 @@ build:
 	$(GO) build ./...
 
 # Everything static in one shot: standard go vet, the xlinkvet fixture
-# self-test, and the full-tree xlinkvet sweep (all eight rules, including
-# the interprocedural lockheld/guardedby/taintsize families).
+# self-test, and the full-tree xlinkvet sweep (all ten rules, including
+# the interprocedural lockheld/guardedby/taintsize families and the
+# escape-analysis hotalloc/loan buffer-ownership rules).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/xlinkvet -selftest
@@ -19,7 +20,8 @@ vet:
 
 # Repo-specific static analysis: determinism, wire error handling,
 # panic-free parse paths, ordered map iteration, lock discipline,
-# guarded-by field access, and wire-length taint. See DESIGN.md §10.
+# guarded-by field access, wire-length taint, hot-path allocation
+# freedom, and loaned-buffer retention. See DESIGN.md §10 and §12.
 xlinkvet:
 	$(GO) run ./cmd/xlinkvet ./...
 
@@ -69,9 +71,10 @@ bench:
 	./scripts/bench.sh $(LABEL)
 
 # Compare the committed before/after snapshots; fails on >10% ns/op
-# regression on any benchmark present in both.
+# regression — or any allocs/op regression at all — on any benchmark
+# present in both.
 benchdiff:
-	$(GO) run ./cmd/xlink-benchdiff -file BENCH_5.json -old before -new after
+	$(GO) run ./cmd/xlink-benchdiff -file BENCH_5.json -old before -new after -max-alloc-regress 0
 
 check:
 	./scripts/check.sh

@@ -15,14 +15,32 @@
 //	                               verify every rule fires where expected
 //	                               (exit 1 if the analyzer lost a rule)
 //
-// Suppress a finding with `//xlinkvet:ignore <rule>[,<rule>] why` on the
-// same or preceding line.
+// Annotation grammar (comment directives read by the analyzer):
+//
+//	// xlinkvet:hot
+//	    on a function declaration: the function — and everything statically
+//	    reachable from it — must be allocation-free in the steady state
+//	    (rule hotalloc).
+//	// xlinkvet:loan <param>... | return
+//	    on a function declaration or an interface method: the named slice
+//	    parameters (or all loanable return values, with `return`) are
+//	    borrowed buffers valid only for the duration of the call and must
+//	    not be retained (rule loan). Annotating an interface method applies
+//	    the contract to every module-internal implementation.
+//	//xlinkvet:cold <why>
+//	    on (or directly above) an if statement: the guarded branch is a
+//	    documented slow path; hotalloc prunes allocations inside it, as it
+//	    does for branches guarded by assert.Enabled.
+//	//xlinkvet:ignore <rule>[,<rule>] <why>
+//	    on the same or preceding line: suppress the listed rules' findings
+//	    (empty list = all rules) with a free-form justification.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -112,18 +130,24 @@ type jsonFinding struct {
 	Msg  string `json:"msg"`
 }
 
+// writeJSON emits findings as an indented JSON array. vet.Run's sort order
+// makes the emission deterministic, which the golden-output test pins.
+func writeJSON(w io.Writer, findings []vet.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Rule: f.Rule, Msg: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func report(findings []vet.Finding, jsonOut bool) int {
 	if jsonOut {
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{
-				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
-				Rule: f.Rule, Msg: f.Msg,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := writeJSON(os.Stdout, findings); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -155,6 +179,8 @@ func runSelftest(loader *vet.Loader, verbose bool) int {
 		{"lockheld", "lockheld", 7},
 		{"guardedby", "guardedby", 4},
 		{"taintsize", "taintsize", 3},
+		{"hotalloc", "hotalloc", 8},
+		{"loan", "loan", 7},
 	}
 	failed := false
 	for _, tc := range cases {

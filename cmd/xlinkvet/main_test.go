@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden -json files")
+
+// TestJSONGolden pins the -json output for the escape-analysis rules byte
+// for byte: finding order (vet.Run sorts by file, line, rule, column),
+// field names, and message wording are all part of the machine-readable
+// contract other tooling parses. Absolute fixture paths are relativized to
+// the module root so the golden files are machine-independent.
+func TestJSONGolden(t *testing.T) {
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixture := range []string{"hotalloc", "loan"} {
+		t.Run(fixture, func(t *testing.T) {
+			dir := filepath.Join(loader.ModDir, "internal", "vet", "testdata", "fixtures", fixture)
+			asPath := "fixture/" + fixture
+			pkg, err := loader.LoadDirAs(dir, asPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := vet.Run(vet.FixtureConfig(loader.ModPath, asPath), []*vet.Package{pkg})
+			var buf bytes.Buffer
+			if err := writeJSON(&buf, findings); err != nil {
+				t.Fatal(err)
+			}
+			got := strings.ReplaceAll(buf.String(), loader.ModDir, "")
+
+			golden := filepath.Join("testdata", "golden", fixture+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("-json output drifted from %s (run with -update to regenerate)\ngot:\n%s\nwant:\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ type RTTEstimator struct {
 
 // NewRTTEstimator returns an estimator with RFC defaults.
 func NewRTTEstimator() *RTTEstimator {
+	//xlinkvet:ignore hotalloc — constructor: one estimator per path lifetime
 	return &RTTEstimator{}
 }
 

@@ -9,6 +9,8 @@ import "time"
 
 // PacketSent records a datagram leaving on a path. kind distinguishes
 // "initial", "1rtt", "ack", "probe", "ctrl" and "close" packets.
+//
+// xlinkvet:hot
 func (o *Origin) PacketSent(now time.Duration, pathID, pn uint64, size int, kind string) {
 	if o == nil {
 		return
@@ -24,6 +26,8 @@ func (o *Origin) PacketSent(now time.Duration, pathID, pn uint64, size int, kind
 // PacketReceived records a datagram arriving on a network interface. It is
 // emitted exactly where ConnStats.RecvPackets is incremented, so
 // trace-derived receive counts reconcile with the counter.
+//
+// xlinkvet:hot
 func (o *Origin) PacketReceived(now time.Duration, netIdx, size int) {
 	if o == nil {
 		return
@@ -35,6 +39,8 @@ func (o *Origin) PacketReceived(now time.Duration, netIdx, size int) {
 }
 
 // PacketAcked records one packet newly acknowledged by the peer.
+//
+// xlinkvet:hot
 func (o *Origin) PacketAcked(now time.Duration, pathID, pn uint64) {
 	if o == nil {
 		return
@@ -47,6 +53,8 @@ func (o *Origin) PacketAcked(now time.Duration, pathID, pn uint64) {
 
 // PacketLost records one packet declared lost. trigger attributes the loss
 // declaration ("reordering", "time", "pto", "evacuated").
+//
+// xlinkvet:hot
 func (o *Origin) PacketLost(now time.Duration, pathID, pn uint64, size int, trigger string) {
 	if o == nil {
 		return
@@ -60,6 +68,8 @@ func (o *Origin) PacketLost(now time.Duration, pathID, pn uint64, size int, trig
 }
 
 // MetricsUpdated records a congestion-controller state change on a path.
+//
+// xlinkvet:hot
 func (o *Origin) MetricsUpdated(now time.Duration, pathID uint64, cwnd, inFlight int, slowStart bool, srtt time.Duration) {
 	if o == nil {
 		return

@@ -81,12 +81,15 @@ type Trace struct {
 	reg     *Registry
 	events  uint64 // xlinkvet:guardedby confined
 	scratch []byte // xlinkvet:guardedby confined (number-formatting scratch, reused across events)
+	// evCounters caches the per-name emit counter so the steady-state emit
+	// path neither concatenates the metric name nor walks the registry map.
+	evCounters map[EventName]*Counter // xlinkvet:guardedby confined
 }
 
 // NewTrace creates an empty trace. title labels the stream in its header
 // line (typically the scenario name).
 func NewTrace(title string) *Trace {
-	t := &Trace{title: title, reg: NewRegistry()}
+	t := &Trace{title: title, reg: NewRegistry(), evCounters: make(map[EventName]*Counter)}
 	t.buf.WriteString(`{"format":"` + formatHeader + `","title":`)
 	t.str(title)
 	t.buf.WriteString("}\n")
@@ -126,6 +129,8 @@ type KV struct{ K, V string }
 // Emit writes an event with free-form string fields. name must be a
 // registered EventName constant (enforced by xlinkvet's obsevent rule);
 // typed events should use the dedicated methods instead.
+//
+// xlinkvet:hot
 func (o *Origin) Emit(now time.Duration, name EventName, kv ...KV) {
 	if o == nil {
 		return
@@ -140,6 +145,8 @@ func (o *Origin) Emit(now time.Duration, name EventName, kv ...KV) {
 // --- low-level NDJSON plumbing (deterministic field order, no maps) ---
 
 // begin opens one event line: fixed header fields, then the data object.
+//
+// xlinkvet:hot
 func (o *Origin) begin(now time.Duration, name EventName) {
 	t := o.t
 	t.buf.WriteString(`{"time":`)
@@ -149,10 +156,18 @@ func (o *Origin) begin(now time.Duration, name EventName) {
 	t.buf.WriteString(`,"name":`)
 	t.str(string(name))
 	t.buf.WriteString(`,"data":{`)
-	t.reg.Counter(`trace_events_total{name="` + string(name) + `"}`).Inc()
+	c := t.evCounters[name]
+	//xlinkvet:cold — first emit of each name builds and caches its counter; steady state is the map hit
+	if c == nil {
+		c = t.reg.Counter(`trace_events_total{name="` + string(name) + `"}`)
+		t.evCounters[name] = c
+	}
+	c.Inc()
 }
 
 // end closes the event line.
+//
+// xlinkvet:hot
 func (o *Origin) end() {
 	o.t.buf.WriteString("}}\n")
 	o.t.events++
@@ -160,6 +175,8 @@ func (o *Origin) end() {
 
 // sep writes the comma between data fields (the data object tracks its own
 // position: first field follows '{', later fields follow a value).
+//
+// xlinkvet:hot
 func (o *Origin) sep() {
 	if b := o.t.buf.Bytes(); len(b) > 0 && b[len(b)-1] != '{' {
 		o.t.buf.WriteByte(',')
@@ -167,6 +184,8 @@ func (o *Origin) sep() {
 }
 
 // u64 writes an unsigned integer field.
+//
+// xlinkvet:hot
 func (o *Origin) u64(key string, v uint64) {
 	o.sep()
 	o.t.str(key)
@@ -176,6 +195,8 @@ func (o *Origin) u64(key string, v uint64) {
 }
 
 // i writes a signed integer field.
+//
+// xlinkvet:hot
 func (o *Origin) i(key string, v int64) {
 	o.sep()
 	o.t.str(key)
@@ -184,9 +205,13 @@ func (o *Origin) i(key string, v int64) {
 }
 
 // d writes a duration field in nanoseconds.
+//
+// xlinkvet:hot
 func (o *Origin) d(key string, v time.Duration) { o.i(key, int64(v)) }
 
 // s writes a string field.
+//
+// xlinkvet:hot
 func (o *Origin) s(key, v string) {
 	o.sep()
 	o.t.str(key)
@@ -195,6 +220,8 @@ func (o *Origin) s(key, v string) {
 }
 
 // b writes a boolean field.
+//
+// xlinkvet:hot
 func (o *Origin) b(key string, v bool) {
 	o.sep()
 	o.t.str(key)
@@ -206,6 +233,8 @@ func (o *Origin) b(key string, v bool) {
 }
 
 // num appends a signed integer to the stream via the scratch buffer.
+//
+// xlinkvet:hot
 func (t *Trace) num(v int64) {
 	t.scratch = strconv.AppendInt(t.scratch[:0], v, 10)
 	t.buf.Write(t.scratch)
@@ -214,6 +243,8 @@ func (t *Trace) num(v int64) {
 // str appends a JSON string. Event payloads are internal identifiers and
 // short reasons; the escape loop handles quotes, backslashes and control
 // bytes so arbitrary reasons still produce valid JSON.
+//
+// xlinkvet:hot
 func (t *Trace) str(s string) {
 	t.buf.WriteByte('"')
 	for i := 0; i < len(s); i++ {

@@ -1,12 +1,23 @@
 package rangeset
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/assert"
+)
 
 // TestAllocGateAddSubtract gates the in-place Add/Subtract rewrites
 // (scripts/check.sh runs every TestAllocGate*): once a set's backing array
 // has grown, sequential appends, gap fills and front subtractions must not
 // allocate.
 func TestAllocGateAddSubtract(t *testing.T) {
+	if assert.Enabled {
+		// checkWellFormed runs after every edit under xlinkdebug and its
+		// assert.That calls box their arguments per range — deliberate
+		// debug-mode work. The gate measures the release-mode floor;
+		// check.sh runs it untagged.
+		t.Skip("xlinkdebug: per-op well-formedness verification allocates by design")
+	}
 	var s Set
 	for i := uint64(0); i < 64; i += 2 {
 		s.Add(i*10, i*10+5) // pre-grow the backing array

@@ -97,6 +97,7 @@ type Stats struct {
 
 // NewSpace creates a Space reporting RTT samples to rtt.
 func NewSpace(rtt *cc.RTTEstimator) *Space {
+	//xlinkvet:ignore hotalloc — constructor: one recovery space per path lifetime
 	return &Space{rtt: rtt, byPN: make(map[uint64]*SentPacket), largestAcked: -1}
 }
 
@@ -117,6 +118,8 @@ func (s *Space) PeekPN() uint64 { return s.nextPN }
 func (s *Space) LargestAcked() int64 { return s.largestAcked }
 
 // OnPacketSent records a transmitted packet. PN must come from NextPN.
+//
+// xlinkvet:hot
 func (s *Space) OnPacketSent(sp *SentPacket) {
 	if len(s.sent) > 0 {
 		assert.MonotonicU64(s.sent[len(s.sent)-1].PN, sp.PN, "per-path packet number")
@@ -142,6 +145,8 @@ func (s *Space) InFlight() []*SentPacket {
 // EachInFlight visits the ack-eliciting packets not yet acked or lost,
 // ascending by PN, without allocating. The visitor must not mutate the
 // Space; returning false stops the walk.
+//
+// xlinkvet:hot
 func (s *Space) EachInFlight(fn func(*SentPacket) bool) {
 	for _, sp := range s.sent {
 		if !sp.acked && !sp.declaredLost && sp.AckEliciting {
@@ -189,6 +194,10 @@ func (s *Space) lossDelay() time.Duration {
 // OnAck processes an ACK/ACK_MP covering ranges, received at now with the
 // peer's reported ackDelay. It returns newly acked and newly lost packets
 // and resets the PTO backoff if progress was made.
+//
+// xlinkvet:hot
+// xlinkvet:loan ranges
+// xlinkvet:loan return
 func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.Duration) AckResult {
 	var res AckResult
 	if len(ranges) == 0 {
@@ -220,6 +229,7 @@ func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.D
 		res.Acked = nil
 		return res
 	}
+	//xlinkvet:ignore hotalloc — sort comparator closure: non-escaping (stack-allocated by the compiler), inside the 22-alloc round-trip budget
 	slices.SortFunc(res.Acked, func(a, b *SentPacket) int {
 		switch {
 		case a.PN < b.PN:
@@ -243,6 +253,9 @@ func (s *Space) OnAck(ranges []wire.AckRange, ackDelay time.Duration, now time.D
 
 // detectLost applies packet- and time-threshold loss detection. The
 // returned slice aliases the Space's scratch buffer (see AckResult).
+//
+// xlinkvet:hot
+// xlinkvet:loan return
 func (s *Space) detectLost(now time.Duration) []*SentPacket {
 	if s.largestAcked < 0 {
 		return nil
@@ -280,6 +293,9 @@ func (s *Space) detectLost(now time.Duration) []*SentPacket {
 
 // OnLossTimeout runs time-threshold loss detection when the loss timer
 // fires; it returns newly lost packets.
+//
+// xlinkvet:hot
+// xlinkvet:loan return
 func (s *Space) OnLossTimeout(now time.Duration) []*SentPacket {
 	lost := s.detectLost(now)
 	s.gc()
@@ -326,6 +342,9 @@ func (s *Space) PTODeadline() time.Duration {
 // OnPTO handles a probe timeout at now: it backs off and returns up to two
 // of the oldest unacked packets whose frames should be probed
 // (retransmitted). The packets are not declared lost.
+//
+// xlinkvet:hot
+// xlinkvet:loan return
 func (s *Space) OnPTO(now time.Duration) []*SentPacket {
 	s.ptoCount++
 	s.stats.PTOs++
@@ -350,6 +369,9 @@ func (s *Space) OnPTO(now time.Duration) []*SentPacket {
 // DeclareAllLost marks every outstanding ack-eliciting packet as lost and
 // returns them. It is used when a path is abandoned or demoted so its
 // stranded data can be rescheduled onto surviving paths.
+//
+// xlinkvet:hot
+// xlinkvet:loan return
 func (s *Space) DeclareAllLost(now time.Duration) []*SentPacket {
 	lost := s.lostScratch[:0]
 	for _, sp := range s.sent {
@@ -375,6 +397,8 @@ func (s *Space) PTOCount() int { return s.ptoCount }
 
 // gc trims fully resolved packets from the front of the send history,
 // shifting the retained tail down in place.
+//
+// xlinkvet:hot
 func (s *Space) gc() {
 	i := 0
 	for i < len(s.sent) && (s.sent[i].acked || s.sent[i].declaredLost) {

@@ -38,6 +38,8 @@ func (t Timer) live() bool {
 
 // Stop cancels the timer. It is a no-op if the event already fired or was
 // already stopped. It reports whether the event was still pending.
+//
+// xlinkvet:hot
 func (t Timer) Stop() bool {
 	if !t.live() {
 		return false
@@ -135,6 +137,8 @@ func (l *Loop) Compactions() uint64 { return l.compactions }
 
 // At schedules fn to run at the absolute virtual time at. Events scheduled
 // in the past run at the current time, never rewinding the clock.
+//
+// xlinkvet:hot
 func (l *Loop) At(at time.Duration, fn Event) Timer {
 	if at < l.now {
 		at = l.now
@@ -145,6 +149,7 @@ func (l *Loop) At(at time.Duration, fn Event) Timer {
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
 	} else {
+		//xlinkvet:ignore hotalloc — free-list refill: amortized by recycle(), measured by TestAllocGateScheduleFire
 		ev = &scheduledEvent{}
 	}
 	ev.at, ev.seq, ev.fn, ev.dead = at, l.seq, fn, false
@@ -154,12 +159,16 @@ func (l *Loop) At(at time.Duration, fn Event) Timer {
 }
 
 // After schedules fn to run d from now.
+//
+// xlinkvet:hot
 func (l *Loop) After(d time.Duration, fn Event) Timer {
 	return l.At(l.now+d, fn)
 }
 
 // recycle returns a popped or swept node to the free pool, invalidating any
 // outstanding Timer handles and releasing the event closure.
+//
+// xlinkvet:hot
 func (l *Loop) recycle(ev *scheduledEvent) {
 	ev.gen++
 	ev.fn = nil
@@ -171,6 +180,8 @@ func (l *Loop) recycle(ev *scheduledEvent) {
 // maybeCompact sweeps stopped events out of the heap once they outnumber
 // the live ones. Heap layout does not affect pop order — Less is a total
 // order on (at, seq) — so sweeping preserves event-loop determinism.
+//
+// xlinkvet:hot
 func (l *Loop) maybeCompact() {
 	if l.dead <= compactMinDead || l.dead*2 <= len(l.events) {
 		return
@@ -198,6 +209,8 @@ func (l *Loop) maybeCompact() {
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
+//
+// xlinkvet:hot
 func (l *Loop) Step() bool {
 	for len(l.events) > 0 {
 		ev := heap.Pop(&l.events).(*scheduledEvent)

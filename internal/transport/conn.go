@@ -461,10 +461,14 @@ func (c *Conn) deriveSessionKeys(clientRandom, serverRandom []byte) error {
 
 // HandleDatagram ingests a received UDP payload that arrived on local
 // interface netIdx.
+//
+// xlinkvet:hot
+// xlinkvet:loan data
 func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 	if c.state == stateClosed || len(data) == 0 {
 		return
 	}
+	//xlinkvet:cold — draining: terminal state, not the steady-state receive path
 	if c.state == stateDraining {
 		// RFC 9000 §10.2.2: in draining we send nothing, but keep absorbing
 		// the peer's stragglers until the drain deadline.
@@ -473,6 +477,7 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 		c.tr.PacketReceived(now, netIdx, len(data))
 		return
 	}
+	//xlinkvet:cold — closing: terminal state, not the steady-state receive path
 	if c.state == stateClosing {
 		// §10.2.1: answer stray packets with the retained CONNECTION_CLOSE,
 		// exponentially rate-limited (every 1st, 2nd, 4th, 8th... packet) so
@@ -489,6 +494,7 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 	c.stats.RecvPackets++
 	c.stats.RecvBytes += uint64(len(data))
 	c.tr.PacketReceived(now, netIdx, len(data))
+	//xlinkvet:cold — long-header packets are handshake-only, never steady state
 	if wire.IsLongHeader(data[0]) {
 		c.handleInitialDatagram(now, netIdx, data)
 	} else {
@@ -660,7 +666,8 @@ func (c *Conn) maybeInitSecondaryPaths(now time.Duration) {
 		if now < ready {
 			if !c.secondaryTimerArmed {
 				c.secondaryTimerArmed = true
-				c.env.Schedule(ready, func(at time.Duration) {
+				//xlinkvet:ignore hotalloc — secondary-path timer armed at most once per connection
+			c.env.Schedule(ready, func(at time.Duration) {
 					c.maybeInitSecondaryPaths(at)
 					c.maybeSend(at)
 					c.rearmTimer()
@@ -707,6 +714,7 @@ func (c *Conn) startPathValidation(now time.Duration, p *Path) {
 	}
 	p.challengeSent = true
 	c.tr.PathStateChanged(now, p.ID, p.State.String(), "challenge-sent")
+	//xlinkvet:ignore hotalloc — PATH_CHALLENGE is queued (outlives the call); validation runs once per path
 	ch := &wire.PathChallengeFrame{Data: p.pendingChallenge}
 	c.queueCtrl(ch, int64(p.ID), true)
 	c.wakeSend()
@@ -719,6 +727,8 @@ func (c *Conn) queueCtrl(f wire.Frame, pathID int64, reliable bool) {
 }
 
 // handleShortPacket processes a 1-RTT packet.
+//
+// xlinkvet:loan data
 func (c *Conn) handleShortPacket(now time.Duration, netIdx int, data []byte) {
 	if c.rxSealer == nil {
 		return // keys not ready
@@ -843,6 +853,7 @@ func (c *Conn) handleFrame(now time.Duration, p *Path, f wire.Frame) {
 		// CID rotation is out of scope; accept silently.
 	case *wire.PathChallengeFrame:
 		// Respond on the same path, as required for validation.
+		//xlinkvet:ignore hotalloc — PATH_RESPONSE is queued (outlives the call); challenges arrive once per validation
 		c.queueCtrl(&wire.PathResponseFrame{Data: fr.Data}, int64(p.ID), false)
 		if !p.validatedPeer && !p.challengeSent {
 			// Validate the reverse direction too.
@@ -917,6 +928,7 @@ func (c *Conn) unsuspectPath(now time.Duration, p *Path) {
 		p.advertisedStandby = false
 		p.lastStatusSeq++
 		c.tr.PathStateChanged(now, p.ID, p.State.String(), "recovered")
+		//xlinkvet:ignore hotalloc — PATH_STATUS is queued (outlives the call); path recovery is rare
 		c.queueCtrl(&wire.PathStatusFrame{
 			PathID: p.ID, StatusSeq: p.lastStatusSeq, Status: wire.PathAvailable,
 		}, -1, false)
@@ -954,6 +966,7 @@ func (c *Conn) handleStreamFrame(now time.Duration, fr *wire.StreamFrame) {
 	rs := c.recvStreams[fr.StreamID]
 	isNew := rs == nil
 	if isNew {
+		//xlinkvet:ignore hotalloc — one RecvStream per stream lifetime, retained in recvStreams
 		rs = &RecvStream{
 			id:          fr.StreamID,
 			conn:        c,
@@ -976,10 +989,12 @@ func (c *Conn) handleStreamFrame(now time.Duration, fr *wire.StreamFrame) {
 	}
 	// Flow control updates.
 	if rs.needsMaxDataUpdate() {
+		//xlinkvet:ignore hotalloc — flow-control frame is queued (outlives the call); amortized to one per half-window delivered
 		c.queueCtrl(&wire.MaxStreamDataFrame{StreamID: rs.id, MaxStreamData: rs.nextMaxData()}, -1, true)
 	}
 	if c.connDelivered > c.localMaxData-min64(c.localMaxData, c.cfg.Params.InitialMaxData/2) {
 		c.localMaxData = c.connDelivered + c.cfg.Params.InitialMaxData
+		//xlinkvet:ignore hotalloc — flow-control frame is queued (outlives the call); amortized to one per half-window delivered
 		c.queueCtrl(&wire.MaxDataFrame{MaxData: c.localMaxData}, -1, true)
 	}
 }

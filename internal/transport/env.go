@@ -49,6 +49,7 @@ func (e SimEnv) Schedule(at time.Duration, fn func(now time.Duration)) func() {
 // Implementations that queue, delay or record the datagram must copy it;
 // netem's Link.Send and the UDP socket write both do.
 type DatagramSender interface {
+	// xlinkvet:loan data
 	SendDatagram(netIdx int, data []byte)
 }
 

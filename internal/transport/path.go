@@ -107,6 +107,7 @@ type Path struct {
 
 func newPath(id uint64, netIdx int, tech trace.Technology, alg cc.Algorithm) *Path {
 	rtt := cc.NewRTTEstimator()
+	//xlinkvet:ignore hotalloc — constructor: one Path per path lifetime
 	return &Path{
 		ID:            id,
 		NetIdx:        netIdx,
@@ -153,6 +154,9 @@ func (p *Path) recordRecv(pn uint64, now time.Duration, ackEliciting bool) (dup 
 // buildAckRanges converts received PNs into wire ACK ranges (descending),
 // capped at maxRanges. The returned slice aliases the path's scratch and is
 // valid until the next call for this path.
+//
+// xlinkvet:hot
+// xlinkvet:loan return
 func (p *Path) buildAckRanges(maxRanges int) []wire.AckRange {
 	rs := p.recvPNs.All()
 	if len(rs) == 0 {

@@ -57,6 +57,7 @@ func (r *RecvStream) onFrame(offset uint64, data []byte, fin bool) ([]byte, bool
 		r.TotalBytes += uint64(len(data))
 		end := offset + uint64(len(data))
 		if end > uint64(len(r.buf)) {
+			//xlinkvet:cold — amortized doubling: O(log n) growths over a stream's life
 			if end > uint64(cap(r.buf)) {
 				// Amortized growth: doubling keeps reassembly linear in
 				// the stream size instead of O(n²) copying.

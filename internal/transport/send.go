@@ -30,6 +30,8 @@ func (c *Conn) wakeSend() {
 
 // maybeSend drains acknowledgements and data while congestion windows and
 // data allow.
+//
+// xlinkvet:hot
 func (c *Conn) maybeSend(now time.Duration) {
 	if c.inSend || c.state != stateEstablished || c.txSealer == nil {
 		return
@@ -60,6 +62,8 @@ func (c *Conn) maybeSend(now time.Duration) {
 // congestion-blocked. Path management (PATH_STATUS, MAX_DATA, CID issuance)
 // must not deadlock behind a stalled window: these frames are tiny and, as
 // with PTO probes, may exceed the congestion window.
+//
+// xlinkvet:hot
 func (c *Conn) sendCtrlBypass(now time.Duration) {
 	if len(c.ctrlQ) == 0 || len(c.usableSendPaths()) > 0 {
 		return
@@ -81,6 +85,7 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 	}
 	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
 	frames := c.sendFrames[:0]
+	//xlinkvet:ignore hotalloc — per-packet metadata outlives the call (retained until ack/loss); inside the 22-alloc budget
 	meta := &packetMeta{}
 	eliciting := false
 	frames, eliciting = c.appendCtrl(p, frames, meta, &budget, eliciting)
@@ -92,6 +97,7 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 	c.sendBuf = pkt[:0]
 	if eliciting {
+		//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
 		p.Space.OnPacketSent(&recovery.SentPacket{
 			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
 			Meta: meta,
@@ -114,24 +120,15 @@ func (c *Conn) updatePathHealth(now time.Duration) {
 	if !c.multipath || len(c.pathOrder) < 2 || c.cfg.DisablePathHealth {
 		return
 	}
-	// A path's liveness signal is either receiving packets on it or
-	// getting acknowledgements for packets sent on it — acks for a path's
-	// space may legitimately arrive on another path (fastest-path ACK_MP).
-	progress := func(p *Path) time.Duration {
-		if p.lastAckAt > p.lastRecvAt {
-			return p.lastAckAt
-		}
-		return p.lastRecvAt
-	}
 	var newest time.Duration
 	for _, id := range c.pathOrder {
-		if t := progress(c.paths[id]); t > newest {
+		if t := pathProgress(c.paths[id]); t > newest {
 			newest = t
 		}
 	}
 	for _, id := range c.pathOrder {
 		p := c.paths[id]
-		prog := progress(p)
+		prog := pathProgress(p)
 		if p.State != PathActive || p.suspect || prog == 0 {
 			continue
 		}
@@ -145,6 +142,7 @@ func (c *Conn) updatePathHealth(now time.Duration) {
 		if newest > prog && now-prog > threshold {
 			p.suspect = true
 			c.tr.PathStateChanged(now, p.ID, p.State.String(), "recv-stale")
+			//xlinkvet:ignore hotalloc — one-off PING queued when a path turns suspect (outlives the call); suspicion is rare
 			c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
 		}
 	}
@@ -156,6 +154,8 @@ func (c *Conn) updatePathHealth(now time.Duration) {
 // pathsDirty is set (once per maybeSend pass); only the volatile CanSend
 // filter runs per call, into the sendablePaths scratch. The result is valid
 // until the next call.
+//
+// xlinkvet:hot
 func (c *Conn) usableSendPaths() []*Path {
 	if c.pathsDirty {
 		c.usableBase = c.usableBase[:0]
@@ -194,6 +194,8 @@ func (c *Conn) usableSendPaths() []*Path {
 
 // sendOnePacket builds and transmits at most one data packet. It returns
 // false when nothing further can be sent.
+//
+// xlinkvet:hot
 func (c *Conn) sendOnePacket(now time.Duration) bool {
 	// Control frames pinned to probing paths (PATH_CHALLENGE/RESPONSE)
 	// must be able to leave before validation completes.
@@ -211,6 +213,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 	budget := cc.MaxDatagramSize - c.shortHeaderOverhead()
 	frames := c.sendFrames[:0]
 	c.sfUsed = 0
+	//xlinkvet:ignore hotalloc — per-packet metadata outlives the call (retained until ack/loss); inside the 22-alloc budget
 	meta := &packetMeta{}
 	eliciting := false
 
@@ -237,6 +240,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		if ch.length > 0 && s != nil {
 			sf.Data = s.buf[ch.offset : ch.offset+ch.length]
 		}
+		//xlinkvet:ignore hotalloc — frames aliases the conn's sendFrames scratch (threaded through appendAcksFor/appendCtrl); capacity reserved at construction
 		frames = append(frames, sf)
 		meta.chunks = append(meta.chunks, ch)
 		budget -= sf.Len()
@@ -261,6 +265,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 	c.sendBuf = pkt[:0]
 	if eliciting {
+		//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
 		p.Space.OnPacketSent(&recovery.SentPacket{
 			PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
 			Meta: meta,
@@ -279,6 +284,8 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 
 // sendProbePacket sends pending path-pinned control frames for paths not
 // yet usable (validation traffic). Returns true if a packet was sent.
+//
+// xlinkvet:hot
 func (c *Conn) sendProbePacket(now time.Duration) bool {
 	for i, item := range c.ctrlQ {
 		if item.pathID < 0 {
@@ -290,6 +297,7 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		}
 		frames := append(c.sendFrames[:0], item.frame)
 		c.sendFrames = frames[:0]
+		//xlinkvet:ignore hotalloc — per-packet metadata outlives the call (retained until ack/loss); inside the 22-alloc budget
 		meta := &packetMeta{}
 		if item.reliable {
 			meta.ctrl = append(meta.ctrl, item.frame)
@@ -299,7 +307,8 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 		c.sendBuf = pkt[:0]
 		if wire.AckEliciting(item.frame) {
-			p.Space.OnPacketSent(&recovery.SentPacket{
+			//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
+		p.Space.OnPacketSent(&recovery.SentPacket{
 				PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
 				Meta: meta,
 			})
@@ -316,16 +325,22 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 }
 
 // appendCtrl moves queued control frames into the packet.
+//
+// xlinkvet:hot
 func (c *Conn) appendCtrl(p *Path, frames []wire.Frame, meta *packetMeta, budget *int, eliciting bool) ([]wire.Frame, bool) {
-	var remaining []ctrlItem
+	// Compact kept items in place (w trails the read index) so draining the
+	// queue never allocates a replacement slice.
+	w := 0
 	for _, item := range c.ctrlQ {
 		if item.pathID >= 0 && uint64(item.pathID) != p.ID {
-			remaining = append(remaining, item)
+			c.ctrlQ[w] = item
+			w++
 			continue
 		}
 		l := item.frame.Len()
 		if l > *budget {
-			remaining = append(remaining, item)
+			c.ctrlQ[w] = item
+			w++
 			continue
 		}
 		frames = append(frames, item.frame)
@@ -337,7 +352,10 @@ func (c *Conn) appendCtrl(p *Path, frames []wire.Frame, meta *packetMeta, budget
 			eliciting = true
 		}
 	}
-	c.ctrlQ = remaining
+	for i := w; i < len(c.ctrlQ); i++ {
+		c.ctrlQ[i] = ctrlItem{} // release frame references
+	}
+	c.ctrlQ = c.ctrlQ[:w]
 	return frames, eliciting
 }
 
@@ -345,7 +363,10 @@ func (c *Conn) appendCtrl(p *Path, frames []wire.Frame, meta *packetMeta, budget
 // scratch pool, growing it on first use. Every field of the returned frame
 // is overwritten by the caller; the frame is only referenced until the
 // packet holding it is serialized, so reuse across packets is safe.
+//
+// xlinkvet:hot
 func (c *Conn) nextStreamFrame() *wire.StreamFrame {
+	//xlinkvet:cold — pool growth: one frame per high-water mark, reused forever after
 	if c.sfUsed == len(c.sfScratch) {
 		c.sfScratch = append(c.sfScratch, &wire.StreamFrame{})
 	}
@@ -360,7 +381,10 @@ func (c *Conn) nextStreamFrame() *wire.StreamFrame {
 // hoisting a per-pullChunk sort out of the send loop. (priority, ID) is a
 // total order — IDs are unique — so the rebuild is deterministic despite
 // map iteration.
+//
+// xlinkvet:hot
 func (c *Conn) streamsInOrder() []*SendStream {
+	//xlinkvet:cold — rebuilt only when a stream is created or re-prioritized
 	if c.streamOrderDirty || len(c.streamOrder) != len(c.sendStreams) {
 		c.streamOrder = c.streamOrder[:0]
 		for _, s := range c.sendStreams {
@@ -560,6 +584,7 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 	}
 	for _, id := range c.pathOrder {
 		src := c.paths[id]
+		//xlinkvet:ignore hotalloc — non-escaping iterator closure (EachInFlight does not retain it); inside the 22-alloc budget
 		src.Space.EachInFlight(func(sp *recovery.SentPacket) bool {
 			meta, ok := sp.Meta.(*packetMeta)
 			if !ok || meta.reinjected {
@@ -594,6 +619,7 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 		})
 	}
 	// Keep the queue ordered by frame priority (stable for FIFO ties).
+	//xlinkvet:ignore hotalloc — sort comparator closure: non-escaping (stack-allocated by the compiler), inside the alloc budget
 	sort.SliceStable(s.reinjQ, func(i, j int) bool {
 		return s.reinjQ[i].framePrio < s.reinjQ[j].framePrio
 	})
@@ -638,6 +664,7 @@ func (c *Conn) takeReinjAt(now time.Duration, q *[]chunk, i int, s *SendStream, 
 	if ch.length == 0 && !ch.fin {
 		orig := (*q)[i]
 		c.tr.ReinjectCancel(now, s.id, orig.offset, int(orig.length), "acked")
+		//xlinkvet:ignore hotalloc — in-place removal: appending a sub-slice over its own backing array never grows
 		*q = append((*q)[:i], (*q)[i+1:]...)
 		return chunk{}, false
 	}
@@ -650,6 +677,7 @@ func (c *Conn) takeReinjAt(now time.Duration, q *[]chunk, i int, s *SendStream, 
 		ch.fin = false
 		(*q)[i] = rest
 	} else {
+		//xlinkvet:ignore hotalloc — in-place removal: appending a sub-slice over its own backing array never grows
 		*q = append((*q)[:i], (*q)[i+1:]...)
 	}
 	return ch, true
@@ -704,6 +732,8 @@ func (c *Conn) ackSendPath(on *Path) *Path {
 
 // buildAckFrame builds the ACK or ACK_MP frame for a path's receive state,
 // attaching QoE feedback when configured.
+//
+// xlinkvet:hot
 func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
 	ranges := p.buildAckRanges(32)
 	if len(ranges) == 0 {
@@ -728,10 +758,12 @@ func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
 	// The frame structs are per-path scratch, overwritten wholesale each
 	// build; the caller serializes them before the next build for this path.
 	if !c.multipath {
+		//xlinkvet:ignore loan — ranges and ackScratch are the same path's scratch, serialized before the next build
 		p.ackScratch = wire.AckFrame{Ranges: ranges, AckDelay: delay}
 		return &p.ackScratch
 	}
 	f := &p.ackMPScratch
+	//xlinkvet:ignore loan — ranges and ackMPScratch are the same path's scratch, serialized before the next build
 	*f = wire.AckMPFrame{PathID: p.ID, Ranges: ranges, AckDelay: delay}
 	if c.cfg.QoEProvider != nil {
 		interval := c.cfg.QoEFeedbackInterval
@@ -750,6 +782,8 @@ func (c *Conn) buildAckFrame(now time.Duration, p *Path) wire.Frame {
 
 // flushAcks emits pending acknowledgements as ack-only packets. If force is
 // true, timers are ignored (used on ack-delay expiry).
+//
+// xlinkvet:hot
 func (c *Conn) flushAcks(now time.Duration, force bool) {
 	if c.txSealer == nil {
 		return
@@ -791,6 +825,8 @@ func (c *Conn) flushAcks(now time.Duration, force bool) {
 
 // appendAcksFor piggybacks pending acks whose policy path is p onto a data
 // packet being built for p.
+//
+// xlinkvet:hot
 func (c *Conn) appendAcksFor(now time.Duration, p *Path, frames []wire.Frame, budget *int) []wire.Frame {
 	for _, id := range c.pathOrder {
 		rp := c.paths[id]
@@ -829,37 +865,32 @@ func (c *Conn) nextDeadline() time.Duration {
 		return c.drainDeadline
 	}
 	var deadline time.Duration
-	consider := func(d time.Duration) {
-		if d > 0 && (deadline == 0 || d < deadline) {
-			deadline = d
-		}
-	}
 	if c.cfg.IdleTimeout > 0 {
-		consider(c.lastRecvActivity + c.cfg.IdleTimeout)
+		deadline = earlierDeadline(deadline, c.lastRecvActivity + c.cfg.IdleTimeout)
 	}
 	if c.state == stateHandshake || !c.handshakeDone {
 		if c.initSpace.HasUnacked() {
-			consider(c.initSpace.PTODeadline())
+			deadline = earlierDeadline(deadline, c.initSpace.PTODeadline())
 		}
 	}
 	if c.state == stateEstablished {
 		for _, id := range c.pathOrder {
 			p := c.paths[id]
-			consider(p.Space.LossTime())
-			consider(p.Space.PTODeadline())
+			deadline = earlierDeadline(deadline, p.Space.LossTime())
+			deadline = earlierDeadline(deadline, p.Space.PTODeadline())
 			if p.ackQueued {
-				consider(p.largestRecvTime + c.cfg.MaxAckDelay)
+				deadline = earlierDeadline(deadline, p.largestRecvTime + c.cfg.MaxAckDelay)
 			}
 		}
 		if c.cfg.QoEStandaloneInterval > 0 && c.cfg.QoEProvider != nil && c.multipath {
-			consider(c.nextStandaloneQoE)
+			deadline = earlierDeadline(deadline, c.nextStandaloneQoE)
 		}
 		if c.cfg.KeepAliveInterval > 0 {
 			last := c.lastRecvActivity
 			if c.lastKeepAlive > last {
 				last = c.lastKeepAlive
 			}
-			consider(last + c.cfg.KeepAliveInterval)
+			deadline = earlierDeadline(deadline, last + c.cfg.KeepAliveInterval)
 		}
 	}
 	return deadline
@@ -884,6 +915,7 @@ func (c *Conn) maybeSendStandaloneQoE(now time.Duration) {
 		return
 	}
 	c.qoeSeq++
+	//xlinkvet:ignore hotalloc — QoE signal frame is queued (outlives the call); rate-limited to one per standalone interval
 	c.queueCtrl(&wire.QoEControlSignalsFrame{Sequence: c.qoeSeq, QoE: sig}, -1, false)
 }
 
@@ -1046,4 +1078,23 @@ func (c *Conn) onPathPTO(now time.Duration, p *Path) {
 	// losses so time/packet-threshold detection can declare them and free
 	// the congestion window (RFC 9002 §6.2.4-style tail loss recovery).
 	c.queueCtrl(&wire.PingFrame{}, int64(p.ID), false)
+}
+
+// pathProgress is a path's latest liveness signal: either receiving packets
+// on it or getting acknowledgements for packets sent on it — acks for a
+// path's space may legitimately arrive on another path (fastest-path ACK_MP).
+func pathProgress(p *Path) time.Duration {
+	if p.lastAckAt > p.lastRecvAt {
+		return p.lastAckAt
+	}
+	return p.lastRecvAt
+}
+
+// earlierDeadline folds candidate d into the running earliest deadline,
+// ignoring unset (zero) candidates.
+func earlierDeadline(deadline, d time.Duration) time.Duration {
+	if d > 0 && (deadline == 0 || d < deadline) {
+		return d
+	}
+	return deadline
 }

@@ -146,6 +146,7 @@ func (s *SendStream) Reset(code uint64) {
 	s.resetCode = code
 	s.rtx = rangeset.Set{}
 	s.reinjQ = nil
+	//xlinkvet:ignore hotalloc — RESET_STREAM is queued (outlives the call); a stream resets at most once
 	s.conn.queueCtrl(&wire.ResetStreamFrame{
 		StreamID:  s.id,
 		ErrorCode: code,

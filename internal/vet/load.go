@@ -31,6 +31,18 @@ type Package struct {
 	// ignores maps filename -> line -> rules suppressed on that line ("" =
 	// all rules). Every parsed file has an entry, possibly empty.
 	ignores map[string]map[int][]string
+	// colds maps filename -> lines carrying an `xlinkvet:cold` directive:
+	// an if statement on (or right below) such a line has a cold then-branch,
+	// pruned from the hotalloc reachability analysis like assert.Enabled
+	// guards.
+	colds map[string]map[int]bool
+}
+
+// coldLine reports whether pos sits on (or directly below) an
+// `//xlinkvet:cold` directive.
+func (p *Package) coldLine(pos token.Position) bool {
+	lines := p.colds[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
 }
 
 // ignored reports whether a finding of rule at pos is suppressed by an
@@ -362,6 +374,7 @@ func (l *Loader) parseDir(dir, path string) (*Package, error) {
 	pkg := &Package{
 		Path: path, Dir: dir, Fset: l.Fset,
 		ignores: map[string]map[int][]string{},
+		colds:   map[string]map[int]bool{},
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -379,6 +392,7 @@ func (l *Loader) parseDir(dir, path string) (*Package, error) {
 		}
 		pkg.Files = append(pkg.Files, file)
 		pkg.ignores[fpath] = collectIgnores(l.Fset, file)
+		pkg.colds[fpath] = collectColds(l.Fset, file)
 	}
 	if len(pkg.Files) == 0 {
 		return nil, errNoFiles{dir}
@@ -433,6 +447,22 @@ func buildableDefault(file *ast.File) bool {
 		}
 	}
 	return true
+}
+
+// collectColds extracts //xlinkvet:cold directive lines: an if statement
+// annotated this way has its then-branch treated as cold (not part of the
+// steady-state hot path) by the hotalloc rule.
+func collectColds(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "xlinkvet:cold" || strings.HasPrefix(text, "xlinkvet:cold ") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
 }
 
 // collectIgnores extracts //xlinkvet:ignore directives: line -> rule names

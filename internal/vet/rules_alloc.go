@@ -1,0 +1,94 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- rule: hotalloc ---
+//
+// A function annotated `// xlinkvet:hot` — and everything statically
+// reachable from it through module-internal calls — must be allocation-free
+// in the steady state: the escape/allocation pass in summary.go records
+// every make/new, escaping composite literal, append without a proven
+// capacity reservation, closure value, interface boxing, string
+// concatenation/conversion and fmt-family call, and this rule reports the
+// ones that sit on a hot path. Allocation sites behind an `assert.Enabled`
+// guard or an `//xlinkvet:cold` annotated branch are pruned (they do not
+// run in release builds / the steady state), and calls made on such
+// branches do not extend hot reachability. Intentional residual sites —
+// amortized scratch growth, objects that must outlive the call — carry a
+// justified `//xlinkvet:ignore hotalloc`.
+//
+// The rule is the static twin of the TestAllocGate* runtime gates
+// (DESIGN.md §11): the gates measure allocs/op on warmed paths, this rule
+// points at the exact site when one creeps back in — without running a
+// benchmark.
+
+// hotPath records how the hot-closure BFS first reached a function: the
+// annotated root and the call chain from it (last element = the function
+// itself).
+type hotPath struct {
+	root string
+	via  []string
+}
+
+func checkHotAlloc(eng *engine) []Finding {
+	// Breadth-first closure from the annotated roots over non-cold call
+	// sites. First reach wins, so every function gets one deterministic
+	// attribution (eng.sums and each summary's call list are in source
+	// order).
+	reached := map[*funcSummary]*hotPath{}
+	var queue []*funcSummary
+	for _, sum := range eng.sums {
+		if sum.hot {
+			reached[sum] = &hotPath{root: sum.name}
+			queue = append(queue, sum)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		hp := reached[s]
+		for _, cs := range s.calls {
+			if cs.cold {
+				continue
+			}
+			callee := eng.byFn[cs.callee]
+			if callee == nil || reached[callee] != nil {
+				continue
+			}
+			via := make([]string, 0, len(hp.via)+1)
+			via = append(append(via, hp.via...), cs.callee.Name())
+			reached[callee] = &hotPath{root: hp.root, via: via}
+			queue = append(queue, callee)
+		}
+	}
+
+	var out []Finding
+	for _, sum := range eng.sums {
+		hp := reached[sum]
+		if hp == nil {
+			continue
+		}
+		where := "hot function " + sum.name
+		if len(hp.via) > 0 {
+			where = sum.name + ", reachable from hot function " + hp.root
+			if len(hp.via) > 1 {
+				where += " via " + strings.Join(hp.via[:len(hp.via)-1], " → ")
+			}
+		}
+		for _, a := range sum.allocs {
+			if a.cold {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  sum.pkg.Fset.Position(a.pos),
+				Rule: "hotalloc",
+				Msg: fmt.Sprintf("%s in %s; hot paths must stay allocation-free (DESIGN.md §11) — reuse owned scratch, move it behind assert.Enabled, or justify with //xlinkvet:ignore hotalloc",
+					a.desc, where),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package fix is an xlinkvet self-test fixture for the hotalloc rule:
+// allocation sites reachable from `xlinkvet:hot` functions, cold-branch
+// pruning (assert.Enabled guards, xlinkvet:cold directives), the owned
+// append-capacity proof, and ignore suppression. 8 findings expected.
+package fix
+
+import (
+	"fmt"
+
+	"repro/internal/assert"
+)
+
+type entry struct{ seq, size int }
+
+type hub struct {
+	scratch []entry
+	names   []string
+	free    *entry
+}
+
+// Enqueue is a hot root allocating directly: a make and an escaping
+// composite literal. 2 findings.
+//
+// xlinkvet:hot
+func (h *hub) Enqueue(seq, size int) {
+	tmp := make([]entry, 4) // finding: hotalloc (make)
+	tmp[0] = entry{seq: seq, size: size}
+	h.free = &entry{seq: seq} // finding: hotalloc (&T{} escapes)
+	_ = tmp
+}
+
+// refill allocates; not hot itself, reached from Grow through the call
+// graph. 1 finding, attributed to the hot root.
+func (h *hub) refill() {
+	h.free = new(entry) // finding: hotalloc (new, reachable from Grow)
+}
+
+// Grow appends to a fresh local with no proven capacity reservation and
+// reaches refill's allocation transitively. 1 finding here.
+//
+// xlinkvet:hot
+func (h *hub) Grow(seq int) {
+	var pending []entry
+	pending = append(pending, entry{seq: seq}) // finding: hotalloc (append growth)
+	h.refill()
+	h.scratch = append(h.scratch[:0], pending...)
+}
+
+// recordings is the boxing sink; the box is charged to the caller.
+var recordings any
+
+func observe(v any) { recordings = v }
+
+// Describe is hot and hits four distinct allocation classes: a closure
+// value, interface boxing at a call site, string concatenation, and a
+// fmt-family call. 4 findings.
+//
+// xlinkvet:hot
+func (h *hub) Describe(name string) string {
+	probe := func() int { return len(h.scratch) }     // finding: hotalloc (closure value)
+	observe(entry{seq: probe()})                      // finding: hotalloc (interface boxing)
+	label := "hub:" + name                            // finding: hotalloc (string concat)
+	return fmt.Sprintf("%s/%d", label, len(h.names))  // finding: hotalloc (fmt call)
+}
+
+// DebugCheck is hot but its allocation sits inside an assert.Enabled
+// branch, which never runs in release builds: no findings.
+//
+// xlinkvet:hot
+func (h *hub) DebugCheck() string {
+	if assert.Enabled {
+		return fmt.Sprintf("%d entries", len(h.scratch))
+	}
+	return ""
+}
+
+// AuditAll is hot; the early-return guard proves the remainder cold, the
+// join keeps it so: no findings.
+//
+// xlinkvet:hot
+func (h *hub) AuditAll() []string {
+	if !assert.Enabled {
+		return nil
+	}
+	out := make([]string, 0, len(h.names))
+	return append(out, h.names...)
+}
+
+// ColdResize is hot; the directive marks the growth branch as a documented
+// slow path: no findings.
+//
+// xlinkvet:hot
+func (h *hub) ColdResize(n int) {
+	//xlinkvet:cold — amortized growth, exercised only on capacity bumps
+	if n > cap(h.scratch) {
+		h.scratch = make([]entry, len(h.scratch), n*2)
+	}
+}
+
+// Reserve is hot; appending through a local aliasing the receiver-owned
+// scratch is amortized reuse, not a per-call allocation: no findings.
+//
+// xlinkvet:hot
+func (h *hub) Reserve(es []entry) {
+	buf := h.scratch[:0]
+	for _, e := range es {
+		buf = append(buf, e)
+	}
+	h.scratch = buf
+}
+
+// Suppressed documents a deliberate steady-state allocation: no finding.
+//
+// xlinkvet:hot
+func (h *hub) Suppressed() {
+	//xlinkvet:ignore hotalloc — fixture: deliberate, documented allocation
+	h.free = new(entry)
+}
+
+// coldHelper allocates freely but is reachable only from non-hot code: no
+// findings.
+func coldHelper() []int { return make([]int, 8) }
+
+// NotHot has no hot annotation; its allocations (and coldHelper's) stay
+// unreported.
+func NotHot() []int {
+	extra := append(coldHelper(), 1)
+	return extra
+}

@@ -1,0 +1,113 @@
+// Package fix is an xlinkvet self-test fixture for the loan rule: retention
+// of `xlinkvet:loan` buffers past the call — field/global/map stores,
+// channel sends, aliases derived by re-slicing, goroutine captures, loaned
+// returns, and retention through an unannotated helper — plus the copy and
+// spread-append escape hatches. 7 findings expected.
+package fix
+
+type sink struct {
+	held   []byte
+	byName map[string][]byte
+	ch     chan []byte
+	owned  []byte
+}
+
+var lastFrame []byte
+
+// Deliver hands the sink a datagram buffer valid only for the duration of
+// the call; storing it retains caller scratch. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) Deliver(data []byte) {
+	k.held = data // finding: loan (field store)
+}
+
+// DeliverTail stores an alias derived by re-slicing the loan — same
+// backing array, same contract. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) DeliverTail(data []byte) {
+	payload := data[2:]
+	k.held = payload[:4] // finding: loan (alias through slicing)
+}
+
+// DeliverAsync captures the loan in a goroutine that outlives the call; by
+// the time it runs the buffer has been reused. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) DeliverAsync(data []byte) {
+	go func() {
+		lastFrame = data // finding: loan (goroutine capture)
+	}()
+}
+
+// stashArg is an unannotated helper that retains its argument; the
+// retention fact propagates into its call summary.
+func (k *sink) stashArg(b []byte) {
+	k.held = b
+}
+
+// DeliverVia hands the loan to the stashing helper — reported at the
+// annotated boundary, pointing at the helper's store. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) DeliverVia(data []byte) {
+	k.stashArg(data) // finding: loan (retained by callee)
+}
+
+// Borrow returns a view into the sink's scratch, valid until the next
+// call.
+//
+// xlinkvet:loan return
+func (k *sink) Borrow(n int) []byte {
+	return k.owned[:n]
+}
+
+// KeepBorrowed stores a loaned return value in a global. 1 finding.
+func KeepBorrowed(k *sink) {
+	view := k.Borrow(8)
+	lastFrame = view // finding: loan (loaned return into global)
+}
+
+// Index stores the loan into a map. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) Index(name string, data []byte) {
+	k.byName[name] = data // finding: loan (map store)
+}
+
+// Forward sends the loan on a channel. 1 finding.
+//
+// xlinkvet:loan data
+func (k *sink) Forward(data []byte) {
+	k.ch <- data // finding: loan (channel send)
+}
+
+// CopyOK retains only copies of the loaned bytes — the spread append and
+// copy escape hatches duplicate the data, not the header: no findings.
+//
+// xlinkvet:loan data
+func (k *sink) CopyOK(data []byte) {
+	k.owned = append(k.owned[:0], data...)
+	n := copy(k.owned, data)
+	_ = n
+}
+
+// ReadOK reads and aggregates without retaining anything: no findings.
+//
+// xlinkvet:loan data
+func (k *sink) ReadOK(data []byte) int {
+	total := 0
+	for _, b := range data {
+		total += int(b)
+	}
+	return total
+}
+
+// Suppressed documents a deliberate retention: no finding.
+//
+// xlinkvet:loan data
+func (k *sink) Suppressed(data []byte) {
+	//xlinkvet:ignore loan — fixture: deliberate, documented retention
+	k.held = data
+}

@@ -28,11 +28,23 @@
 //   - taintsize: a length decoded by internal/wire must pass a bounds
 //     comparison before it reaches an allocation or a slice bound, including
 //     through callee parameters.
+//   - hotalloc: a function annotated `xlinkvet:hot` — and everything
+//     statically reachable from it — must be allocation-free in the steady
+//     state; make/new, escaping composite literals, unproven append growth,
+//     closures, interface boxing, string concatenation and fmt calls are
+//     flagged with the hot path that reaches them. Sites behind
+//     `assert.Enabled` or an `xlinkvet:cold` branch are pruned.
+//   - loan: a parameter or return annotated `xlinkvet:loan` is a borrowed
+//     buffer valid only for the duration of the call; storing it (or an
+//     alias derived by slicing/field access) into a field, global, map,
+//     channel, goroutine or closure is flagged, including when the store
+//     happens inside a helper the loan was passed to.
 //
-// The last three rules run on the interprocedural summary engine in
-// summary.go: per-function summaries of lock transitions, blocking
-// operations, callback invocations, trace emits, guarded-field accesses and
-// static call sites, with module-wide closures over the call graph.
+// The lockheld, guardedby, hotalloc and loan rules run on the
+// interprocedural summary engine in summary.go: per-function summaries of
+// lock transitions, blocking operations, callback invocations, trace emits,
+// guarded-field accesses, allocation sites and static call sites, with
+// module-wide closures over the call graph.
 //
 // Findings can be suppressed per line with `//xlinkvet:ignore <rules>` on
 // the same or the preceding line, where <rules> is a comma-separated rule
@@ -172,6 +184,8 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 	eng := newEngine(cfg, active)
 	findings = append(findings, checkLockHeld(eng)...)
 	findings = append(findings, checkGuardedBy(eng)...)
+	findings = append(findings, checkHotAlloc(eng)...)
+	findings = append(findings, checkLoan(eng)...)
 	findings = append(findings, checkPanicPath(cfg, active)...)
 	findings = append(findings, checkTaintSize(cfg, active)...)
 

@@ -41,6 +41,8 @@ func TestFixturesFire(t *testing.T) {
 		{"lockheld", "lockheld", 7},
 		{"guardedby", "guardedby", 4},
 		{"taintsize", "taintsize", 3},
+		{"hotalloc", "hotalloc", 8},
+		{"loan", "loan", 7},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

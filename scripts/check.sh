@@ -1,10 +1,13 @@
 #!/bin/sh
 # Full verification gate for the XLINK reproduction: build, go vet, the
 # repo-specific xlinkvet analyzer (self-test first, then the real tree —
-# including the interprocedural lockheld/guardedby/taintsize rules, so a
-# new unjustified suppression or lock-discipline violation fails here),
-# the test suite in release and xlinkdebug-assertion modes, the race
-# detector, and a short fuzz smoke on every wire-format target.
+# including the interprocedural lockheld/guardedby/taintsize rules and the
+# escape-analysis hotalloc/loan buffer-ownership rules, so a new heap
+# allocation on a hot path or a retained loaned buffer fails here, before
+# any alloc-gate test runs), the test suite in release and
+# xlinkdebug-assertion modes, the race detector, an allocs/op regression
+# gate against the committed benchmark snapshot, and a short fuzz smoke on
+# every wire-format target.
 #
 # Run from the repository root: ./scripts/check.sh  (or `make check`).
 set -eu
@@ -38,6 +41,20 @@ step go test -count=1 -run 'TestAllocGate' ./internal/sim/ ./internal/crypto/ ./
 # Benchmark smoke: every benchmark must still run (one iteration — this
 # checks the harness, not performance; `make bench` measures for real).
 step go test -run '^$' -bench . -benchtime 1x ./internal/wire/ ./internal/crypto/ ./internal/rangeset/ ./internal/sim/ ./internal/transport/ ./internal/chaos/
+# Allocation regression gate (DESIGN.md §11/§12): re-measure the transport
+# round-trip and chaos benchmarks and compare allocs/op against the
+# committed BENCH_5.json "after" snapshot. ns/op is effectively ungated
+# here (machine speeds vary), but allocs/op is deterministic at a fixed
+# -benchtime, so the recorded allocation win stays pinned within a 15%
+# tolerance. The hotalloc rule above catches new allocation *sites*
+# statically; this catches count growth at existing justified sites.
+echo "==> alloc regression gate (benchdiff -max-alloc-regress)"
+BENCHTMP="$(mktemp)"
+trap 'rm -f "$BENCHTMP"' EXIT
+cp BENCH_5.json "$BENCHTMP"
+go test -run '^$' -bench 'BenchmarkRoundTrip$|BenchmarkScenario$' -benchtime 200x -benchmem ./internal/transport/ ./internal/chaos/ |
+	go run ./cmd/xlink-benchdiff -record -label ci -out "$BENCHTMP"
+step go run ./cmd/xlink-benchdiff -file "$BENCHTMP" -old after -new ci -max-regress 1000000 -max-alloc-regress 15
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFrame -fuzztime "$FUZZTIME"
