@@ -93,6 +93,7 @@ func summarize(w *os.File, title string, evs []obs.Event) {
 	eventTable(w, evs)
 	pathTimelines(w, evs)
 	decisionTable(w, evs)
+	fecTable(w, evs)
 	lossRebufferCorrelation(w, evs)
 }
 
@@ -219,6 +220,91 @@ func decisionTable(w *os.File, evs []obs.Event) {
 	} else {
 		fmt.Fprintf(w, "  %d decisions, %d enabled (%.1f%%); transitions shown above\n",
 			total, enables, 100*float64(enables)/float64(total))
+	}
+	fmt.Fprintln(w)
+}
+
+// fecTable summarizes the FEC recovery lane (DESIGN.md §13): how much
+// redundancy each origin paid, what the decoder got back for it
+// (recovered-by-FEC counts and bytes), where it gave up, and the
+// redundancy controller's protect rate.
+func fecTable(w *os.File, evs []obs.Event) {
+	fmt.Fprintln(w, "== fec recovery lane ==")
+	type tally struct {
+		windows, repairsSent, repairBytesSent int
+		repairsRecv, repairBytesRecv          int
+		recovered                             int
+		recoveredBytes                        uint64
+		giveUps                               map[string]int
+		decisions, protects, repairsPlanned   int
+	}
+	tallies := map[string]*tally{}
+	get := func(origin string) *tally {
+		tl := tallies[origin]
+		if tl == nil {
+			tl = &tally{giveUps: map[string]int{}}
+			tallies[origin] = tl
+		}
+		return tl
+	}
+	for _, e := range evs {
+		switch e.Name {
+		case obs.EvFECSymbolSent:
+			t := get(e.Origin)
+			if e.I64("index") < 0 {
+				t.windows++
+			} else {
+				t.repairsSent++
+				t.repairBytesSent += int(e.I64("bytes"))
+			}
+		case obs.EvFECSymbolReceived:
+			t := get(e.Origin)
+			t.repairsRecv++
+			t.repairBytesRecv += int(e.I64("bytes"))
+		case obs.EvFECRecovered:
+			t := get(e.Origin)
+			t.recovered++
+			t.recoveredBytes += e.U64("bytes")
+		case obs.EvFECGiveUp:
+			get(e.Origin).giveUps[e.Str("reason")]++
+		case obs.EvFECDecision:
+			t := get(e.Origin)
+			t.decisions++
+			if e.Bool("protect") {
+				t.protects++
+				t.repairsPlanned += int(e.I64("repairs"))
+			}
+		}
+	}
+	if len(tallies) == 0 {
+		fmt.Fprintln(w, "  (fec lane not negotiated)")
+		fmt.Fprintln(w)
+		return
+	}
+	origins := make([]string, 0, len(tallies))
+	for o := range tallies {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		tl := tallies[o]
+		fmt.Fprintf(w, "  %-8s windows=%d repairs_sent=%d (%d bytes) repairs_recv=%d (%d bytes)\n",
+			o, tl.windows, tl.repairsSent, tl.repairBytesSent, tl.repairsRecv, tl.repairBytesRecv)
+		fmt.Fprintf(w, "           recovered_by_fec=%d (%d bytes)\n", tl.recovered, tl.recoveredBytes)
+		if len(tl.giveUps) > 0 {
+			reasons := make([]string, 0, len(tl.giveUps))
+			for r := range tl.giveUps {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			for _, r := range reasons {
+				fmt.Fprintf(w, "           give_up[%s]=%d\n", r, tl.giveUps[r])
+			}
+		}
+		if tl.decisions > 0 {
+			fmt.Fprintf(w, "           controller: %d decisions, %d protected (%.1f%%), %d repairs planned\n",
+				tl.decisions, tl.protects, 100*float64(tl.protects)/float64(tl.decisions), tl.repairsPlanned)
+		}
 	}
 	fmt.Fprintln(w)
 }

@@ -92,6 +92,13 @@ type Result struct {
 	// and how many enabled re-injection — reconciled against the trace's
 	// qoe:reinjection_decision events.
 	QoEDecisions, QoEEnables uint64
+	// FECDecisions / FECProtects count the redundancy controller's verdicts
+	// and how many protected a window (0/0 when FEC was not negotiated).
+	FECDecisions, FECProtects uint64
+	// RebufferTime / RebufferCount are the player's stall totals at
+	// Deadline — the paper's QoE metric the recovery lanes compete on.
+	RebufferTime  time.Duration
+	RebufferCount int
 }
 
 // stallTick is the liveness sampling interval.
@@ -124,9 +131,15 @@ func Run(sc Scenario) Result {
 	scfg.ReinjectionMode = transport.ReinjectStreamPriority
 	scfg.ReinjectionGate = ctrl.Decide
 	scfg.OnQoE = ctrl.OnSignal
+	// The FEC lane shares the same Δt feed: the redundancy controller sizes
+	// repair symbols off it. The gate is only consulted once both endpoints
+	// negotiate EnableFEC, which scenarios opt into via Tweak.
+	rctrl := qoe.NewRedundancyController(ctrl, qoe.RedundancyConfig{})
+	scfg.FECGate = rctrl.PlanFEC
 	ccfg.Tracer = sc.Tracer.Origin("client")
 	scfg.Tracer = sc.Tracer.Origin("server")
 	ctrl.SetTracer(sc.Tracer.Origin("server"))
+	rctrl.SetTracer(sc.Tracer.Origin("server"))
 	if sc.Tweak != nil {
 		sc.Tweak(&ccfg, &scfg)
 	}
@@ -214,5 +227,9 @@ func Run(sc Scenario) Result {
 	res.AlivePaths = faults.AliveCount(pair.Network)
 	res.EventsAfter = int(loop.Run(quiesceBudget))
 	res.QoEDecisions, res.QoEEnables = ctrl.Stats()
+	res.FECDecisions, res.FECProtects = rctrl.Stats()
+	m := player.Metrics(sc.Deadline)
+	res.RebufferTime = m.RebufferTime
+	res.RebufferCount = m.RebufferCount
 	return res
 }

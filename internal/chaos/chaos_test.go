@@ -94,6 +94,48 @@ func corpus() []corpusCase {
 						r.EventsAfter)
 				}
 			}},
+		"ge-heavy-burst": {completes: true, stallBound: 5 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ServerStats.FECWindowsSent == 0 || r.ServerStats.FECRepairsSent == 0 {
+					t.Error("FEC scenario sent no repair symbols")
+				}
+				if r.ClientStats.FECRecoveredBytes == 0 {
+					t.Error("heavy bursts never triggered an FEC recovery")
+				}
+				if r.FECDecisions == 0 {
+					t.Error("redundancy controller never consulted")
+				}
+			}},
+		"ge-dual-reinject-only": {completes: true, stallBound: 8 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ServerStats.FECWindowsSent != 0 {
+					t.Error("baseline must not send FEC frames")
+				}
+				if r.FECDecisions != 0 {
+					t.Error("gate consulted without FEC negotiation")
+				}
+			}},
+		"ge-dual-fec-only": {completes: true, stallBound: 8 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ServerStats.ReinjectedBytesSent != 0 {
+					t.Error("re-injection disabled but bytes re-injected")
+				}
+				if r.ServerStats.FECWindowsSent == 0 {
+					t.Error("FEC-only scenario sent no windows")
+				}
+				if r.ClientStats.FECRecoveredBytes == 0 {
+					t.Error("FEC-only scenario never recovered a symbol")
+				}
+			}},
+		"ge-dual-both": {completes: true, stallBound: 8 * time.Second,
+			check: func(t *testing.T, r Result) {
+				if r.ServerStats.FECWindowsSent == 0 {
+					t.Error("both-lanes scenario sent no FEC windows")
+				}
+				if r.ClientStats.FECRecoveredBytes == 0 {
+					t.Error("both-lanes scenario never recovered a symbol")
+				}
+			}},
 	}
 	var cases []corpusCase
 	for _, sc := range Corpus() {
@@ -138,7 +180,7 @@ func TestChaosCorpus(t *testing.T) {
 func TestChaosDeterminism(t *testing.T) {
 	for _, tc := range corpus() {
 		switch tc.sc.Name {
-		case "burst-loss", "dup-reorder", "handshake-loss":
+		case "burst-loss", "dup-reorder", "handshake-loss", "ge-dual-both":
 			a, b := Run(tc.sc), Run(tc.sc)
 			if a != b {
 				t.Errorf("%s: same seed produced different results:\n  %+v\n  %+v",
@@ -159,6 +201,40 @@ func TestChaosSeedSensitivity(t *testing.T) {
 	if a == b {
 		t.Fatal("different seeds produced identical results; harness is not seeding")
 	}
+}
+
+// TestChaosFECBeatsReinjectionOnRebuffer is the recovery-lane acceptance
+// comparison (ISSUE 7): under correlated dual-path burst loss with tight
+// bandwidth headroom, racing FEC alongside re-injection must strictly beat
+// re-injection alone on the player's rebuffer totals — proactive repair
+// symbols land where every reactive copy is an RTT (or a second burst)
+// away. Same seed, same script, same topology; only the lanes differ.
+func TestChaosFECBeatsReinjectionOnRebuffer(t *testing.T) {
+	base, ok := ScenarioByName("ge-dual-reinject-only")
+	if !ok {
+		t.Fatal("ge-dual-reinject-only missing from corpus")
+	}
+	both, ok := ScenarioByName("ge-dual-both")
+	if !ok {
+		t.Fatal("ge-dual-both missing from corpus")
+	}
+	rb, rr := Run(base), Run(both)
+	if !rb.Completed || !rr.Completed {
+		t.Fatalf("transfers incomplete: reinject-only=%v both=%v", rb.Completed, rr.Completed)
+	}
+	if rr.ClientStats.FECRecoveredBytes == 0 {
+		t.Fatal("both-lanes run never exercised the FEC decoder")
+	}
+	if rb.RebufferTime == 0 {
+		t.Fatal("baseline never rebuffered; the comparison is vacuous — retune the scenario")
+	}
+	if rr.RebufferTime >= rb.RebufferTime {
+		t.Fatalf("FEC+re-injection rebuffered %v (%d stalls), re-injection-only %v (%d stalls); want strict improvement",
+			rr.RebufferTime, rr.RebufferCount, rb.RebufferTime, rb.RebufferCount)
+	}
+	t.Logf("rebuffer: reinject-only %v (%d stalls) -> both lanes %v (%d stalls); fec recovered %d bytes, suppressed %d rtx bytes",
+		rb.RebufferTime, rb.RebufferCount, rr.RebufferTime, rr.RebufferCount,
+		rr.ClientStats.FECRecoveredBytes, rr.ServerStats.FECSuppressedBytes)
 }
 
 // TestChaosBackendRemoval is the load-balancer failure scenario: a

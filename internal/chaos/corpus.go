@@ -4,14 +4,57 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/netem"
 	"repro/internal/transport"
 )
 
-// Corpus returns the chaos suite: nine scripted fault scenarios exercising
-// every fault class over the full video pipeline. The test suite asserts
-// invariants over these; cmd/xlinkqlog replays them with a tracer attached
-// to produce inspectable event streams. Each call returns fresh values, so
-// callers may mutate (attach tracers, bump seeds) freely.
+// enableFEC is the Tweak opting a scenario into the FEC recovery lane: the
+// harness always wires the QoE redundancy controller as the gate, so turning
+// the transport parameter on at both endpoints is all negotiation needs.
+func enableFEC(ccfg, scfg *transport.Config) {
+	ccfg.Params.EnableFEC = true
+	scfg.Params.EnableFEC = true
+}
+
+// heavyGE is the aggressive Gilbert–Elliott profile for the FEC-lane
+// scenarios: ~5% average loss in bursts averaging ~3 packets (bad-state
+// dwell ~6.7 packets at 80% drop), heavy enough that the ACK-driven lane
+// alone visibly hurts the player.
+func heavyGE() faults.GEConfig {
+	return faults.GEConfig{PGoodBad: 0.015, PBadGood: 0.08, LossGood: 0, LossBad: 0.8}
+}
+
+// geDualScript applies heavy correlated burst loss to both paths — the
+// regime where re-injection's "duplicate onto the other path" bet degrades,
+// because the other path is bursting too.
+func geDualScript() faults.Script {
+	return faults.Script{Name: "ge-dual", Ops: []faults.Op{
+		faults.BurstLoss{Path: 0, From: 0, To: 30 * time.Second, GE: heavyGE()},
+		faults.BurstLoss{Path: 1, From: 0, To: 30 * time.Second, GE: heavyGE()},
+	}}
+}
+
+// geDualPaths is a latency-bound topology: enough bandwidth that repair
+// symbols are affordable, but RTTs long enough (300/600 ms) that any
+// reactive recovery — retransmission or a re-injected copy — arrives a
+// round trip late. Under heavy burst loss the recovery lane's speed then
+// decides whether the player stalls, which is what the ge-dual-* triplet
+// measures.
+func geDualPaths() []netem.PathConfig {
+	return transport.TwoPathConfig(3, 3, 150*time.Millisecond, 300*time.Millisecond)
+}
+
+// Corpus returns the chaos suite: thirteen scripted fault scenarios
+// exercising every fault class over the full video pipeline. The test suite
+// asserts invariants over these; cmd/xlinkqlog replays them with a tracer
+// attached to produce inspectable event streams. Each call returns fresh
+// values, so callers may mutate (attach tracers, bump seeds) freely.
+//
+// The last four scenarios exercise the FEC recovery lane (DESIGN.md §13):
+// ge-heavy-burst turns it on under single-path-dominant burst loss, and the
+// ge-dual-* triplet runs the same correlated dual-path loss under
+// re-injection only, FEC only, and both lanes racing — sharing one seed so
+// their Results are directly comparable.
 func Corpus() []Scenario {
 	return []Scenario{
 		{
@@ -110,6 +153,45 @@ func Corpus() []Scenario {
 			Tweak: func(ccfg, scfg *transport.Config) {
 				ccfg.HandshakeMaxPTOs = 3
 			},
+		},
+		{
+			// Heavy Gilbert–Elliott bursts with the FEC lane negotiated:
+			// repair symbols must recover data without waiting out RTTs,
+			// and the decoder must survive windows the bursts overwhelm
+			// (give-up, classic lanes finish).
+			Name: "ge-heavy-burst", Seed: 110,
+			Script: faults.Script{Name: "ge-heavy-burst", Ops: []faults.Op{
+				faults.BurstLoss{Path: 0, From: 0, To: 30 * time.Second, GE: heavyGE()},
+				faults.BurstLoss{Path: 1, From: 0, To: 30 * time.Second, GE: faults.DefaultGE()},
+			}},
+			VideoBytes: 2 << 20,
+			Tweak:      enableFEC,
+		},
+		{
+			// Baseline of the recovery-lane comparison: correlated dual-path
+			// burst loss with QoE re-injection as the only proactive lane.
+			Name: "ge-dual-reinject-only", Seed: 111,
+			Paths: geDualPaths(), Script: geDualScript(),
+			VideoBytes: 2 << 20,
+		},
+		{
+			// Same faults, FEC as the only proactive lane: re-injection off,
+			// repair symbols sized by the redundancy controller.
+			Name: "ge-dual-fec-only", Seed: 111,
+			Paths: geDualPaths(), Script: geDualScript(),
+			VideoBytes: 2 << 20,
+			Tweak: func(ccfg, scfg *transport.Config) {
+				enableFEC(ccfg, scfg)
+				scfg.ReinjectionMode = transport.ReinjectNone
+			},
+		},
+		{
+			// Both lanes racing — XLINK's full recovery stack. Shares the
+			// baseline's seed so the Results differ only by configuration.
+			Name: "ge-dual-both", Seed: 111,
+			Paths: geDualPaths(), Script: geDualScript(),
+			VideoBytes: 2 << 20,
+			Tweak:      enableFEC,
 		},
 	}
 }

@@ -18,7 +18,8 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite the golden trace file")
 
 // goldenScenario is a small, fault-bearing run sized to keep the committed
-// trace reviewable while still exercising blackout handling, re-injection
+// trace reviewable while still exercising blackout handling, re-injection,
+// the FEC lane (windows, repair symbols, redundancy-controller decisions)
 // and the video pipeline.
 func goldenScenario() Scenario {
 	return Scenario{
@@ -28,6 +29,7 @@ func goldenScenario() Scenario {
 		Script: faults.Script{Name: "golden", Ops: []faults.Op{
 			faults.Blackout{Path: 0, From: 200 * time.Millisecond, To: 400 * time.Millisecond},
 		}},
+		Tweak: enableFEC,
 	}
 }
 

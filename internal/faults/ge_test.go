@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// geStats drives one geModel over n packets and reports the empirical loss
+// rate and the mean length of consecutive-drop runs (bursts).
+func geStats(t *testing.T, cfg GEConfig, seed int64, n int) (lossRate, meanBurst float64) {
+	t.Helper()
+	m := &geModel{cfg: cfg, rng: sim.NewRNG(seed).Fork("ge-0-up")}
+	var drops, bursts, run int
+	for i := 0; i < n; i++ {
+		if m.drop(nil) {
+			drops++
+			run++
+			continue
+		}
+		if run > 0 {
+			bursts++
+			run = 0
+		}
+	}
+	if run > 0 {
+		bursts++
+	}
+	if bursts == 0 {
+		t.Fatalf("GE model %+v produced no drops in %d packets", cfg, n)
+	}
+	return float64(drops) / float64(n), float64(drops) / float64(bursts)
+}
+
+// TestGEDefaultStatistics pins the DefaultGE profile to its analytic
+// targets. The chain transitions before each drop decision, so:
+//
+//   - stationary bad-state fraction = p/(p+q) = 0.002/0.102 ≈ 1.96%,
+//     giving average loss ≈ 0.0196·0.7 ≈ 1.37%;
+//   - a consecutive-drop run continues while the chain stays bad AND the
+//     bad state drops again: (1−PBadGood)·LossBad = 0.9·0.7 = 0.63, so the
+//     mean burst is 1/(1−0.63) ≈ 2.7 packets.
+//
+// The bands are wide enough for sampling noise at n=200k but tight enough
+// to catch transposed transition probabilities or an inverted drop order.
+func TestGEDefaultStatistics(t *testing.T) {
+	loss, burst := geStats(t, DefaultGE(), 7, 200_000)
+	t.Logf("DefaultGE: loss=%.4f meanBurst=%.2f", loss, burst)
+	if loss < 0.009 || loss > 0.019 {
+		t.Errorf("empirical loss rate %.4f outside [0.009, 0.019] (analytic ≈0.0137)", loss)
+	}
+	if burst < 2.0 || burst > 3.5 {
+		t.Errorf("mean burst length %.2f outside [2.0, 3.5] (analytic ≈2.7)", burst)
+	}
+}
+
+// TestGEBurstTracksDwell uses LossBad=1 so every bad-state packet drops and
+// a burst length equals the bad-state dwell time exactly: geometric with
+// continue probability 1−PBadGood = 0.8, mean 1/0.2 = 5. This isolates the
+// state machine from the per-state coin flips.
+func TestGEBurstTracksDwell(t *testing.T) {
+	cfg := GEConfig{PGoodBad: 0.01, PBadGood: 0.2, LossGood: 0, LossBad: 1.0}
+	loss, burst := geStats(t, cfg, 11, 200_000)
+	t.Logf("dwell cfg: loss=%.4f meanBurst=%.2f", loss, burst)
+	if burst < 4.2 || burst > 5.8 {
+		t.Errorf("mean dwell %.2f outside [4.2, 5.8] (analytic 5.0)", burst)
+	}
+	// Stationary bad fraction 0.01/0.21 ≈ 4.76%; with LossBad=1 the loss
+	// rate equals it.
+	if loss < 0.035 || loss > 0.060 {
+		t.Errorf("empirical loss rate %.4f outside [0.035, 0.060] (analytic ≈0.0476)", loss)
+	}
+}
+
+// TestGEDeterminism pins the model to the RNG fork discipline: the same
+// (config, seed) pair must reproduce identical drop sequences, and the
+// up/down fork labels used by BurstLoss.apply must diverge.
+func TestGEDeterminism(t *testing.T) {
+	mk := func(label string) *geModel {
+		return &geModel{cfg: DefaultGE(), rng: sim.NewRNG(42).Fork(label)}
+	}
+	a, b, down := mk("ge-0-up"), mk("ge-0-up"), mk("ge-0-down")
+	var diverged bool
+	for i := 0; i < 50_000; i++ {
+		da, db := a.drop(nil), b.drop(nil)
+		if da != db {
+			t.Fatalf("same seed+label diverged at packet %d", i)
+		}
+		if down.drop(nil) != da {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("up and down forks produced identical drop sequences")
+	}
+}
+
+// TestGELossGoodFloor checks the good state's independent drop coin: with
+// no bad state reachable (PGoodBad=0) the model degenerates to i.i.d. loss
+// at LossGood.
+func TestGELossGoodFloor(t *testing.T) {
+	cfg := GEConfig{PGoodBad: 0, PBadGood: 1, LossGood: 0.02, LossBad: 0.9}
+	loss, burst := geStats(t, cfg, 13, 200_000)
+	t.Logf("iid cfg: loss=%.4f meanBurst=%.2f", loss, burst)
+	if loss < 0.015 || loss > 0.025 {
+		t.Errorf("i.i.d. loss rate %.4f outside [0.015, 0.025] (configured 0.02)", loss)
+	}
+	// Independent drops at 2%: runs are ~geometric with mean 1/(1−0.02).
+	if burst > 1.2 {
+		t.Errorf("i.i.d. drops formed bursts (mean %.2f > 1.2)", burst)
+	}
+}

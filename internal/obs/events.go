@@ -280,3 +280,80 @@ func (o *Origin) FaultInjected(now time.Duration, op, phase string) {
 	o.s("phase", phase)
 	o.end()
 }
+
+// FECSymbolSent records one FEC repair symbol (or, for index<0, the window
+// announcement itself) leaving the sender.
+//
+// xlinkvet:hot
+func (o *Origin) FECSymbolSent(now time.Duration, windowID, streamID uint64, index int, size int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFECSymbolSent)
+	o.u64("window", windowID)
+	o.u64("stream", streamID)
+	o.i("index", int64(index))
+	o.i("bytes", int64(size))
+	o.end()
+}
+
+// FECSymbolReceived records one FEC repair symbol arriving at the decoder.
+//
+// xlinkvet:hot
+func (o *Origin) FECSymbolReceived(now time.Duration, windowID uint64, index int, size int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFECSymbolReceived)
+	o.u64("window", windowID)
+	o.i("index", int64(index))
+	o.i("bytes", int64(size))
+	o.end()
+}
+
+// FECRecovered records the decoder rebuilding lost stream bytes from
+// repair symbols — the third recovery lane actually firing.
+//
+// xlinkvet:hot
+func (o *Origin) FECRecovered(now time.Duration, windowID, streamID, offset uint64, size int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFECRecovered)
+	o.u64("window", windowID)
+	o.u64("stream", streamID)
+	o.u64("offset", offset)
+	o.i("bytes", int64(size))
+	o.end()
+}
+
+// FECGiveUp records the decoder abandoning a window. reason attributes the
+// give-up ("too_many_losses", "evicted", "malformed_repair").
+//
+// xlinkvet:hot
+func (o *Origin) FECGiveUp(now time.Duration, windowID uint64, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFECGiveUp)
+	o.u64("window", windowID)
+	o.s("reason", reason)
+	o.end()
+}
+
+// FECDecision records the QoE redundancy controller's per-window verdict:
+// whether to protect at all and with how many repair symbols.
+//
+// xlinkvet:hot
+func (o *Origin) FECDecision(now, dt time.Duration, lossRate float64, sourceSymbols, repairs int, protect bool) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvFECDecision)
+	o.d("dt", dt)
+	o.i("loss_ppm", int64(lossRate*1e6))
+	o.i("k", int64(sourceSymbols))
+	o.i("repairs", int64(repairs))
+	o.b("protect", protect)
+	o.end()
+}

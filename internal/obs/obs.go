@@ -54,6 +54,12 @@ const (
 	// Re-injection scheduling.
 	EvReinjectSend   EventName = "reinjection:send"
 	EvReinjectCancel EventName = "reinjection:cancel"
+	// Forward-erasure-correction lane (DESIGN.md §13).
+	EvFECSymbolSent     EventName = "fec:symbol_sent"
+	EvFECSymbolReceived EventName = "fec:symbol_received"
+	EvFECRecovered      EventName = "fec:recovered"
+	EvFECGiveUp         EventName = "fec:decoder_give_up"
+	EvFECDecision       EventName = "qoe:fec_decision"
 	// Video pipeline.
 	EvVideoFrameCached   EventName = "video:frame_cached"
 	EvVideoFramesDecoded EventName = "video:frames_decoded"

@@ -1,0 +1,100 @@
+package qoe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func newRC(cfg RedundancyConfig) *RedundancyController {
+	ctrl := NewController(Thresholds{Tth1: 100 * time.Millisecond, Tth2: time.Second})
+	return NewRedundancyController(ctrl, cfg)
+}
+
+// signal puts dt seconds of buffered video into the wrapped controller.
+func signal(r *RedundancyController, now time.Duration, dt time.Duration) {
+	frames := uint64(dt / (time.Second / 30))
+	r.ctrl.OnSignal(now, wire.QoESignal{CachedFrames: frames, FramerateFPS: 30})
+}
+
+func TestPlanFECRegions(t *testing.T) {
+	r := newRC(RedundancyConfig{})
+
+	// Ample buffer (dt > Tth2): never protect, whatever the loss.
+	signal(r, 0, 10*time.Second)
+	if on, _ := r.PlanFEC(0, 200*time.Millisecond, 0.10, 8); on {
+		t.Fatal("10s of buffer must not protect")
+	}
+
+	// Clean paths (loss < MinLossRate): never protect, whatever the buffer.
+	signal(r, 0, 500*time.Millisecond)
+	if on, _ := r.PlanFEC(0, 200*time.Millisecond, 0.001, 8); on {
+		t.Fatal("0.1% loss must not protect")
+	}
+
+	// Middle region with real loss: protect, loss-proportional repairs
+	// with headroom — ceil(8 * 0.05 * 1.5) = 1.
+	on, n := r.PlanFEC(0, 200*time.Millisecond, 0.05, 8)
+	if !on || n != 1 {
+		t.Fatalf("middle region: got (%v, %d), want (true, 1)", on, n)
+	}
+
+	// Critically low buffer (dt < Tth1): one extra repair on top.
+	signal(r, 0, 50*time.Millisecond)
+	on, n = r.PlanFEC(0, 200*time.Millisecond, 0.05, 8)
+	if !on || n != 2 {
+		t.Fatalf("low buffer: got (%v, %d), want (true, 2)", on, n)
+	}
+}
+
+func TestPlanFECClampsToMaxRepairs(t *testing.T) {
+	r := newRC(RedundancyConfig{MaxRepairs: 3})
+	signal(r, 0, 50*time.Millisecond) // low buffer: +1 regime
+	// ceil(64 * 0.25 * 1.5) = 24, +1, clamped to 3.
+	on, n := r.PlanFEC(0, 200*time.Millisecond, 0.25, 64)
+	if !on || n != 3 {
+		t.Fatalf("got (%v, %d), want (true, 3)", on, n)
+	}
+}
+
+func TestPlanFECStartupProtects(t *testing.T) {
+	// No QoE feedback yet: Δt reads 0, the most urgent state — startup is
+	// exactly when a stall is costliest, so FEC is on with the +1 bonus.
+	r := newRC(RedundancyConfig{})
+	on, n := r.PlanFEC(0, 200*time.Millisecond, 0.02, 8)
+	if !on || n < 2 {
+		t.Fatalf("startup: got (%v, %d), want protection with the low-buffer bonus", on, n)
+	}
+}
+
+func TestPlanFECHeadroomScalesRepairs(t *testing.T) {
+	lean := newRC(RedundancyConfig{Headroom: 1.0, MaxRepairs: 16})
+	fat := newRC(RedundancyConfig{Headroom: 3.0, MaxRepairs: 16})
+	signal(lean, 0, 500*time.Millisecond)
+	signal(fat, 0, 500*time.Millisecond)
+	_, nLean := lean.PlanFEC(0, 200*time.Millisecond, 0.10, 16)
+	_, nFat := fat.PlanFEC(0, 200*time.Millisecond, 0.10, 16)
+	if nLean != 2 || nFat != 5 {
+		t.Fatalf("headroom scaling: lean=%d want 2, fat=%d want 5", nLean, nFat)
+	}
+}
+
+func TestRedundancyStats(t *testing.T) {
+	r := newRC(RedundancyConfig{})
+	signal(r, 0, 10*time.Second)
+	r.PlanFEC(0, 0, 0.05, 8) // off: ample buffer
+	signal(r, 0, 500*time.Millisecond)
+	r.PlanFEC(0, 0, 0.05, 8) // on
+	r.PlanFEC(0, 0, 0.05, 8) // on
+	dec, prot := r.Stats()
+	if dec != 3 || prot != 2 {
+		t.Fatalf("stats = (%d, %d), want (3, 2)", dec, prot)
+	}
+	if f := r.ProtectFraction(); f < 0.66 || f > 0.67 {
+		t.Fatalf("ProtectFraction = %v, want 2/3", f)
+	}
+	if f := newRC(RedundancyConfig{}).ProtectFraction(); f != 0 {
+		t.Fatalf("fresh controller ProtectFraction = %v, want 0", f)
+	}
+}

@@ -69,6 +69,16 @@ func (m ReinjectionMode) String() string {
 // maxDeliverTime is Eq. 1: the maximum RTT+δ over paths with unacked data.
 type ReinjectionGate func(now, maxDeliverTime time.Duration) bool
 
+// FECGate decides, per protection window of sourceSymbols symbols, whether
+// to emit repair symbols and how many (the code rate). XLINK installs the
+// QoE redundancy controller here: Alg. 1's Δt picks the recovery lane —
+// re-inject on a fast path, or pre-emptively FEC the tail on lossy paths —
+// and the loss estimate sizes the redundancy. nil means the default
+// loss-proportional policy (always protect, ceil(k·loss) repairs in
+// [1, 4]). maxDeliverTime is Eq. 1, as for ReinjectionGate; lossRate is
+// the connection-wide estimate from the recovery spaces.
+type FECGate func(now, maxDeliverTime time.Duration, lossRate float64, sourceSymbols int) (protect bool, repairs int)
+
 // PathSelector picks the path for the next data packet among usable paths
 // with congestion window space. The default is min-RTT, as in MPQUIC's
 // default scheduler.
@@ -109,6 +119,17 @@ type Config struct {
 	// ReinjectionGate gates re-injection; nil means always allowed when
 	// ReinjectionMode != ReinjectNone.
 	ReinjectionGate ReinjectionGate
+	// FECGate gates the forward-erasure-correction lane per protection
+	// window; nil means the default loss-proportional policy. Only
+	// consulted when both endpoints negotiated Params.EnableFEC.
+	FECGate FECGate
+	// FECSymbolSize is the FEC source/repair symbol size in bytes
+	// (default 1024; capped at wire.MaxFECSymbolSize so a repair symbol
+	// always fits one datagram).
+	FECSymbolSize int
+	// FECWindowSymbols caps source symbols per protection window
+	// (default 8; capped at wire.MaxFECSourceSymbols).
+	FECWindowSymbols int
 	// PathSelector picks the send path; nil means MinRTTSelector.
 	PathSelector PathSelector
 	// MaxAckDelay bounds how long an ack may be withheld.
@@ -209,6 +230,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PathGiveUpPTOs == 0 {
 		c.PathGiveUpPTOs = 5
+	}
+	if c.FECSymbolSize <= 0 {
+		c.FECSymbolSize = 1024
+	}
+	if c.FECSymbolSize > wire.MaxFECSymbolSize {
+		c.FECSymbolSize = wire.MaxFECSymbolSize
+	}
+	if c.FECWindowSymbols <= 0 {
+		c.FECWindowSymbols = 8
+	}
+	if c.FECWindowSymbols > wire.MaxFECSourceSymbols {
+		c.FECWindowSymbols = wire.MaxFECSourceSymbols
 	}
 	return c
 }

@@ -55,6 +55,16 @@ func (c *Conn) maybeSend(now time.Duration) {
 			break
 		}
 	}
+	if c.fecEnabled && c.fecEnc.active {
+		// Data ran out mid-window: protect the tail now (the whole point on
+		// a lossy path) and give the queued repair frames a ride out.
+		c.fecTailFlush(now)
+		for i := 0; i < 64; i++ {
+			if !c.sendOnePacket(now) {
+				break
+			}
+		}
+	}
 	c.sendCtrlBypass(now)
 }
 
@@ -252,6 +262,9 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 			c.tr.ReinjectSend(now, p.ID, ch.streamID, ch.offset, int(ch.length))
 		case ch.isNew:
 			c.stats.StreamBytesSent += ch.length
+			if c.fecEnabled && s != nil {
+				c.fecAddSource(now, s, ch)
+			}
 		default:
 			c.stats.RtxBytesSent += ch.length
 		}
@@ -308,7 +321,7 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		c.sendBuf = pkt[:0]
 		if wire.AckEliciting(item.frame) {
 			//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
-		p.Space.OnPacketSent(&recovery.SentPacket{
+			p.Space.OnPacketSent(&recovery.SentPacket{
 				PN: pn, SentAt: now, Bytes: len(pkt), AckEliciting: true,
 				Meta: meta,
 			})
@@ -605,6 +618,14 @@ func (c *Conn) scanReinjections(now time.Duration, s *SendStream, sentBefore uin
 				if ch.length > 0 && s.acked.Contains(ch.offset, ch.offset+ch.length) {
 					continue
 				}
+				// Skip ranges the FEC lane owns: either proactively
+				// protected at flush time (the QoE gate chose FEC over
+				// re-injection) or already rebuilt by the peer's decoder
+				// (DESIGN.md §13 lane rules).
+				if ch.length > 0 && (s.fecCovered.Contains(ch.offset, ch.offset+ch.length) ||
+					s.recovered.Contains(ch.offset, ch.offset+ch.length)) {
+					continue
+				}
 				dup := ch
 				dup.reinjection = true
 				dup.isNew = false
@@ -654,9 +675,13 @@ func (c *Conn) popReinj(now time.Duration, q *[]chunk, p *Path, s *SendStream, m
 // i, skipping data that was acknowledged in the meantime.
 func (c *Conn) takeReinjAt(now time.Duration, q *[]chunk, i int, s *SendStream, maxLen int) (chunk, bool) {
 	ch := (*q)[i]
-	// Trim any prefix acked since enqueue.
-	for ch.length > 0 && s.acked.Contains(ch.offset, ch.offset+1) {
+	// Trim any prefix acked — or FEC-recovered by the peer — since enqueue.
+	for ch.length > 0 && (s.acked.Contains(ch.offset, ch.offset+1) ||
+		s.recovered.Contains(ch.offset, ch.offset+1)) {
 		covered := s.acked.CoveredPrefix(ch.offset)
+		if rc := s.recovered.CoveredPrefix(ch.offset); rc > covered {
+			covered = rc
+		}
 		trim := min64(covered-ch.offset, ch.length)
 		ch.offset += trim
 		ch.length -= trim
@@ -866,7 +891,7 @@ func (c *Conn) nextDeadline() time.Duration {
 	}
 	var deadline time.Duration
 	if c.cfg.IdleTimeout > 0 {
-		deadline = earlierDeadline(deadline, c.lastRecvActivity + c.cfg.IdleTimeout)
+		deadline = earlierDeadline(deadline, c.lastRecvActivity+c.cfg.IdleTimeout)
 	}
 	if c.state == stateHandshake || !c.handshakeDone {
 		if c.initSpace.HasUnacked() {
@@ -879,7 +904,7 @@ func (c *Conn) nextDeadline() time.Duration {
 			deadline = earlierDeadline(deadline, p.Space.LossTime())
 			deadline = earlierDeadline(deadline, p.Space.PTODeadline())
 			if p.ackQueued {
-				deadline = earlierDeadline(deadline, p.largestRecvTime + c.cfg.MaxAckDelay)
+				deadline = earlierDeadline(deadline, p.largestRecvTime+c.cfg.MaxAckDelay)
 			}
 		}
 		if c.cfg.QoEStandaloneInterval > 0 && c.cfg.QoEProvider != nil && c.multipath {
@@ -890,7 +915,7 @@ func (c *Conn) nextDeadline() time.Duration {
 			if c.lastKeepAlive > last {
 				last = c.lastKeepAlive
 			}
-			deadline = earlierDeadline(deadline, last + c.cfg.KeepAliveInterval)
+			deadline = earlierDeadline(deadline, last+c.cfg.KeepAliveInterval)
 		}
 	}
 	return deadline

@@ -56,6 +56,13 @@ type SendStream struct {
 	// reinjQ holds pending re-injection chunks, ordered by framePrio then
 	// enqueue order.
 	reinjQ []chunk
+	// fecCovered tracks ranges the FEC encoder protected with repair
+	// symbols: the re-injection scanner skips them, since the QoE gate
+	// picked proactive protection for them (DESIGN.md §13).
+	fecCovered rangeset.Set
+	// recovered tracks ranges the peer's FEC decoder reports rebuilt
+	// (FEC_RECOVERED): neither retransmission nor re-injection is needed.
+	recovered rangeset.Set
 
 	// frames are the application-tagged video-frame ranges, sorted by
 	// Start. Data outside any range behaves as priority defaultFramePrio.
@@ -282,14 +289,20 @@ func (s *SendStream) nextRtxChunk(maxLen int) (chunk, bool) {
 // onChunkLost re-queues a lost chunk's unacked part for retransmission.
 func (s *SendStream) onChunkLost(c chunk) {
 	start, end := c.offset, c.offset+c.length
-	// Drop the portions already acked (e.g. through a re-injected copy).
+	// Drop the portions already acked (e.g. through a re-injected copy) or
+	// rebuilt by the peer's FEC decoder (DESIGN.md §13 lane rules).
 	for start < end {
 		if s.acked.Contains(start, start+1) {
 			start = s.acked.CoveredPrefix(start)
 			continue
 		}
+		if s.recovered.Contains(start, start+1) {
+			start = s.recovered.CoveredPrefix(start)
+			continue
+		}
 		gapEnd := start + 1
-		for gapEnd < end && !s.acked.Contains(gapEnd, gapEnd+1) {
+		for gapEnd < end && !s.acked.Contains(gapEnd, gapEnd+1) &&
+			!s.recovered.Contains(gapEnd, gapEnd+1) {
 			gapEnd++
 		}
 		s.rtx.Add(start, gapEnd)

@@ -30,6 +30,11 @@ const (
 	TypeAckMP             uint64 = 0xbaba00
 	TypePathStatus        uint64 = 0xbaba05
 	TypeQoEControlSignals uint64 = 0xbaba10
+
+	// Forward-erasure-correction extension frames (DESIGN.md §13).
+	TypeFECWindow    uint64 = 0xbaba20
+	TypeFECRepair    uint64 = 0xbaba21
+	TypeFECRecovered uint64 = 0xbaba22
 )
 
 // Frame is one QUIC frame. Append serializes the frame, appending to b.
@@ -114,6 +119,12 @@ func ParseFrame(b []byte) (Frame, int, error) {
 		f, m, err = parsePathStatus(rest)
 	case typ == TypeQoEControlSignals:
 		f, m, err = parseQoEControlSignals(rest)
+	case typ == TypeFECWindow:
+		f, m, err = parseFECWindow(rest)
+	case typ == TypeFECRepair:
+		f, m, err = parseFECRepair(rest)
+	case typ == TypeFECRecovered:
+		f, m, err = parseFECRecovered(rest)
 	default:
 		//xlinkvet:ignore hotalloc — malformed-input error path, never taken on well-formed traffic
 		return nil, 0, fmt.Errorf("wire: unknown frame type 0x%x", typ)

@@ -139,6 +139,10 @@ func FuzzParseFrame(f *testing.F) {
 		&PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}},
 		&ConnectionCloseFrame{ErrorCode: 0x0a, Reason: "bye"},
 		&HandshakeDoneFrame{},
+		&FECWindowFrame{WindowID: 3, StreamID: 4, BaseOffset: 8192, DataLen: 4096,
+			SymbolSize: 1024, Scheme: FECSchemeRS, Repairs: 2},
+		&FECRepairFrame{WindowID: 3, Index: 1, Data: []byte("repair-symbol")},
+		&FECRecoveredFrame{StreamID: 4, Offset: 9216, Length: 1024},
 	}
 	for _, fr := range seeds {
 		f.Add(fr.Append(nil))
@@ -167,5 +171,98 @@ func FuzzParseFrame(f *testing.F) {
 			t.Fatalf("%s: encoding not a fixed point:\n first %x\n again %x", fr, enc, enc2)
 		}
 		_ = fr.String() // must not panic either
+	})
+}
+
+// FuzzParseFECFrame targets the FEC extension frames specifically: any
+// input that parses as FEC_WINDOW, FEC_REPAIR or FEC_RECOVERED must satisfy
+// the invariants the transport's decoder assumes — it sizes window buffers
+// and walks symbol ranges straight from these fields, so the wire layer is
+// the only line of defense against a hostile peer inflating allocations or
+// overflowing offsets. Seeds cover the boundary shapes: minimum and maximum
+// symbol counts, the short tail symbol, near-overflow offsets.
+func FuzzParseFECFrame(f *testing.F) {
+	seeds := []Frame{
+		&FECWindowFrame{WindowID: 0, StreamID: 0, BaseOffset: 0, DataLen: 1,
+			SymbolSize: 1, Scheme: FECSchemeXOR, Repairs: 1},
+		&FECWindowFrame{WindowID: 1, StreamID: 4, BaseOffset: 1 << 40,
+			DataLen: MaxFECSourceSymbols * MaxFECSymbolSize, SymbolSize: MaxFECSymbolSize,
+			Scheme: FECSchemeRS, Repairs: MaxFECRepairSymbols},
+		&FECWindowFrame{WindowID: 2, StreamID: 8, BaseOffset: 4096, DataLen: 1025,
+			SymbolSize: 1024, Scheme: FECSchemeRS, Repairs: 2}, // short tail symbol
+		&FECRepairFrame{WindowID: 1, Index: 0, Data: []byte{0xff}},
+		&FECRepairFrame{WindowID: 2, Index: MaxFECRepairSymbols - 1,
+			Data: bytes.Repeat([]byte{0xab}, MaxFECSymbolSize)},
+		&FECRecoveredFrame{StreamID: 4, Offset: 0, Length: 1},
+		&FECRecoveredFrame{StreamID: 8, Offset: 1<<62 - 2, Length: 1},
+	}
+	for _, fr := range seeds {
+		f.Add(fr.Append(nil))
+	}
+	// Malformed shapes that must be rejected, kept as seeds so mutation
+	// starts from the interesting rejection boundaries.
+	f.Add((&FECWindowFrame{WindowID: 1, StreamID: 1, DataLen: 1, SymbolSize: 1,
+		Scheme: FECSchemeXOR, Repairs: 2}).Append(nil)) // xor with 2 repairs
+	f.Add((&FECRecoveredFrame{StreamID: 1, Offset: 1<<62 - 1, Length: 1 << 61}).Append(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := ParseFrame(b)
+		if err != nil {
+			return
+		}
+		if n < 1 || n > len(b) {
+			t.Fatalf("%s: consumed %d of %d bytes", fr, n, len(b))
+		}
+		switch fr := fr.(type) {
+		case *FECWindowFrame:
+			if fr.SymbolSize == 0 || fr.SymbolSize > MaxFECSymbolSize {
+				t.Fatalf("window symbol size %d escaped validation", fr.SymbolSize)
+			}
+			if fr.DataLen == 0 || fr.DataLen > MaxFECSourceSymbols*fr.SymbolSize {
+				t.Fatalf("window data length %d escaped validation", fr.DataLen)
+			}
+			if k := fr.SourceSymbols(); k < 1 || k > MaxFECSourceSymbols {
+				t.Fatalf("SourceSymbols() = %d out of range", k)
+			}
+			if fr.BaseOffset+fr.DataLen < fr.BaseOffset {
+				t.Fatal("window range overflow escaped validation")
+			}
+			if fr.Scheme > FECSchemeRS {
+				t.Fatalf("unknown scheme %d escaped validation", fr.Scheme)
+			}
+			if fr.Repairs == 0 || fr.Repairs > MaxFECRepairSymbols {
+				t.Fatalf("repair count %d escaped validation", fr.Repairs)
+			}
+			if fr.Scheme == FECSchemeXOR && fr.Repairs != 1 {
+				t.Fatal("xor window with multiple repairs escaped validation")
+			}
+		case *FECRepairFrame:
+			if len(fr.Data) == 0 || len(fr.Data) > MaxFECSymbolSize {
+				t.Fatalf("repair payload %d escaped validation", len(fr.Data))
+			}
+			if fr.Index >= MaxFECRepairSymbols {
+				t.Fatalf("repair index %d escaped validation", fr.Index)
+			}
+		case *FECRecoveredFrame:
+			if fr.Length == 0 {
+				t.Fatal("empty recovered range escaped validation")
+			}
+			if fr.Offset+fr.Length < fr.Offset {
+				t.Fatal("recovered range overflow escaped validation")
+			}
+		default:
+			return // not an FEC frame: FuzzParseFrame owns the generic check
+		}
+		enc := fr.Append(nil)
+		if fr.Len() != len(enc) {
+			t.Fatalf("%s: Len()=%d but encoded %d bytes", fr, fr.Len(), len(enc))
+		}
+		fr2, n2, err := ParseFrame(enc)
+		if err != nil || n2 != len(enc) {
+			t.Fatalf("%s: re-encoded frame rejected: n=%d err=%v", fr, n2, err)
+		}
+		if enc2 := fr2.Append(nil); !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: encoding not a fixed point:\n first %x\n again %x", fr, enc, enc2)
+		}
+		_ = fr.String()
 	})
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +30,7 @@ func main() {
 	writeAll(filepath.Join(root, "FuzzParseVarint"), varintSeeds())
 	writeAll(filepath.Join(root, "FuzzParseHeader"), headerSeeds())
 	writeAll(filepath.Join(root, "FuzzParseFrame"), frameSeeds())
+	writeAll(filepath.Join(root, "FuzzParseFECFrame"), fecSeeds())
 }
 
 func varintSeeds() [][]byte {
@@ -95,12 +97,43 @@ func frameSeeds() [][]byte {
 		&wire.PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}},
 		&wire.ConnectionCloseFrame{ErrorCode: 0x0a, Reason: "bye"},
 		&wire.HandshakeDoneFrame{},
+		&wire.FECWindowFrame{WindowID: 3, StreamID: 4, BaseOffset: 8192, DataLen: 4096,
+			SymbolSize: 1024, Scheme: wire.FECSchemeRS, Repairs: 2},
+		&wire.FECRepairFrame{WindowID: 3, Index: 1, Data: []byte("repair-symbol")},
+		&wire.FECRecoveredFrame{StreamID: 4, Offset: 9216, Length: 1024},
 	}
 	var seeds [][]byte
 	for _, f := range frames {
 		seeds = append(seeds, f.Append(nil))
 	}
 	seeds = append(seeds, []byte{0x40, 0x00, 0x00}) // non-minimal PADDING type
+	return seeds
+}
+
+func fecSeeds() [][]byte {
+	frames := []wire.Frame{
+		&wire.FECWindowFrame{WindowID: 0, StreamID: 0, BaseOffset: 0, DataLen: 1,
+			SymbolSize: 1, Scheme: wire.FECSchemeXOR, Repairs: 1},
+		&wire.FECWindowFrame{WindowID: 1, StreamID: 4, BaseOffset: 1 << 40,
+			DataLen:    wire.MaxFECSourceSymbols * wire.MaxFECSymbolSize,
+			SymbolSize: wire.MaxFECSymbolSize,
+			Scheme:     wire.FECSchemeRS, Repairs: wire.MaxFECRepairSymbols},
+		&wire.FECWindowFrame{WindowID: 2, StreamID: 8, BaseOffset: 4096, DataLen: 1025,
+			SymbolSize: 1024, Scheme: wire.FECSchemeRS, Repairs: 2}, // short tail symbol
+		&wire.FECRepairFrame{WindowID: 1, Index: 0, Data: []byte{0xff}},
+		&wire.FECRepairFrame{WindowID: 2, Index: wire.MaxFECRepairSymbols - 1,
+			Data: bytes.Repeat([]byte{0xab}, wire.MaxFECSymbolSize)},
+		&wire.FECRecoveredFrame{StreamID: 4, Offset: 0, Length: 1},
+		&wire.FECRecoveredFrame{StreamID: 8, Offset: 1<<62 - 2, Length: 1},
+		// Rejection boundaries, kept so mutation starts from them.
+		&wire.FECWindowFrame{WindowID: 1, StreamID: 1, DataLen: 1, SymbolSize: 1,
+			Scheme: wire.FECSchemeXOR, Repairs: 2}, // xor with 2 repairs
+		&wire.FECRecoveredFrame{StreamID: 1, Offset: 1<<62 - 1, Length: 1 << 61}, // overflow
+	}
+	var seeds [][]byte
+	for _, f := range frames {
+		seeds = append(seeds, f.Append(nil))
+	}
 	return seeds
 }
 

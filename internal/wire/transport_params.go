@@ -15,6 +15,7 @@ const (
 	ParamEnableMultipath       uint64 = 0x0f739bbc1b666d05
 	ParamInitialReinjection    uint64 = 0x0f739bbc1b666d06
 	ParamQoEFeedbackIntervalMS uint64 = 0x0f739bbc1b666d07
+	ParamEnableFEC             uint64 = 0x0f739bbc1b666d08
 )
 
 // TransportParams is the simplified transport parameter set exchanged in
@@ -28,6 +29,10 @@ type TransportParams struct {
 	EnableMultipath     bool
 	InitialReinjection  bool
 	QoEFeedbackInterval uint64 // milliseconds; 0 = every ACK_MP
+	// EnableFEC negotiates the forward-erasure-correction lane
+	// (DESIGN.md §13): like enable_multipath, both endpoints must offer
+	// it or both fall back to the two classic recovery lanes.
+	EnableFEC bool
 }
 
 // DefaultTransportParams returns production-like defaults: generous flow
@@ -66,6 +71,9 @@ func (p TransportParams) Append(b []byte) []byte {
 	}
 	if p.QoEFeedbackInterval > 0 {
 		b = appendInt(b, ParamQoEFeedbackIntervalMS, p.QoEFeedbackInterval)
+	}
+	if p.EnableFEC {
+		b = appendFlag(b, ParamEnableFEC)
 	}
 	return b
 }
@@ -125,6 +133,8 @@ func ParseTransportParams(b []byte) (TransportParams, error) {
 			p.EnableMultipath = true
 		case ParamInitialReinjection:
 			p.InitialReinjection = true
+		case ParamEnableFEC:
+			p.EnableFEC = true
 		case ParamQoEFeedbackIntervalMS:
 			if p.QoEFeedbackInterval, err = intVal(); err != nil {
 				return p, err

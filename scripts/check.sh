@@ -57,6 +57,7 @@ go test -run '^$' -bench 'BenchmarkRoundTrip$|BenchmarkScenario$' -benchtime 200
 step go run ./cmd/xlink-benchdiff -file "$BENCHTMP" -old after -new ci -max-regress 1000000 -max-alloc-regress 15
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
-step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFrame -fuzztime "$FUZZTIME"
+step go test ./internal/wire/ -run '^$' -fuzz 'FuzzParseFrame$' -fuzztime "$FUZZTIME"
+step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFECFrame -fuzztime "$FUZZTIME"
 
 echo "check: all gates passed"
