@@ -12,11 +12,17 @@
 //	                                   write the NDJSON trace (default stdout)
 //	xlinkqlog [-metrics] <trace.ndjson> summarize a trace file
 //	xlinkqlog -run <scenario> -summary replay and summarize in one step
+//	xlinkqlog -fleet <t1> [t2 ...]     aggregate conn:scorecard rollups
+//	                                   across many trace files (DESIGN.md §14)
+//
+// Exit status: 0 on success, 1 on unreadable or malformed input, 2 on
+// usage errors (unknown flags or stray arguments).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,71 +30,186 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list corpus scenarios and exit")
-	run := flag.String("run", "", "replay this corpus scenario with a tracer attached")
-	out := flag.String("o", "", "write the generated trace to this file (default stdout)")
-	summary := flag.Bool("summary", false, "with -run: summarize instead of dumping the trace")
-	metrics := flag.Bool("metrics", false, "also dump the metrics registry exposition")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xlinkqlog", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list corpus scenarios and exit")
+	runName := fs.String("run", "", "replay this corpus scenario with a tracer attached")
+	out := fs.String("o", "", "write the generated trace to this file (default stdout)")
+	summary := fs.Bool("summary", false, "with -run: summarize instead of dumping the trace")
+	metrics := fs.Bool("metrics", false, "also dump the metrics registry exposition")
+	fleet := fs.Bool("fleet", false, "aggregate conn:scorecard events across the given trace files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "xlinkqlog:", err)
+		return 1
+	}
 
 	switch {
 	case *list:
 		for _, sc := range chaos.Corpus() {
-			fmt.Printf("%-18s seed=%-4d script=%s\n", sc.Name, sc.Seed, sc.Script.Name)
+			fmt.Fprintf(stdout, "%-18s seed=%-4d script=%s\n", sc.Name, sc.Seed, sc.Script.Name)
 		}
-	case *run != "":
-		sc, ok := chaos.ScenarioByName(*run)
+	case *runName != "":
+		sc, ok := chaos.ScenarioByName(*runName)
 		if !ok {
-			fatal(fmt.Errorf("unknown scenario %q (use -list)", *run))
+			return fail(fmt.Errorf("unknown scenario %q (use -list)", *runName))
 		}
 		sc.Tracer = obs.NewTrace(sc.Name)
 		res := chaos.Run(sc)
 		if *summary {
 			evs, err := obs.ParseBytes(sc.Tracer.Bytes())
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			summarize(os.Stdout, sc.Name, evs)
+			summarize(stdout, sc.Name, evs)
 		} else if *out != "" {
 			if err := os.WriteFile(*out, sc.Tracer.Bytes(), 0o644); err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Fprintf(os.Stderr, "%s: %d events, completed=%v, %d bytes -> %s\n",
+			fmt.Fprintf(stderr, "%s: %d events, completed=%v, %d bytes -> %s\n",
 				sc.Name, sc.Tracer.EventCount(), res.Completed, len(sc.Tracer.Bytes()), *out)
 		} else {
-			os.Stdout.Write(sc.Tracer.Bytes())
+			stdout.Write(sc.Tracer.Bytes())
 		}
 		if *metrics {
-			fmt.Println("== metrics ==")
-			sc.Tracer.Registry().Dump(os.Stdout)
+			fmt.Fprintln(stdout, "== metrics ==")
+			sc.Tracer.Registry().Dump(stdout)
 		}
-	case flag.NArg() == 1:
-		f, err := os.Open(flag.Arg(0))
+	case *fleet:
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "xlinkqlog: -fleet needs at least one trace file")
+			fs.Usage()
+			return 2
+		}
+		if err := fleetSummarize(stdout, fs.Args(), *metrics); err != nil {
+			return fail(err)
+		}
+	case fs.NArg() == 1:
+		evs, err := parseTraceFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer f.Close()
-		evs, err := obs.Parse(f)
-		if err != nil {
-			fatal(err)
-		}
-		summarize(os.Stdout, flag.Arg(0), evs)
+		summarize(stdout, fs.Arg(0), evs)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		if fs.NArg() > 1 {
+			fmt.Fprintf(stderr, "xlinkqlog: unexpected arguments %q (use -fleet to aggregate several traces)\n", fs.Args())
+		}
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xlinkqlog:", err)
-	os.Exit(1)
+// parseTraceFile reads and parses one NDJSON trace file.
+func parseTraceFile(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	evs, err := obs.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
+
+// fleetSummarize aggregates the conn:scorecard rollups of many trace files
+// into the fleet view: session counts, completion rate, RCT and rebuffer
+// distributions, recovery-lane byte attribution, and per-path totals. Every
+// card is also merged into a registry so -metrics yields the same
+// exposition a production aggregation point would serve.
+func fleetSummarize(w io.Writer, files []string, dumpMetrics bool) error {
+	reg := obs.NewRegistry()
+	var cards []obs.Scorecard
+	traced := 0
+	for _, path := range files {
+		evs, err := parseTraceFile(path)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for _, e := range evs {
+			if c, ok := obs.ScorecardFromEvent(e); ok {
+				cards = append(cards, c)
+				reg.MergeScorecard(&c)
+				n++
+			}
+		}
+		if n > 0 {
+			traced++
+		}
+	}
+	fmt.Fprintf(w, "== fleet rollup: %d sessions from %d of %d traces ==\n",
+		len(cards), traced, len(files))
+	if len(cards) == 0 {
+		fmt.Fprintln(w, "  (no conn:scorecard events; generate traces with -run or a live Tracer)")
+		return nil
+	}
+
+	var completed int
+	var rcts []float64
+	var rebufTime time.Duration
+	var rebufCount, qoeDec, qoeEn, qoeTr uint64
+	var stream, rtx, reinj, fec uint64
+	var sentPkts, lostPkts uint64
+	for _, c := range cards {
+		if c.Completed {
+			completed++
+			rcts = append(rcts, c.RCT.Seconds())
+		}
+		rebufTime += c.RebufferTime
+		rebufCount += c.RebufferCount
+		qoeDec += c.QoEDecisions
+		qoeEn += c.QoEEnables
+		qoeTr += c.QoETransitions
+		stream += c.StreamBytes
+		rtx += c.RtxBytes
+		reinj += c.ReinjBytes
+		fec += c.FECRecoveredBytes
+		for i := 0; i < c.NumPaths; i++ {
+			sentPkts += c.Paths[i].SentPackets
+			lostPkts += c.Paths[i].LostPackets
+		}
+	}
+	fmt.Fprintf(w, "  completed:  %d/%d (%.1f%%)\n",
+		completed, len(cards), 100*float64(completed)/float64(len(cards)))
+	if len(rcts) > 0 {
+		fmt.Fprintf(w, "  rct (s):    %s\n", stats.Summarize(rcts))
+	}
+	fmt.Fprintf(w, "  rebuffer:   %v total across %d stalls\n", rebufTime, rebufCount)
+	fmt.Fprintf(w, "  qoe:        %d decisions, %d enables, %d transitions\n", qoeDec, qoeEn, qoeTr)
+	total := stream + rtx + reinj
+	fmt.Fprintf(w, "  lane bytes: stream=%d rtx=%d reinjected=%d fec_recovered=%d\n",
+		stream, rtx, reinj, fec)
+	if total > 0 {
+		fmt.Fprintf(w, "  redundancy: %.2f%% of sent stream bytes were re-injected\n",
+			100*float64(reinj)/float64(total))
+	}
+	if sentPkts > 0 {
+		fmt.Fprintf(w, "  paths:      %d packets sent, %d lost (%.3f%%)\n",
+			sentPkts, lostPkts, 100*float64(lostPkts)/float64(sentPkts))
+	}
+	if dumpMetrics {
+		fmt.Fprintln(w, "== metrics ==")
+		reg.Dump(w)
+	}
+	return nil
 }
 
 // summarize renders the human views of one trace.
-func summarize(w *os.File, title string, evs []obs.Event) {
+func summarize(w io.Writer, title string, evs []obs.Event) {
 	fmt.Fprintf(w, "trace %s: %d events\n\n", title, len(evs))
 	eventTable(w, evs)
 	pathTimelines(w, evs)
@@ -98,7 +219,7 @@ func summarize(w *os.File, title string, evs []obs.Event) {
 }
 
 // eventTable prints per-(origin, name) event counts.
-func eventTable(w *os.File, evs []obs.Event) {
+func eventTable(w io.Writer, evs []obs.Event) {
 	type key struct{ origin, name string }
 	counts := map[key]int{}
 	for _, e := range evs {
@@ -123,7 +244,7 @@ func eventTable(w *os.File, evs []obs.Event) {
 
 // pathTimelines prints, per origin and path, the lifecycle transitions in
 // time order alongside traffic totals.
-func pathTimelines(w *os.File, evs []obs.Event) {
+func pathTimelines(w io.Writer, evs []obs.Event) {
 	fmt.Fprintln(w, "== path timelines ==")
 	type pkey struct {
 		origin string
@@ -195,7 +316,7 @@ func pathTimelines(w *os.File, evs []obs.Event) {
 
 // decisionTable prints the Alg. 1 evaluations: Δt against both thresholds
 // and the verdict, collapsing runs of identical verdicts to transitions.
-func decisionTable(w *os.File, evs []obs.Event) {
+func decisionTable(w io.Writer, evs []obs.Event) {
 	fmt.Fprintln(w, "== qoe re-injection decisions (Alg. 1) ==")
 	var total, enables int
 	lastVerdict := ""
@@ -228,7 +349,7 @@ func decisionTable(w *os.File, evs []obs.Event) {
 // redundancy each origin paid, what the decoder got back for it
 // (recovered-by-FEC counts and bytes), where it gave up, and the
 // redundancy controller's protect rate.
-func fecTable(w *os.File, evs []obs.Event) {
+func fecTable(w io.Writer, evs []obs.Event) {
 	fmt.Fprintln(w, "== fec recovery lane ==")
 	type tally struct {
 		windows, repairsSent, repairBytesSent int
@@ -312,7 +433,7 @@ func fecTable(w *os.File, evs []obs.Event) {
 // lossRebufferCorrelation lines up faults, packet losses and player stalls
 // on one timeline — the paper's core observability question ("did this
 // network event cost the viewer anything?").
-func lossRebufferCorrelation(w *os.File, evs []obs.Event) {
+func lossRebufferCorrelation(w io.Writer, evs []obs.Event) {
 	fmt.Fprintln(w, "== loss / rebuffer correlation ==")
 	const bucket = 250 * time.Millisecond
 	losses := map[time.Duration]int{}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// writeTrace replays one corpus scenario with a tracer and writes the
+// NDJSON stream to dir, returning the path.
+func writeTrace(t *testing.T, dir, scenario string) string {
+	t.Helper()
+	sc, ok := chaos.ScenarioByName(scenario)
+	if !ok {
+		t.Fatalf("scenario %q missing", scenario)
+	}
+	sc.Tracer = obs.NewTrace(sc.Name)
+	chaos.Run(sc)
+	path := filepath.Join(dir, scenario+".ndjson")
+	if err := os.WriteFile(path, sc.Tracer.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"stray args", []string{"a.ndjson", "b.ndjson"}, 2},
+		{"unreadable file", []string{"/nonexistent/trace.ndjson"}, 1},
+		{"fleet without files", []string{"-fleet"}, 2},
+		{"fleet unreadable file", []string{"-fleet", "/nonexistent/trace.ndjson"}, 1},
+		{"unknown scenario", []string{"-run", "no-such-scenario"}, 1},
+		{"list", []string{"-list"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Fatalf("run(%q) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.want == 2 && !strings.Contains(stderr.String(), "Usage") &&
+				!strings.Contains(stderr.String(), "-fleet") && !strings.Contains(stderr.String(), "flag") {
+				t.Errorf("usage-error exit without usage text:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunSummarizeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "burst-loss")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"== event counts ==", "== path timelines ==", "conn:scorecard"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestRunFleetAggregation(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{
+		writeTrace(t, dir, "burst-loss"),
+		writeTrace(t, dir, "interface-death"),
+	}
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-fleet", "-metrics"}, paths...)
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "2 sessions from 2 of 2 traces") {
+		t.Errorf("fleet header wrong:\n%s", out)
+	}
+	for _, want := range []string{"completed:", "lane bytes:", "paths:", "== metrics ==", "xlink_sessions_total 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet rollup missing %q:\n%s", want, out)
+		}
+	}
+}

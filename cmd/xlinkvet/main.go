@@ -175,7 +175,7 @@ func runSelftest(loader *vet.Loader, verbose bool) int {
 		{"wireerr", "wireerr", 3},
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
-		{"obsevent", "obsevent", 4},
+		{"obsevent", "obsevent", 7},
 		{"lockheld", "lockheld", 7},
 		{"guardedby", "guardedby", 4},
 		{"taintsize", "taintsize", 3},

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -69,6 +70,11 @@ type ArmResult struct {
 
 	Sessions  int
 	Completed int
+
+	// Registry accumulates every session's scorecard into the xlink_*
+	// metric families (DESIGN.md §14) — the arm's fleet-telemetry view,
+	// dumped alongside the significance tables.
+	Registry *obs.Registry
 }
 
 // RebufferRate returns sum(rebuffer)/sum(play).
@@ -248,6 +254,10 @@ func accumulate(a *ArmResult, v video.Video, res core.SessionResult) {
 	if res.Completed {
 		a.Completed++
 	}
+	if a.Registry == nil {
+		a.Registry = obs.NewRegistry()
+	}
+	a.Registry.MergeScorecard(&res.Scorecard)
 	for _, rct := range res.ChunkRCTs {
 		a.RCTs = append(a.RCTs, rct.Seconds())
 	}

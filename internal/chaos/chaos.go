@@ -54,9 +54,11 @@ type Scenario struct {
 	Tweak func(ccfg, scfg *transport.Config)
 	// Tracer, when set, collects the run's qlog-style event stream: both
 	// endpoints emit as "client"/"server", the fault injector as "net",
-	// and the player and QoE controller alongside. nil disables tracing
-	// at zero cost and does not perturb the run (tracing never touches
-	// the RNGs or the clock).
+	// and the player and QoE controller alongside. nil skips the NDJSON
+	// stream but NOT the flight recorder: every run keeps a last-N event
+	// ring so injected faults always produce anomaly dumps (DESIGN.md
+	// §14). Tracing never touches the RNGs or the clock, so it does not
+	// perturb the run either way.
 	Tracer *obs.Trace
 }
 
@@ -99,6 +101,15 @@ type Result struct {
 	// Deadline — the paper's QoE metric the recovery lanes compete on.
 	RebufferTime  time.Duration
 	RebufferCount int
+	// Scorecard is the per-session QoE rollup (DESIGN.md §14), composed
+	// from the server-side transport, the Alg. 1 controller and the
+	// player, emitted as conn:scorecard and merged into the tracer's
+	// registry.
+	Scorecard obs.Scorecard
+	// Anomalies counts flight-recorder triggers during the run;
+	// FirstAnomaly names the first ("" when none fired).
+	Anomalies    uint64
+	FirstAnomaly string
 }
 
 // stallTick is the liveness sampling interval.
@@ -119,6 +130,16 @@ func Run(sc Scenario) Result {
 		sc.Deadline = 30 * time.Second
 	}
 
+	// The flight recorder is always on: with no user tracer the run gets a
+	// ring-only trace (no NDJSON accumulation, zero steady-state
+	// allocation), and a supplied tracer gets a ring attached, so every
+	// injected fault produces a usable anomaly dump either way.
+	tr := sc.Tracer
+	if tr == nil {
+		tr = obs.NewFlightTrace(sc.Name, 0)
+	}
+	tr.AttachFlightRecorder(0)
+
 	loop := sim.NewLoop()
 	rng := sim.NewRNG(sc.Seed)
 	params := wire.DefaultTransportParams()
@@ -136,16 +157,16 @@ func Run(sc Scenario) Result {
 	// negotiate EnableFEC, which scenarios opt into via Tweak.
 	rctrl := qoe.NewRedundancyController(ctrl, qoe.RedundancyConfig{})
 	scfg.FECGate = rctrl.PlanFEC
-	ccfg.Tracer = sc.Tracer.Origin("client")
-	scfg.Tracer = sc.Tracer.Origin("server")
-	ctrl.SetTracer(sc.Tracer.Origin("server"))
-	rctrl.SetTracer(sc.Tracer.Origin("server"))
+	ccfg.Tracer = tr.Origin("client")
+	scfg.Tracer = tr.Origin("server")
+	ctrl.SetTracer(tr.Origin("server"))
+	rctrl.SetTracer(tr.Origin("server"))
 	if sc.Tweak != nil {
 		sc.Tweak(&ccfg, &scfg)
 	}
 	pair := transport.NewPair(loop, rng.Fork("net"), sc.Paths, ccfg, scfg)
 	injector := faults.NewInjector(loop, pair.Network, rng.Fork("faults"))
-	injector.SetTracer(sc.Tracer.Origin("net"))
+	injector.SetTracer(tr.Origin("net"))
 	injector.Apply(sc.Script)
 
 	v := video.Video{
@@ -153,7 +174,7 @@ func Run(sc Scenario) Result {
 		BitrateBps: 2_000_000, FPS: 30, FirstFrameSize: 32 << 10,
 	}
 	player := video.NewPlayer(v, video.DefaultPlayerConfig())
-	player.SetTracer(sc.Tracer.Origin("client"))
+	player.SetTracer(tr.Origin("client"))
 	req := video.NewRequester(pair.Client, v, player, video.DefaultRequesterConfig())
 	srv := video.NewServer(pair.Server, []video.Video{v})
 
@@ -161,9 +182,13 @@ func Run(sc Scenario) Result {
 	// progress: the liveness invariant is about payload reaching the
 	// client, not about transport chatter (PTO probes, ACKs) arriving.
 	var streamBytes uint64
+	var completedAt time.Duration // first instant req.Done() held — the session RCT
 	pair.Client.SetOnStreamData(func(now time.Duration, rs *transport.RecvStream, data []byte, fin bool) {
 		streamBytes += uint64(len(data))
 		req.OnStreamData(now, rs, data, fin)
+		if completedAt == 0 && req.Done() {
+			completedAt = now
+		}
 	})
 	pair.Server.SetOnStreamData(srv.OnStreamData)
 	pair.Client.SetQoEProvider(player.QoESignal)
@@ -231,5 +256,27 @@ func Run(sc Scenario) Result {
 	m := player.Metrics(sc.Deadline)
 	res.RebufferTime = m.RebufferTime
 	res.RebufferCount = m.RebufferCount
+
+	// Compose the per-session scorecard: transport base (server = sender
+	// side for lane attribution and per-path utilization), receiver-side
+	// FEC recoveries, player stalls, and Alg. 1 activity. Emitted at the
+	// loop's final instant so per-origin event times stay monotonic even
+	// after the quiesce probe, then merged into the registry.
+	card := pair.Server.Scorecard()
+	card.FECRecoveredBytes = pair.Client.Stats().FECRecoveredBytes
+	card.Completed = res.Completed
+	if res.Completed {
+		card.RCT = completedAt
+	}
+	card.RebufferTime = m.RebufferTime
+	card.RebufferCount = uint64(m.RebufferCount)
+	card.QoEDecisions, card.QoEEnables = ctrl.Stats()
+	card.QoETransitions = ctrl.Transitions()
+	tr.Origin("server").Scorecard(loop.Now(), &card)
+	tr.Registry().MergeScorecard(&card)
+	res.Scorecard = card
+	fr := tr.Flight()
+	res.Anomalies = fr.Anomalies()
+	res.FirstAnomaly = fr.FirstAnomaly()
 	return res
 }

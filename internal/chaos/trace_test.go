@@ -125,7 +125,7 @@ func TestChaosTraceConsistency(t *testing.T) {
 
 	// The registry counted every emitted event by name.
 	reg := sc.Tracer.Registry()
-	if got := reg.Counter(`trace_events_total{name="` + string(obs.EvPacketSent) + `"}`).Value(); got == 0 {
+	if got := reg.Counter(obs.MetricTraceEvents.With("name", string(obs.EvPacketSent))).Value(); got == 0 {
 		t.Error("registry has no packet_sent count")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -53,6 +54,11 @@ type SessionResult struct {
 	ReinjectSeries *stats.TimeSeries
 	// Completed reports whether the full video was fetched in time.
 	Completed bool
+	// Scorecard is the per-session QoE rollup (DESIGN.md §14): the
+	// transport-side base from the server connection plus player and
+	// Alg. 1 fields, ready for Registry.MergeScorecard — the unit the
+	// A/B harness aggregates per arm.
+	Scorecard obs.Scorecard
 }
 
 // Session is one wired-up emulated video play.
@@ -141,6 +147,19 @@ func (s *Session) result() SessionResult {
 	if !res.Completed {
 		res.DownloadTime = s.cfg.Deadline
 	}
+	card := s.Pair.Server.Scorecard()
+	card.FECRecoveredBytes = res.ClientStats.FECRecoveredBytes
+	card.Completed = res.Completed
+	if res.Completed {
+		card.RCT = res.DownloadTime
+	}
+	card.RebufferTime = res.Metrics.RebufferTime
+	card.RebufferCount = uint64(res.Metrics.RebufferCount)
+	if c := s.XLINK.Controller; c != nil {
+		card.QoEDecisions, card.QoEEnables = c.Stats()
+		card.QoETransitions = c.Transitions()
+	}
+	res.Scorecard = card
 	return res
 }
 

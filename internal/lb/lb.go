@@ -8,6 +8,9 @@
 package lb
 
 import (
+	"fmt"
+
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -52,11 +55,34 @@ type Router struct {
 	// DroppedUnknownID counts short-header packets whose embedded server ID
 	// matched no registered backend (a removed or never-known server).
 	DroppedUnknownID uint64
+
+	// Registry metrics (optional, see SetRegistry): per-backend routed
+	// counters and a drop counter. Handles are cached at registration so
+	// the route path bumps atomics without lookups or allocation.
+	routed  map[byte]*obs.Counter // xlinkvet:guardedby confined
+	dropped *obs.Counter
+	reg     *obs.Registry
 }
 
 // NewRouter creates a router for endpoints using cidLen-byte CIDs.
 func NewRouter(cidLen int) *Router {
 	return &Router{cidLen: cidLen, backends: make(map[byte]Backend)}
+}
+
+// SetRegistry attaches a metrics registry: routed packets are counted per
+// backend under xlink_lb_routed_total{backend="<id>"} and drops under
+// xlink_lb_dropped_total. Call before AddBackend so every backend gets its
+// labeled counter (backends added afterwards are picked up too).
+func (r *Router) SetRegistry(reg *obs.Registry) {
+	r.reg = reg
+	if reg == nil {
+		return
+	}
+	r.dropped = reg.Counter(obs.MetricLBDropped)
+	r.routed = make(map[byte]*obs.Counter)
+	for _, id := range r.ids {
+		r.routed[id] = reg.Counter(obs.MetricLBRouted.With("backend", fmt.Sprintf("%02x", id)))
+	}
 }
 
 // AddBackend registers a real server under its server ID.
@@ -65,6 +91,9 @@ func (r *Router) AddBackend(serverID byte, b Backend) {
 		r.ids = append(r.ids, serverID)
 	}
 	r.backends[serverID] = b
+	if r.reg != nil && r.routed[serverID] == nil {
+		r.routed[serverID] = r.reg.Counter(obs.MetricLBRouted.With("backend", fmt.Sprintf("%02x", serverID)))
+	}
 }
 
 // RemoveBackend unregisters a real server (crash, drain, scale-down). Its
@@ -124,7 +153,7 @@ func (r *Router) extractDCID(data []byte) ([]byte, bool) {
 func (r *Router) Route(data []byte) (Backend, bool) {
 	dcid, ok := r.extractDCID(data)
 	if !ok {
-		r.Dropped++
+		r.drop()
 		return nil, false
 	}
 	if !wire.IsLongHeader(data[0]) {
@@ -132,26 +161,50 @@ func (r *Router) Route(data []byte) (Backend, bool) {
 		// server embedded when issuing the CID.
 		if b, ok := r.backends[dcid[0]]; ok {
 			r.RoutedByID++
+			r.countRouted(dcid[0])
 			return b, true
 		}
 		// Unknown server ID: the owning backend is gone (or never existed).
 		// Hashing the packet to an arbitrary backend cannot help — it holds
 		// no keys for the connection — so the default is a counted drop.
 		if !r.FallbackRoute || len(r.ids) == 0 {
-			r.Dropped++
+			r.drop()
 			r.DroppedUnknownID++
 			return nil, false
 		}
 		r.RoutedByFallback++
-		return r.backends[r.ids[int(dcid[0])%len(r.ids)]], true
+		id := r.ids[int(dcid[0])%len(r.ids)]
+		r.countRouted(id)
+		return r.backends[id], true
 	}
 	id, ok := r.hashCID(dcid)
 	if !ok {
-		r.Dropped++
+		r.drop()
 		return nil, false
 	}
 	r.RoutedByHash++
+	r.countRouted(id)
 	return r.backends[id], true
+}
+
+// countRouted bumps the chosen backend's labeled counter (no-op without a
+// registry).
+//
+// xlinkvet:hot
+func (r *Router) countRouted(id byte) {
+	if c := r.routed[id]; c != nil {
+		c.Inc()
+	}
+}
+
+// drop bumps both the struct counter and the registry counter.
+//
+// xlinkvet:hot
+func (r *Router) drop() {
+	r.Dropped++
+	if r.dropped != nil {
+		r.dropped.Inc()
+	}
 }
 
 // Forward routes and delivers a datagram that arrived on netIdx.

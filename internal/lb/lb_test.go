@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -216,5 +217,37 @@ func TestMultipathConnectionSticksToOneBackend(t *testing.T) {
 	}
 	if len(owner.Paths()) != 2 {
 		t.Fatalf("owning backend has %d paths, want both", len(owner.Paths()))
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRouter(8)
+	reg := obs.NewRegistry()
+	r.AddBackend(1, BackendFunc(func(int, []byte) {}))
+	r.SetRegistry(reg)
+	r.AddBackend(2, BackendFunc(func(int, []byte) {})) // added after SetRegistry
+
+	short := func(id byte) []byte {
+		cid := wire.ConnectionID{id, 9, 9, 9, 9, 9, 9, 9}
+		pkt := wire.AppendShort(nil, cid, 0, 1)
+		return append(pkt, make([]byte, 32)...)
+	}
+	r.Forward(0, short(1))
+	r.Forward(0, short(1))
+	r.Forward(0, short(2))
+	r.Forward(0, short(99)) // unknown ID: counted drop
+	r.Forward(0, []byte{0x40})
+
+	if got := reg.Counter(obs.MetricLBRouted.With("backend", "01")).Value(); got != 2 {
+		t.Errorf("routed{backend=01} = %d, want 2", got)
+	}
+	if got := reg.Counter(obs.MetricLBRouted.With("backend", "02")).Value(); got != 1 {
+		t.Errorf("routed{backend=02} = %d, want 1", got)
+	}
+	if got := reg.Counter(obs.MetricLBDropped).Value(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if got := r.Dropped; got != 2 {
+		t.Errorf("struct Dropped = %d, want 2", got)
 	}
 }

@@ -1,0 +1,148 @@
+package obs
+
+import "time"
+
+// Flight recorder (DESIGN.md §14): a fixed-size ring of the most recent
+// trace event lines, kept even when full NDJSON tracing is off, so that
+// when something goes wrong in production there is a last-N record of what
+// the connection was doing. Recording overwrites the oldest slot and
+// allocates nothing; only an anomaly trigger (rare, already off the hot
+// path) materializes a dump.
+
+// DefaultFlightSlots is the ring capacity when the caller does not choose
+// one: 256 events is a few RTTs of packet-level history for one
+// connection at typical rates, at ~96 KiB fixed cost.
+const DefaultFlightSlots = 256
+
+// flightSlotBytes bounds one recorded line. Event lines are short
+// (typically < 200 bytes); a line that exceeds the slot is recorded
+// truncated and excluded from dumps (counted in Truncated) so every dump
+// stays valid NDJSON.
+const flightSlotBytes = 384
+
+// maxAnomalyDumps caps retained dumps per recorder. The first anomalies of
+// a session are the diagnostic ones (later ones are usually cascade);
+// beyond the cap only the trigger counter advances.
+const maxAnomalyDumps = 8
+
+type flightSlot struct {
+	n     int // bytes used; 0 = empty
+	trunc bool
+	buf   [flightSlotBytes]byte
+}
+
+// AnomalyDump is one flight-recorder capture: the ring contents at the
+// moment an anomaly fired, oldest event first, ending with the
+// anomaly:triggered event itself. Events is valid NDJSON (parseable with
+// ParseBytes).
+type AnomalyDump struct {
+	Reason string
+	Time   time.Duration
+	Events []byte
+}
+
+// FlightRecorder is the always-on last-N event ring attached to a Trace.
+// Like the Trace it is confined to the driving goroutine/lock; it is NOT
+// safe for concurrent use (the registry carries the cross-goroutine
+// metrics instead).
+type FlightRecorder struct {
+	slots []flightSlot // fixed at construction
+	next  int          // xlinkvet:guardedby confined
+	dumps []AnomalyDump
+	// anomalies counts triggers, including those past maxAnomalyDumps.
+	anomalies uint64
+	// truncated counts lines too long for a slot (excluded from dumps).
+	truncated uint64
+	firstReason string
+}
+
+func newFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightSlots
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n)}
+}
+
+// record copies one finished event line into the next ring slot,
+// overwriting the oldest. Zero allocation; lines longer than a slot are
+// kept truncated and flagged.
+//
+// xlinkvet:hot
+func (r *FlightRecorder) record(line []byte) {
+	s := &r.slots[r.next]
+	s.n = copy(s.buf[:], line)
+	s.trunc = s.n < len(line)
+	if s.trunc {
+		r.truncated++
+	}
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+	}
+}
+
+// snapshot concatenates the ring contents oldest-first, skipping empty and
+// truncated slots, into a fresh NDJSON buffer.
+func (r *FlightRecorder) snapshot() []byte {
+	var total int
+	for i := range r.slots {
+		if r.slots[i].n > 0 && !r.slots[i].trunc {
+			total += r.slots[i].n
+		}
+	}
+	out := make([]byte, 0, total)
+	for k := 0; k < len(r.slots); k++ {
+		s := &r.slots[(r.next+k)%len(r.slots)]
+		if s.n > 0 && !s.trunc {
+			out = append(out, s.buf[:s.n]...)
+		}
+	}
+	return out
+}
+
+// capture snapshots the ring into a retained AnomalyDump. Cold path by
+// contract: anomalies are rare, and the cap bounds total retention.
+func (r *FlightRecorder) capture(now time.Duration, reason string) {
+	r.anomalies++
+	if r.firstReason == "" {
+		r.firstReason = reason
+	}
+	if len(r.dumps) < maxAnomalyDumps {
+		r.dumps = append(r.dumps, AnomalyDump{Reason: reason, Time: now, Events: r.snapshot()})
+	}
+}
+
+// Dumps returns the retained anomaly dumps, oldest first.
+func (r *FlightRecorder) Dumps() []AnomalyDump { return r.dumps }
+
+// Anomalies returns how many anomaly triggers fired (including any past
+// the retained-dump cap).
+func (r *FlightRecorder) Anomalies() uint64 { return r.anomalies }
+
+// FirstAnomaly returns the reason of the first trigger ("" when none).
+func (r *FlightRecorder) FirstAnomaly() string { return r.firstReason }
+
+// Truncated returns how many recorded lines exceeded the slot size.
+func (r *FlightRecorder) Truncated() uint64 { return r.truncated }
+
+// Snapshot returns the current ring contents as NDJSON, oldest first —
+// the on-demand (non-anomaly) view the /debug handler serves.
+func (r *FlightRecorder) Snapshot() []byte { return r.snapshot() }
+
+// Anomaly emits an anomaly:triggered event and, when the trace has a
+// flight recorder, captures the ring into a retained dump whose last line
+// is the anomaly event itself. reason names the trigger
+// ("rebuffer_stall", "error_close", "path_auto_abandoned",
+// "fec_giveup_burst").
+func (o *Origin) Anomaly(now time.Duration, reason string) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvAnomaly)
+	o.s("reason", reason)
+	o.end()
+	o.t.anomalies.Inc()
+	if r := o.t.ring; r != nil {
+		r.capture(now, reason)
+	}
+}

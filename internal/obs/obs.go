@@ -1,23 +1,28 @@
 // Package obs is the observability seam of the XLINK reproduction: a
-// qlog-flavored structured event tracer plus a lightweight metrics
-// registry. A Trace is an append-only NDJSON event stream whose timestamps
-// come exclusively from the owning sim.Clock (the caller passes `now`; the
-// package itself never reads a clock), so the same (scenario, seed) pair
-// produces a byte-identical trace — traces are diffable artifacts, not
-// logs. Components hold an *Origin, a labeled handle onto a shared Trace;
-// a nil *Origin is the zero-overhead default: every typed event method is
-// nil-safe, takes only scalar arguments, and returns immediately without
-// allocating, so instrumented hot paths (packet send) cost nothing when
-// tracing is off.
+// qlog-flavored structured event tracer, a concurrent metrics registry,
+// and an always-on flight recorder. A Trace is an append-only NDJSON event
+// stream whose timestamps come exclusively from the owning sim.Clock (the
+// caller passes `now`; the package itself never reads a clock), so the
+// same (scenario, seed) pair produces a byte-identical trace — traces are
+// diffable artifacts, not logs. Components hold an *Origin, a labeled
+// handle onto a shared Trace; a nil *Origin is the zero-overhead default:
+// every typed event method is nil-safe, takes only scalar arguments, and
+// returns immediately without allocating, so instrumented hot paths
+// (packet send) cost nothing when tracing is off.
 //
-// Layering: obs imports only internal/stats; every other layer (transport,
-// qoe, video, faults, xlink) imports obs. Event names are the registered
-// EventName constants below — the xlinkvet `obsevent` rule rejects ad-hoc
-// string names and wall-clock timestamps at emit sites.
+// Layering: obs imports nothing above the standard library; every other
+// layer (transport, qoe, video, faults, xlink) imports obs. Event names
+// are the registered EventName constants below — the xlinkvet `obsevent`
+// rule rejects ad-hoc string names and wall-clock timestamps at emit
+// sites — and metric names are the registered MetricName catalog (see
+// registry.go), policed by the same rule.
 //
 // A Trace is not internally synchronized: it must be driven from a single
 // goroutine (the sim loop) or under an external lock (the live endpoint's
-// connection mutex), exactly like the transport.Conn it instruments.
+// connection mutex), exactly like the transport.Conn it instruments. The
+// Registry it carries IS safe for concurrent use — handles record with
+// atomics — so metrics outlive the confined event stream and can be read
+// from any goroutine (the /metrics handler).
 package obs
 
 import (
@@ -48,6 +53,8 @@ const (
 	EvPrimaryChanged EventName = "path:primary_changed"
 	// Connection lifecycle.
 	EvConnState EventName = "conn:state_changed"
+	// Per-session QoE rollup, emitted once as the session ends.
+	EvScorecard EventName = "conn:scorecard"
 	// QoE feedback and Alg. 1 double-threshold decisions.
 	EvQoESignal   EventName = "qoe:signal"
 	EvQoEDecision EventName = "qoe:reinjection_decision"
@@ -70,6 +77,9 @@ const (
 	// Fault injection (so injected faults and transport reactions share
 	// one timeline).
 	EvFaultInjected EventName = "fault:injected"
+	// Flight-recorder anomaly trigger (DESIGN.md §14): the event both
+	// lands in the stream and snapshots the recorder ring.
+	EvAnomaly EventName = "anomaly:triggered"
 )
 
 // formatHeader identifies the stream format in the first line of a trace.
@@ -81,26 +91,70 @@ const formatHeader = "xlink-ndjson-01"
 // connection (the sim scheduler or the endpoint lock — see
 // xlink.Endpoint.TraceBytes), which the confined annotations below let
 // xlinkvet enforce.
+//
+// Each event is assembled in a reused line buffer and then fanned out to
+// the sinks: the append-only NDJSON buffer (full traces) and/or the
+// flight-recorder ring (always-on last-N capture). NewFlightTrace builds a
+// ring-only trace whose steady-state emit path allocates nothing at all.
 type Trace struct {
-	title   string
-	buf     bytes.Buffer // xlinkvet:guardedby confined
-	reg     *Registry
-	events  uint64 // xlinkvet:guardedby confined
-	scratch []byte // xlinkvet:guardedby confined (number-formatting scratch, reused across events)
+	title  string
+	ndjson bool          // keep the full NDJSON stream in buf
+	buf    bytes.Buffer  // xlinkvet:guardedby confined
+	line   []byte        // xlinkvet:guardedby confined (per-event assembly buffer, reused)
+	ring   *FlightRecorder
+	reg    *Registry
+	events uint64 // xlinkvet:guardedby confined
 	// evCounters caches the per-name emit counter so the steady-state emit
 	// path neither concatenates the metric name nor walks the registry map.
 	evCounters map[EventName]*Counter // xlinkvet:guardedby confined
+	// anomalies caches the anomaly-trigger counter handle.
+	anomalies *Counter
 }
 
-// NewTrace creates an empty trace. title labels the stream in its header
-// line (typically the scenario name).
-func NewTrace(title string) *Trace {
-	t := &Trace{title: title, reg: NewRegistry(), evCounters: make(map[EventName]*Counter)}
-	t.buf.WriteString(`{"format":"` + formatHeader + `","title":`)
-	t.str(title)
-	t.buf.WriteString("}\n")
+// NewTrace creates an empty full trace: every event is appended to the
+// NDJSON stream. title labels the stream in its header line (typically the
+// scenario name).
+func NewTrace(title string) *Trace { return newTrace(title, true, 0) }
+
+// NewFlightTrace creates a ring-only trace: events are formatted into the
+// flight-recorder ring of the given capacity (DefaultFlightSlots when
+// n <= 0) and the NDJSON buffer stays empty, so always-on capture costs a
+// fixed allocation at construction and nothing per event. Bytes returns
+// nil; read the ring via Flight.
+func NewFlightTrace(title string, n int) *Trace { return newTrace(title, false, n) }
+
+func newTrace(title string, ndjson bool, ringSlots int) *Trace {
+	t := &Trace{
+		title: title, ndjson: ndjson,
+		reg:        NewRegistry(),
+		evCounters: make(map[EventName]*Counter),
+	}
+	t.anomalies = t.reg.Counter(MetricAnomalies)
+	if !ndjson || ringSlots > 0 {
+		t.ring = newFlightRecorder(ringSlots)
+	}
+	if ndjson {
+		hdr := append([]byte(nil), `{"format":"`+formatHeader+`","title":`...)
+		hdr = appendJSONString(hdr, title)
+		hdr = append(hdr, "}\n"...)
+		t.buf.Write(hdr)
+	}
 	return t
 }
+
+// AttachFlightRecorder ensures the trace has a flight-recorder ring of at
+// least the default size (or n slots when none exists yet), and returns
+// it. Attaching to a trace that already has a ring keeps the existing one.
+func (t *Trace) AttachFlightRecorder(n int) *FlightRecorder {
+	if t.ring == nil {
+		t.ring = newFlightRecorder(n)
+	}
+	return t.ring
+}
+
+// Flight returns the trace's flight recorder (nil when none is attached).
+// Like the Trace itself it is confined to the driving goroutine/lock.
+func (t *Trace) Flight() *FlightRecorder { return t.ring }
 
 // Origin returns a labeled emit handle onto the trace. A nil Trace yields
 // a nil Origin, which is the no-op tracer: safe, silent, allocation-free.
@@ -112,10 +166,12 @@ func (t *Trace) Origin(label string) *Origin {
 }
 
 // Registry returns the metrics registry attached to the trace; every
-// emitted event bumps its per-name counter.
+// emitted event bumps its per-name counter. Unlike the trace, the registry
+// is safe to read from any goroutine.
 func (t *Trace) Registry() *Registry { return t.reg }
 
-// Bytes returns the NDJSON stream accumulated so far.
+// Bytes returns the NDJSON stream accumulated so far (nil for a
+// flight-only trace).
 func (t *Trace) Bytes() []byte { return t.buf.Bytes() }
 
 // EventCount returns how many events (excluding the header) were emitted.
@@ -150,33 +206,41 @@ func (o *Origin) Emit(now time.Duration, name EventName, kv ...KV) {
 
 // --- low-level NDJSON plumbing (deterministic field order, no maps) ---
 
-// begin opens one event line: fixed header fields, then the data object.
+// begin opens one event line in the reused line buffer: fixed header
+// fields, then the data object.
 //
 // xlinkvet:hot
 func (o *Origin) begin(now time.Duration, name EventName) {
 	t := o.t
-	t.buf.WriteString(`{"time":`)
-	t.num(int64(now))
-	t.buf.WriteString(`,"origin":`)
-	t.str(o.label)
-	t.buf.WriteString(`,"name":`)
-	t.str(string(name))
-	t.buf.WriteString(`,"data":{`)
+	t.line = append(t.line[:0], `{"time":`...)
+	t.line = strconv.AppendInt(t.line, int64(now), 10)
+	t.line = append(t.line, `,"origin":`...)
+	t.line = appendJSONString(t.line, o.label)
+	t.line = append(t.line, `,"name":`...)
+	t.line = appendJSONString(t.line, string(name))
+	t.line = append(t.line, `,"data":{`...)
 	c := t.evCounters[name]
 	//xlinkvet:cold — first emit of each name builds and caches its counter; steady state is the map hit
 	if c == nil {
-		c = t.reg.Counter(`trace_events_total{name="` + string(name) + `"}`)
+		c = t.reg.Counter(MetricTraceEvents.With("name", string(name)))
 		t.evCounters[name] = c
 	}
 	c.Inc()
 }
 
-// end closes the event line.
+// end closes the event line and fans it out to the enabled sinks.
 //
 // xlinkvet:hot
 func (o *Origin) end() {
-	o.t.buf.WriteString("}}\n")
-	o.t.events++
+	t := o.t
+	t.line = append(t.line, '}', '}', '\n')
+	if t.ndjson {
+		t.buf.Write(t.line)
+	}
+	if t.ring != nil {
+		t.ring.record(t.line)
+	}
+	t.events++
 }
 
 // sep writes the comma between data fields (the data object tracks its own
@@ -184,8 +248,8 @@ func (o *Origin) end() {
 //
 // xlinkvet:hot
 func (o *Origin) sep() {
-	if b := o.t.buf.Bytes(); len(b) > 0 && b[len(b)-1] != '{' {
-		o.t.buf.WriteByte(',')
+	if b := o.t.line; len(b) > 0 && b[len(b)-1] != '{' {
+		o.t.line = append(b, ',')
 	}
 }
 
@@ -194,10 +258,10 @@ func (o *Origin) sep() {
 // xlinkvet:hot
 func (o *Origin) u64(key string, v uint64) {
 	o.sep()
-	o.t.str(key)
-	o.t.buf.WriteByte(':')
-	o.t.scratch = strconv.AppendUint(o.t.scratch[:0], v, 10)
-	o.t.buf.Write(o.t.scratch)
+	t := o.t
+	t.line = appendJSONString(t.line, key)
+	t.line = append(t.line, ':')
+	t.line = strconv.AppendUint(t.line, v, 10)
 }
 
 // i writes a signed integer field.
@@ -205,9 +269,10 @@ func (o *Origin) u64(key string, v uint64) {
 // xlinkvet:hot
 func (o *Origin) i(key string, v int64) {
 	o.sep()
-	o.t.str(key)
-	o.t.buf.WriteByte(':')
-	o.t.num(v)
+	t := o.t
+	t.line = appendJSONString(t.line, key)
+	t.line = append(t.line, ':')
+	t.line = strconv.AppendInt(t.line, v, 10)
 }
 
 // d writes a duration field in nanoseconds.
@@ -220,9 +285,10 @@ func (o *Origin) d(key string, v time.Duration) { o.i(key, int64(v)) }
 // xlinkvet:hot
 func (o *Origin) s(key, v string) {
 	o.sep()
-	o.t.str(key)
-	o.t.buf.WriteByte(':')
-	o.t.str(v)
+	t := o.t
+	t.line = appendJSONString(t.line, key)
+	t.line = append(t.line, ':')
+	t.line = appendJSONString(t.line, v)
 }
 
 // b writes a boolean field.
@@ -230,43 +296,34 @@ func (o *Origin) s(key, v string) {
 // xlinkvet:hot
 func (o *Origin) b(key string, v bool) {
 	o.sep()
-	o.t.str(key)
+	t := o.t
+	t.line = appendJSONString(t.line, key)
 	if v {
-		o.t.buf.WriteString(":true")
+		t.line = append(t.line, `:true`...)
 	} else {
-		o.t.buf.WriteString(":false")
+		t.line = append(t.line, `:false`...)
 	}
 }
 
-// num appends a signed integer to the stream via the scratch buffer.
+// appendJSONString appends a JSON string. Event payloads are internal
+// identifiers and short reasons; the escape loop handles quotes,
+// backslashes and control bytes so arbitrary reasons still produce valid
+// JSON.
 //
 // xlinkvet:hot
-func (t *Trace) num(v int64) {
-	t.scratch = strconv.AppendInt(t.scratch[:0], v, 10)
-	t.buf.Write(t.scratch)
-}
-
-// str appends a JSON string. Event payloads are internal identifiers and
-// short reasons; the escape loop handles quotes, backslashes and control
-// bytes so arbitrary reasons still produce valid JSON.
-//
-// xlinkvet:hot
-func (t *Trace) str(s string) {
-	t.buf.WriteByte('"')
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch {
 		case c == '"' || c == '\\':
-			t.buf.WriteByte('\\')
-			t.buf.WriteByte(c)
+			dst = append(dst, '\\', c)
 		case c < 0x20:
 			const hex = "0123456789abcdef"
-			t.buf.WriteString(`\u00`)
-			t.buf.WriteByte(hex[c>>4])
-			t.buf.WriteByte(hex[c&0xf])
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
 		default:
-			t.buf.WriteByte(c)
+			dst = append(dst, c)
 		}
 	}
-	t.buf.WriteByte('"')
+	return append(dst, '"')
 }

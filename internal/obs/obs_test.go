@@ -55,7 +55,7 @@ func TestTraceEventCounters(t *testing.T) {
 	o := tr.Origin("net")
 	o.FaultInjected(time.Second, "blackout(path=0)", "start")
 	o.FaultInjected(2*time.Second, "blackout(path=0)", "end")
-	c := tr.Registry().Counter(`trace_events_total{name="` + string(EvFaultInjected) + `"}`)
+	c := tr.Registry().Counter(MetricTraceEvents.With("name", string(EvFaultInjected)))
 	if c.Value() != 2 {
 		t.Fatalf("event counter = %d, want 2", c.Value())
 	}

@@ -54,6 +54,11 @@ type Controller struct {
 	// Decision counters for experiments.
 	decisions uint64
 	enables   uint64
+	// transitions counts verdict flips between consecutive decisions —
+	// the Alg. 1 oscillation measure the scorecard reports.
+	transitions uint64
+	lastVerdict bool
+	decided     bool
 
 	// tr traces every Alg. 1 evaluation (nil = no-op).
 	tr *obs.Origin
@@ -111,9 +116,17 @@ func (c *Controller) Decide(now, maxDeliverTime time.Duration) bool {
 	if on {
 		c.enables++
 	}
+	if c.decided && on != c.lastVerdict {
+		c.transitions++
+	}
+	c.decided, c.lastVerdict = true, on
 	c.tr.QoEDecision(now, dt, c.thresholds.Tth1, c.thresholds.Tth2, maxDeliverTime, on)
 	return on
 }
+
+// Transitions returns how many times consecutive Alg. 1 verdicts flipped
+// (enable<->disable) — 0 means the controller held one decision all run.
+func (c *Controller) Transitions() uint64 { return c.transitions }
 
 // Stats returns (total decisions, decisions that enabled re-injection).
 func (c *Controller) Stats() (decisions, enables uint64) {

@@ -118,3 +118,40 @@ func TestHistogramBoundsValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestHistogramMergeOrderDeterminism: folding the same set of histograms
+// in any order yields identical bucket counts and totals (the integer
+// state; Sum is float and checked within an ulp-scale tolerance).
+func TestHistogramMergeOrderDeterminism(t *testing.T) {
+	bounds := []float64{0.1, 1, 10, 100}
+	parts := make([]*Histogram, 5)
+	for i := range parts {
+		parts[i] = NewHistogram(bounds)
+		for j := 0; j < 50; j++ {
+			parts[i].Observe(float64(i*j%137) / 1.3)
+		}
+	}
+	fold := func(order []int) *Histogram {
+		acc := NewHistogram(bounds)
+		for _, i := range order {
+			if err := acc.Merge(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc
+	}
+	fwd := fold([]int{0, 1, 2, 3, 4})
+	rev := fold([]int{4, 3, 2, 1, 0})
+	if fwd.Count() != rev.Count() {
+		t.Fatalf("counts differ: %d vs %d", fwd.Count(), rev.Count())
+	}
+	fc, rc := fwd.BucketCounts(), rev.BucketCounts()
+	for i := range fc {
+		if fc[i] != rc[i] {
+			t.Fatalf("bucket %d differs: %d vs %d", i, fc[i], rc[i])
+		}
+	}
+	if d := fwd.Sum() - rev.Sum(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("sums diverge beyond tolerance: %g vs %g", fwd.Sum(), rev.Sum())
+	}
+}

@@ -1095,6 +1095,7 @@ func (c *Conn) handleLost(now time.Duration, p *Path, lost []*recovery.SentPacke
 			trigger = fallbackTrigger
 		}
 		c.tr.PacketLost(now, p.ID, sp.PN, sp.Bytes, trigger)
+		p.LostPackets++
 		if sp.AckEliciting {
 			p.CC.OnPacketLost(now, sp.SentAt, sp.Bytes)
 		}
@@ -1347,6 +1348,11 @@ func (c *Conn) recordClose(now time.Duration, code uint64, reason string, local 
 	c.stats.CloseErrorCode = code
 	c.stats.CloseReason = reason
 	c.stats.CloseLocal = local
+	if code != 0 {
+		// Error closes are the post-mortems the flight recorder exists
+		// for: snapshot the last-N events before the state is torn down.
+		c.tr.Anomaly(now, "error_close")
+	}
 	if c.cfg.OnClosed != nil {
 		c.cfg.OnClosed(now, code, reason, local)
 	}

@@ -167,9 +167,24 @@ type fecRecvWindow struct {
 
 // fecDecoder holds the receive windows, the orphan-repair stash, and the
 // solve scratch reused across recoveries.
+// fecGiveUpBurstN/fecGiveUpBurstWindow define the give-up-burst anomaly:
+// N decoder give-ups within the window means the repair budget is being
+// overwhelmed faster than episodic loss explains, which is worth a
+// flight-recorder dump.
+const (
+	fecGiveUpBurstN      = 3
+	fecGiveUpBurstWindow = time.Second
+)
+
 type fecDecoder struct {
 	wins    []*fecRecvWindow
 	orphans []*wire.FECRepairFrame
+
+	// giveUpTimes is a small ring of recent give-up instants for burst
+	// detection; giveUpIdx is the next write slot.
+	giveUpTimes [fecGiveUpBurstN]time.Duration
+	giveUpIdx   int
+	giveUpSeen  int
 
 	synBuf  []byte
 	swapBuf []byte
@@ -503,6 +518,16 @@ func (c *Conn) fecGiveUp(now time.Duration, w *fecRecvWindow, reason string) {
 	w.done = true
 	c.stats.FECDecoderGiveUps++
 	c.tr.FECGiveUp(now, w.id, reason)
+	d := &c.fecDec
+	d.giveUpTimes[d.giveUpIdx] = now
+	d.giveUpIdx = (d.giveUpIdx + 1) % fecGiveUpBurstN
+	d.giveUpSeen++
+	// The slot just advanced past holds the oldest of the last N give-ups:
+	// if it is within the window, N landed inside it — a burst.
+	if d.giveUpSeen >= fecGiveUpBurstN &&
+		now-d.giveUpTimes[d.giveUpIdx] <= fecGiveUpBurstWindow {
+		c.tr.Anomaly(now, "fec_giveup_burst")
+	}
 }
 
 // fecOnStreamData re-examines the stream's live windows after new stream

@@ -103,6 +103,7 @@ type Path struct {
 	SentPackets   uint64
 	RecvPackets   uint64
 	ReinjectBytes uint64
+	LostPackets   uint64
 }
 
 func newPath(id uint64, netIdx int, tech trace.Technology, alg cc.Algorithm) *Path {

@@ -1055,6 +1055,7 @@ func (c *Conn) onPathPTO(now time.Duration, p *Path) {
 		// usable alternative exists. The peer learns via PATH_STATUS(abandon)
 		// and, if this was the primary, a survivor is re-elected.
 		c.stats.AutoAbandonedPaths++
+		c.tr.Anomaly(now, "path_auto_abandoned")
 		c.AbandonPath(p.ID)
 		return
 	}

@@ -40,3 +40,33 @@ func BadWallClockNow(o *obs.Origin) {
 func GoodEmit(o *obs.Origin, now time.Duration) {
 	o.Emit(now, obs.EvPacketSent, obs.KV{K: "k", V: "v"})
 }
+
+// BadMetricLiteral records under an ad-hoc metric name outside the
+// catalog: 1 finding.
+func BadMetricLiteral(r *obs.Registry) {
+	r.Counter("ad_hoc_total").Inc()
+}
+
+// BadMetricChars converts a constant that breaks Prometheus naming: 1
+// finding (the charset complaint, reported before the catalog one).
+func BadMetricChars(r *obs.Registry) {
+	r.Counter(obs.MetricName("bad name")).Inc()
+}
+
+// BadMetricLaundered routes the name through a variable, escaping the
+// closed catalog: 1 finding.
+func BadMetricLaundered(r *obs.Registry) {
+	name := obs.MetricRebuffers
+	r.Counter(name).Inc()
+}
+
+// GoodMetric uses a catalog constant: no finding.
+func GoodMetric(r *obs.Registry) {
+	r.Counter(obs.MetricRebuffers).Inc()
+}
+
+// GoodMetricLabeled builds a labeled series off a catalog constant: no
+// finding.
+func GoodMetricLabeled(r *obs.Registry, backend string) {
+	r.Counter(obs.MetricLBRouted.With("backend", backend)).Inc()
+}

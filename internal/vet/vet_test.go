@@ -37,7 +37,7 @@ func TestFixturesFire(t *testing.T) {
 		{"wireerr", "wireerr", 3},
 		{"panicpath", "panicpath", 2},
 		{"maprange", "maprange", 1},
-		{"obsevent", "obsevent", 4},
+		{"obsevent", "obsevent", 7},
 		{"lockheld", "lockheld", 7},
 		{"guardedby", "guardedby", 4},
 		{"taintsize", "taintsize", 3},

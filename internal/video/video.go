@@ -169,6 +169,9 @@ func (p *Player) Advance(now time.Duration) {
 				p.rebufferCount++
 				p.rebufferStart = p.lastTime + canPlay
 				p.tr.VideoRebufferStart(p.rebufferStart, p.rebufferCount)
+				// A stall is the user-visible QoE failure: trigger a
+				// flight-recorder dump of the events leading into it.
+				p.tr.Anomaly(p.rebufferStart, "rebuffer_stall")
 			}
 		}
 		if p.consumed >= p.video.Size {

@@ -34,10 +34,11 @@ step go test -race -tags xlinkdebug -count=1 ./internal/chaos/
 # gate re-runs even when nothing changed).
 step go test -count=1 ./internal/chaos/ -run TestGoldenTrace
 # Allocation gates (DESIGN.md §11): warm hot paths must hold their alloc/op
-# budgets — zero for sim timers, crypto seal/open and rangeset updates, a
-# fixed ceiling for the transport round trip. -count=1 so the gates really
-# re-measure instead of replaying a cached pass.
-step go test -count=1 -run 'TestAllocGate' ./internal/sim/ ./internal/crypto/ ./internal/rangeset/ ./internal/transport/
+# budgets — zero for sim timers, crypto seal/open, rangeset updates and the
+# telemetry record path (counters/gauges/histograms and the flight-recorder
+# ring, DESIGN.md §14), a fixed ceiling for the transport round trip.
+# -count=1 so the gates really re-measure instead of replaying a cached pass.
+step go test -count=1 -run 'TestAllocGate' ./internal/sim/ ./internal/crypto/ ./internal/rangeset/ ./internal/transport/ ./internal/obs/
 # Benchmark smoke: every benchmark must still run (one iteration — this
 # checks the harness, not performance; `make bench` measures for real).
 step go test -run '^$' -bench . -benchtime 1x ./internal/wire/ ./internal/crypto/ ./internal/rangeset/ ./internal/sim/ ./internal/transport/ ./internal/chaos/
@@ -59,5 +60,6 @@ step go test ./internal/wire/ -run '^$' -fuzz FuzzParseVarint -fuzztime "$FUZZTI
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseHeader -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz 'FuzzParseFrame$' -fuzztime "$FUZZTIME"
 step go test ./internal/wire/ -run '^$' -fuzz FuzzParseFECFrame -fuzztime "$FUZZTIME"
+step go test ./internal/obs/ -run '^$' -fuzz FuzzParseTrace -fuzztime "$FUZZTIME"
 
 echo "check: all gates passed"

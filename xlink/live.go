@@ -9,6 +9,7 @@ import (
 	"repro/internal/assert"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/qoe"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -58,12 +59,32 @@ type Endpoint struct {
 	socks []*net.UDPConn
 	// xlinkvet:guardedby mu
 	peer []*net.UDPAddr // per netIdx: where to send (client side / learned)
+	// trace is always non-nil once the endpoint is published: the user's
+	// Tracer when one was configured, otherwise an internal ring-only
+	// flight trace — either way with a flight recorder attached, so a live
+	// connection keeps a last-N event ring for anomaly post-mortems
+	// (DESIGN.md §14). Emitted to under mu.
 	// xlinkvet:guardedby mu
-	trace *obs.Trace // optional event trace; emitted to under mu
-	done  chan struct{}
+	trace *obs.Trace
+	// userTrace records whether cfg.Tracer was supplied; TraceBytes keeps
+	// its nil-return contract when it was not.
+	userTrace bool
+	// label is this side's trace origin ("client" or "server").
+	label string
+	// ctrl is the Alg. 1 controller when the scheme wires one (server
+	// side); driven by the transport under mu.
+	ctrl *qoe.Controller // xlinkvet:guardedby mu
+	// closed gates the one-shot scorecard emission at Close.
+	closed bool // xlinkvet:guardedby mu
+	done   chan struct{}
 	// cbQ holds user callbacks raised while the lock was held; they run
-	// after release so they may re-enter the endpoint.
-	cbQ []func() // xlinkvet:guardedby mu
+	// after release so they may re-enter the endpoint. flushing marks the
+	// goroutine currently draining cbQ so a second flusher (each readLoop,
+	// the timer goroutine, and every API entry point flush) cannot pop a
+	// later callback and run it ahead of an earlier one — user callbacks
+	// must observe stream data in delivery order.
+	cbQ      []func() // xlinkvet:guardedby mu
+	flushing bool     // xlinkvet:guardedby mu
 }
 
 // enqueueCallback defers a user callback; the endpoint lock must be held.
@@ -76,18 +97,27 @@ func (ep *Endpoint) enqueueCallback(fn func()) {
 }
 
 // flushCallbacks runs deferred user callbacks outside the lock, in order.
+// Only one goroutine drains at a time: a concurrent caller returns
+// immediately and leaves its callbacks to the active drainer, which loops
+// until the queue is empty. Without that exclusivity two flushers could
+// each pop a callback and race to run them, reordering OnStreamData
+// deliveries under scheduler pressure.
 func (ep *Endpoint) flushCallbacks() {
-	for {
-		ep.mu.Lock()
-		if len(ep.cbQ) == 0 {
-			ep.mu.Unlock()
-			return
-		}
+	ep.mu.Lock()
+	if ep.flushing {
+		ep.mu.Unlock()
+		return
+	}
+	ep.flushing = true
+	for len(ep.cbQ) > 0 {
 		fn := ep.cbQ[0]
 		ep.cbQ = ep.cbQ[1:]
 		ep.mu.Unlock()
 		fn()
+		ep.mu.Lock()
 	}
+	ep.flushing = false
+	ep.mu.Unlock()
 }
 
 // Stream is the sending half of a stream on a live endpoint. It wraps the
@@ -174,11 +204,14 @@ type LiveConfig struct {
 	// QoEProvider supplies client player feedback.
 	QoEProvider func() QoESignal
 	// Tracer, when set, collects the connection's structured event stream.
-	// The trace is driven under the endpoint mutex (obs.Trace is not
-	// internally synchronized); read it with Endpoint.TraceBytes, which
-	// snapshots under the same lock. Timestamps come from the endpoint's
-	// monotonic clock, so live traces are time-consistent but — unlike sim
-	// traces — not byte-reproducible across runs.
+	// The trace is driven under the endpoint mutex (obs.Trace itself is
+	// goroutine-confined; only its Registry is internally synchronized);
+	// read it with Endpoint.TraceBytes, which snapshots under the same
+	// lock. Timestamps come from the endpoint's monotonic clock, so live
+	// traces are time-consistent but — unlike sim traces — not
+	// byte-reproducible across runs. nil skips the NDJSON stream but not
+	// the flight recorder: the endpoint always keeps a last-N event ring
+	// and a metric registry (see DebugHandler).
 	Tracer *obs.Trace
 	Seed   int64
 }
@@ -196,10 +229,12 @@ func Listen(addr string, cfg LiveConfig) (*Endpoint, error) {
 	ep := newEndpoint([]*net.UDPConn{sock})
 	x := core.New(cfg.Scheme, cfg.Options)
 	tcfg := x.ServerConfig(cfg.Seed)
-	applyLive(ep, &tcfg, cfg)
+	tr := applyLive(ep, &tcfg, cfg)
 	conn := transport.NewConn(ep.env, ep, tcfg)
 	ep.mu.Lock()
-	ep.trace = cfg.Tracer
+	ep.trace = tr
+	ep.userTrace = cfg.Tracer != nil
+	ep.ctrl = x.Controller
 	ep.conn = conn
 	ep.mu.Unlock()
 	go ep.readLoop(0, sock)
@@ -237,13 +272,15 @@ func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig
 	x := core.New(cfg.Scheme, cfg.Options)
 	tcfg := x.ClientConfig(cfg.Seed)
 	tcfg.IsClient = true
-	applyLive(ep, &tcfg, cfg)
+	tr := applyLive(ep, &tcfg, cfg)
 	conn := transport.NewConn(ep.env, ep, tcfg)
 	for i, tech := range techs {
 		conn.AddInterface(i, tech)
 	}
 	ep.mu.Lock()
-	ep.trace = cfg.Tracer
+	ep.trace = tr
+	ep.userTrace = cfg.Tracer != nil
+	ep.ctrl = x.Controller
 	ep.peer = peers
 	ep.conn = conn
 	err = conn.Start() //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
@@ -270,10 +307,11 @@ func newEndpoint(socks []*net.UDPConn) *Endpoint {
 }
 
 // applyLive copies the user callbacks into the transport config, wrapping
-// each so it is deferred past the endpoint lock. It must run before the
-// endpoint is published (Listen/Dial assign ep.trace under the lock
-// themselves).
-func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
+// each so it is deferred past the endpoint lock, and resolves the trace:
+// the user's Tracer or an internal ring-only flight trace, either way with
+// a flight recorder attached. It returns the trace for Listen/Dial to
+// assign under the lock; it must run before the endpoint is published.
+func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) *obs.Trace {
 	if len(cfg.PSK) > 0 {
 		tcfg.PSK = cfg.PSK
 	}
@@ -300,7 +338,14 @@ func applyLive(ep *Endpoint, tcfg *transport.Config, cfg LiveConfig) {
 	if tcfg.IsClient {
 		label = "client"
 	}
-	tcfg.Tracer = cfg.Tracer.Origin(label)
+	ep.label = label
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = obs.NewFlightTrace("live-"+label, 0)
+	}
+	tr.AttachFlightRecorder(0)
+	tcfg.Tracer = tr.Origin(label)
+	return tr
 }
 
 // SendDatagram implements transport.DatagramSender over the sockets. The
@@ -422,15 +467,45 @@ func (ep *Endpoint) Terminated() bool {
 }
 
 // TraceBytes snapshots the NDJSON trace accumulated so far (nil when no
-// Tracer was configured). The copy is taken under the endpoint lock, so it
-// is safe to call while the connection is live.
+// Tracer was configured — the internal flight trace keeps a ring, not a
+// stream). The copy is taken under the endpoint lock, so it is safe to
+// call while the connection is live.
 func (ep *Endpoint) TraceBytes() []byte {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if ep.trace == nil {
+	if !ep.userTrace {
 		return nil
 	}
 	return append([]byte(nil), ep.trace.Bytes()...)
+}
+
+// Metrics returns the endpoint's metric registry (the trace's registry; an
+// internal one when no Tracer was configured). The registry is internally
+// synchronized, so callers may read it from any goroutine.
+func (ep *Endpoint) Metrics() *obs.Registry {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.trace.Registry()
+}
+
+// Scorecard composes the connection's per-session QoE rollup as of now:
+// the transport base (lane attribution, per-path utilization/loss) plus
+// Alg. 1 activity when this side runs the controller. The player-level
+// fields (RCT, rebuffer, Completed) are the application's to fill — a live
+// endpoint moves bytes, not video.
+func (ep *Endpoint) Scorecard() obs.Scorecard {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.scorecardLocked()
+}
+
+func (ep *Endpoint) scorecardLocked() obs.Scorecard {
+	card := ep.conn.Scorecard()
+	if c := ep.ctrl; c != nil {
+		card.QoEDecisions, card.QoEEnables = c.Stats()
+		card.QoETransitions = c.Transitions()
+	}
+	return card
 }
 
 // LocalAddrs returns the bound socket addresses.
@@ -444,10 +519,18 @@ func (ep *Endpoint) LocalAddrs() []net.Addr {
 	return out
 }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down. The first Close emits the connection's
+// scorecard (conn:scorecard) and merges it into the registry, so /metrics
+// served after shutdown carries the session rollup.
 func (ep *Endpoint) Close() {
 	ep.mu.Lock()
 	if ep.conn != nil {
+		if !ep.closed {
+			ep.closed = true
+			card := ep.scorecardLocked()
+			ep.trace.Origin(ep.label).Scorecard(ep.env.Now(), &card) //xlinkvet:ignore lockheld — the live trace is driven under ep.mu by design; see Stream.Write doc
+			ep.trace.Registry().MergeScorecard(&card)
+		}
 		ep.conn.Close(0, "closed") //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
 	}
 	// Snapshot under the lock: the server side appends to ep.socks as it

@@ -1,0 +1,132 @@
+package xlink
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// debugState is the JSON document served at /debug: a consistent snapshot
+// of the connection taken under the endpoint lock, plus the flight
+// recorder's anomaly post-mortems.
+type debugState struct {
+	State       string          `json:"state"`
+	Established bool            `json:"established"`
+	Terminated  bool            `json:"terminated"`
+	Stats       json.RawMessage `json:"stats"`
+	Scorecard   scorecardJSON   `json:"scorecard"`
+	Anomalies   uint64          `json:"anomalies"`
+	FirstReason string          `json:"first_anomaly,omitempty"`
+	Dumps       []anomalyJSON   `json:"anomaly_dumps,omitempty"`
+}
+
+// scorecardJSON mirrors obs.Scorecard with JSON-friendly field names and
+// durations in seconds.
+type scorecardJSON struct {
+	RCTSeconds        float64    `json:"rct_seconds"`
+	Completed         bool       `json:"completed"`
+	RebufferSeconds   float64    `json:"rebuffer_seconds"`
+	RebufferCount     uint64     `json:"rebuffer_count"`
+	QoEDecisions      uint64     `json:"qoe_decisions"`
+	QoEEnables        uint64     `json:"qoe_enables"`
+	QoETransitions    uint64     `json:"qoe_transitions"`
+	StreamBytes       uint64     `json:"stream_bytes"`
+	RtxBytes          uint64     `json:"rtx_bytes"`
+	ReinjBytes        uint64     `json:"reinj_bytes"`
+	FECRecoveredBytes uint64     `json:"fec_recovered_bytes"`
+	CloseCode         uint64     `json:"close_code"`
+	Paths             []pathJSON `json:"paths"`
+}
+
+type pathJSON struct {
+	ID           uint64 `json:"id"`
+	SentPackets  uint64 `json:"sent_packets"`
+	LostPackets  uint64 `json:"lost_packets"`
+	SentBytes    uint64 `json:"sent_bytes"`
+	ReinjBytes   uint64 `json:"reinj_bytes"`
+	UtilPermille uint64 `json:"util_permille"`
+	LossPermille uint64 `json:"loss_permille"`
+}
+
+// anomalyJSON serializes one flight-recorder dump; Events is the NDJSON
+// window as text (json.Marshal would base64 the []byte).
+type anomalyJSON struct {
+	Reason      string  `json:"reason"`
+	TimeSeconds float64 `json:"time_seconds"`
+	Events      string  `json:"events"`
+}
+
+func scorecardToJSON(card obs.Scorecard) scorecardJSON {
+	out := scorecardJSON{
+		RCTSeconds:        card.RCT.Seconds(),
+		Completed:         card.Completed,
+		RebufferSeconds:   card.RebufferTime.Seconds(),
+		RebufferCount:     card.RebufferCount,
+		QoEDecisions:      card.QoEDecisions,
+		QoEEnables:        card.QoEEnables,
+		QoETransitions:    card.QoETransitions,
+		StreamBytes:       card.StreamBytes,
+		RtxBytes:          card.RtxBytes,
+		ReinjBytes:        card.ReinjBytes,
+		FECRecoveredBytes: card.FECRecoveredBytes,
+		CloseCode:         card.CloseCode,
+		Paths:             []pathJSON{},
+	}
+	for i := 0; i < card.NumPaths; i++ {
+		p := card.Paths[i]
+		out.Paths = append(out.Paths, pathJSON{
+			ID: p.ID, SentPackets: p.SentPackets, LostPackets: p.LostPackets,
+			SentBytes: p.SentBytes, ReinjBytes: p.ReinjBytes,
+			UtilPermille: p.UtilPermille, LossPermille: p.LossPermille,
+		})
+	}
+	return out
+}
+
+// DebugHandler returns an http.Handler exposing the endpoint's telemetry:
+//
+//	/metrics — the metric registry in Prometheus text exposition
+//	/debug   — a JSON snapshot: lifecycle state, transport counters, the
+//	           current scorecard, and any flight-recorder anomaly dumps
+//
+// /metrics reads only the internally-synchronized registry and never takes
+// the endpoint lock; /debug snapshots under the lock, so it is safe (if
+// momentarily serializing) to scrape while the connection moves data.
+// Mount it wherever the operational surface lives, e.g.
+//
+//	go http.ListenAndServe("127.0.0.1:9090", ep.DebugHandler())
+func (ep *Endpoint) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		ep.Metrics().Dump(w)
+	})
+	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
+		ep.mu.Lock()
+		stats, _ := json.Marshal(ep.conn.Stats())
+		st := debugState{
+			State:       ep.conn.StateName(),
+			Established: ep.conn.Established(),
+			Terminated:  ep.conn.Terminated(),
+			Stats:       stats,
+			Scorecard:   scorecardToJSON(ep.scorecardLocked()),
+		}
+		fr := ep.trace.Flight()
+		st.Anomalies = fr.Anomalies()
+		st.FirstReason = fr.FirstAnomaly()
+		for _, d := range fr.Dumps() {
+			st.Dumps = append(st.Dumps, anomalyJSON{
+				Reason:      d.Reason,
+				TimeSeconds: d.Time.Seconds(),
+				Events:      string(d.Events),
+			})
+		}
+		ep.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
+	return mux
+}

@@ -1,0 +1,165 @@
+package xlink
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDebugHandlerLive runs a small live transfer while the /metrics and
+// /debug endpoints are scraped concurrently (under -race this proves the
+// handler's locking discipline), then checks that closing the endpoint
+// lands the session scorecard in the exposition.
+func TestDebugHandlerLive(t *testing.T) {
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	var server *Endpoint
+	serverReady := make(chan struct{})
+	server, err := Listen("127.0.0.1:0", LiveConfig{
+		Scheme: SchemeXLINK,
+		OnStreamData: func(now time.Duration, s *RecvStream, data []byte, fin bool) {
+			if fin {
+				<-serverReady
+				ss := server.StreamFor(s.ID())
+				ss.Write(payload)
+				ss.Close()
+			}
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(serverReady)
+	defer server.Close()
+
+	doneCh := make(chan struct{})
+	handshakeCh := make(chan struct{})
+	var once sync.Once
+	client, err := Dial(server.LocalAddrs()[0].String(),
+		[]string{"127.0.0.1:0", "127.0.0.1:0"},
+		[]Technology{TechWiFi, TechLTE}, LiveConfig{
+			Scheme: SchemeXLINK,
+			OnStreamData: func(now time.Duration, s *RecvStream, data []byte, fin bool) {
+				if fin {
+					once.Do(func() { close(doneCh) })
+				}
+			},
+			OnHandshakeDone: func(now time.Duration) { close(handshakeCh) },
+			Seed:            2,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// No Tracer was configured, so TraceBytes keeps its nil contract while
+	// the internal flight trace still backs the debug surface.
+	if client.TraceBytes() != nil {
+		t.Error("TraceBytes should be nil without a configured Tracer")
+	}
+
+	srv := httptest.NewServer(client.DebugHandler())
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// Scrape continuously while the transfer runs.
+	scrapeStop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			get("/metrics")
+			get("/debug")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	select {
+	case <-handshakeCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handshake timed out")
+	}
+	s := client.OpenStream()
+	s.Write([]byte("GET /x\n"))
+	s.Close()
+	select {
+	case <-doneCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("transfer timed out")
+	}
+	close(scrapeStop)
+	scraper.Wait()
+
+	// Live /debug reflects the established connection.
+	var dbg struct {
+		State       string `json:"state"`
+		Established bool   `json:"established"`
+		Scorecard   struct {
+			StreamBytes uint64 `json:"stream_bytes"`
+			Paths       []struct {
+				SentPackets uint64 `json:"sent_packets"`
+			} `json:"paths"`
+		} `json:"scorecard"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug")), &dbg); err != nil {
+		t.Fatalf("/debug is not valid JSON: %v", err)
+	}
+	if !dbg.Established || dbg.State != "established" {
+		t.Errorf("/debug state = %q established = %v", dbg.State, dbg.Established)
+	}
+	if len(dbg.Scorecard.Paths) == 0 {
+		t.Error("/debug scorecard has no paths")
+	}
+
+	// /metrics before close: the trace-event families exist, no session yet.
+	if m := get("/metrics"); strings.Contains(m, "xlink_sessions_total 1") {
+		t.Error("session counted before Close")
+	}
+
+	// Close emits and merges the scorecard exactly once.
+	client.Close()
+	client.Close() // idempotent: must not double-merge
+	m := get("/metrics")
+	if !strings.Contains(m, "xlink_sessions_total 1") {
+		t.Errorf("/metrics after Close missing session rollup:\n%s", m)
+	}
+	if !strings.Contains(m, "xlink_path_sent_packets_total") {
+		t.Errorf("/metrics missing per-path family:\n%s", m)
+	}
+
+	// And the registry accessor agrees with the exposition.
+	if n := client.Metrics().Counter(obs.MetricSessions).Value(); n != 1 {
+		t.Errorf("MetricSessions = %d, want 1", n)
+	}
+}
