@@ -14,6 +14,9 @@
 //	xlinkvet -selftest             run the committed violation fixtures and
 //	                               verify every rule fires where expected
 //	                               (exit 1 if the analyzer lost a rule)
+//	xlinkvet -explain <rule>       print one rule's contract, the annotations
+//	                               it reads, and an example finding produced
+//	                               live from its fixture corpus
 //
 // Annotation grammar (comment directives read by the analyzer):
 //
@@ -34,6 +37,25 @@
 //	//xlinkvet:ignore <rule>[,<rule>] <why>
 //	    on the same or preceding line: suppress the listed rules' findings
 //	    (empty list = all rules) with a free-form justification.
+//	//xlinkvet:bounded <why>
+//	    on a `go` statement's line (or the line above), or on the spawned
+//	    function's declaration: the goroutine's lifetime is intentionally
+//	    process-bound (rule goleak).
+//	//xlinkvet:confines <why>
+//	    on a `go` statement's line (or the line above): the goroutine
+//	    constructs every confined structure it drives, so `guardedby
+//	    confined` transfers into it (goleak still applies to the spawn).
+//	// xlinkvet:owns <chan>[,<chan>]
+//	    on a function declaration: this side owns the named receiver-field
+//	    or package-level channels and is the only legal closer (rule chandir).
+//	// xlinkvet:state <from>[,<from>] -> <to>
+//	    on a method: declares a lifecycle transition over
+//	    idle→handshaking→active→closing→draining→closed (rule connstate).
+//	// xlinkvet:requires <state>[,<state>]
+//	    on a method: callable only in the named lifecycle states.
+//	// xlinkvet:releases timers / // xlinkvet:closeevent
+//	    marks the timer-disarm function and the close-trace emitter that
+//	    every terminal transition must reach.
 package main
 
 import (
@@ -50,6 +72,7 @@ import (
 func main() {
 	asPath := flag.String("as", "", "treat the single directory argument as this import path and apply every rule")
 	selftest := flag.Bool("selftest", false, "verify each rule fires on the committed violation fixtures")
+	explain := flag.String("explain", "", "print one rule's contract, annotations, and a fixture-sourced example finding")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	verbose := flag.Bool("v", false, "print type-check diagnostics")
 	flag.Parse()
@@ -60,6 +83,8 @@ func main() {
 	}
 
 	switch {
+	case *explain != "":
+		os.Exit(runExplain(os.Stdout, loader, *explain))
 	case *selftest:
 		os.Exit(runSelftest(loader, *verbose))
 	case *asPath != "":
@@ -162,6 +187,48 @@ func report(findings []vet.Finding, jsonOut bool) int {
 	return 0
 }
 
+// runExplain prints one rule family's contract and annotation grammar from
+// the vet.RuleDocs table, then runs the rule on its committed fixture and
+// shows the first finding as a live example — the documentation is sourced
+// from the same code paths the sweep uses, so it cannot drift.
+func runExplain(w io.Writer, loader *vet.Loader, rule string) int {
+	doc := vet.DocFor(rule)
+	if doc == nil {
+		names := make([]string, 0, len(vet.RuleDocs))
+		for _, d := range vet.RuleDocs {
+			names = append(names, d.Name)
+		}
+		fmt.Fprintf(os.Stderr, "xlinkvet: unknown rule %q; rules: %s\n", rule, strings.Join(names, ", "))
+		return 2
+	}
+	fmt.Fprintf(w, "rule %s\n\n", doc.Name)
+	fmt.Fprintf(w, "  %s\n", doc.Contract)
+	if len(doc.Annotations) > 0 {
+		fmt.Fprintf(w, "\nannotations\n\n")
+		for _, a := range doc.Annotations {
+			fmt.Fprintf(w, "  %s\n", a)
+		}
+	}
+	dir := loader.ModDir + "/internal/vet/testdata/fixtures/" + doc.Fixture
+	fixPath := "fixture/" + doc.Fixture
+	pkg, err := loader.LoadDirAs(dir, fixPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlinkvet: load fixture %s: %v\n", doc.Fixture, err)
+		return 2
+	}
+	findings := vet.Run(vet.FixtureConfig(loader.ModPath, fixPath), []*vet.Package{pkg})
+	for _, f := range findings {
+		if f.Rule != doc.Name {
+			continue
+		}
+		fmt.Fprintf(w, "\nexample finding (from testdata/fixtures/%s)\n\n", doc.Fixture)
+		fmt.Fprintf(w, "  %s\n", f)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "xlinkvet: rule %s produced no finding on its fixture\n", doc.Name)
+	return 2
+}
+
 // runSelftest loads each fixture under internal/vet/testdata/fixtures and
 // checks that exactly the expected rules fire, proving the analyzer still
 // detects every violation class it promises to.
@@ -181,6 +248,10 @@ func runSelftest(loader *vet.Loader, verbose bool) int {
 		{"taintsize", "taintsize", 3},
 		{"hotalloc", "hotalloc", 8},
 		{"loan", "loan", 7},
+		{"goleak", "goleak", 7},
+		{"chandir", "chandir", 8},
+		{"connstate", "connstate", 8},
+		{"broken", "loaderr", 2},
 	}
 	failed := false
 	for _, tc := range cases {

@@ -23,7 +23,7 @@ func TestJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, fixture := range []string{"hotalloc", "loan"} {
+	for _, fixture := range []string{"hotalloc", "loan", "goleak", "chandir", "connstate", "broken"} {
 		t.Run(fixture, func(t *testing.T) {
 			dir := filepath.Join(loader.ModDir, "internal", "vet", "testdata", "fixtures", fixture)
 			asPath := "fixture/" + fixture
@@ -56,5 +56,32 @@ func TestJSONGolden(t *testing.T) {
 					golden, got, want)
 			}
 		})
+	}
+}
+
+// TestExplain walks the whole RuleDocs table through runExplain: every rule
+// family must document itself and produce a live example finding from its
+// fixture, so the -explain output can never drift from the analyzer.
+func TestExplain(t *testing.T) {
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range vet.RuleDocs {
+		t.Run(doc.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if code := runExplain(&buf, loader, doc.Name); code != 0 {
+				t.Fatalf("runExplain(%s) = %d, want 0", doc.Name, code)
+			}
+			out := buf.String()
+			for _, want := range []string{"rule " + doc.Name, "example finding", "[" + doc.Name + "]"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("explain %s output missing %q:\n%s", doc.Name, want, out)
+				}
+			}
+		})
+	}
+	if code := runExplain(&bytes.Buffer{}, loader, "nosuch"); code != 2 {
+		t.Errorf("runExplain(nosuch) = %d, want 2", code)
 	}
 }

@@ -15,6 +15,7 @@ package abtest
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -243,6 +244,87 @@ func Run(pop Population, arms []Arm) map[string]*ArmResult {
 				continue
 			}
 			accumulate(results[arm.Name], v, res)
+		}
+	}
+	return results
+}
+
+// RunParallel executes the same workload as Run across a pool of worker
+// goroutines and produces identical results: the session draws come from
+// the same order-sensitive RNG fork chain, so they are all made up front on
+// the calling goroutine, and the per-session outcomes are folded in session
+// order afterwards. Workers receive session indices from a jobs channel
+// until it closes and are joined with a WaitGroup before aggregation — the
+// bounded-fleet shape xlinkvet's goleak rule requires. workers <= 1 falls
+// back to the sequential Run.
+func RunParallel(pop Population, arms []Arm, workers int) map[string]*ArmResult {
+	if workers <= 1 || pop.Sessions <= 1 {
+		return Run(pop, arms)
+	}
+	base := sim.NewRNG(pop.Seed).Fork(fmt.Sprintf("day-%d", pop.Day))
+	type drawn struct {
+		v     video.Video
+		paths []netem.PathConfig
+		seed  int64
+	}
+	draws := make([]drawn, pop.Sessions)
+	for sess := range draws {
+		srng := base.Fork(fmt.Sprintf("session-%d", sess))
+		v, paths := drawSession(srng)
+		draws[sess] = drawn{v: v, paths: paths, seed: srng.Int63()}
+	}
+
+	// Each worker writes only its own session's slot, so the outcome slice
+	// needs no lock; the WaitGroup join publishes the writes.
+	type outcome struct {
+		ok  []bool
+		res []core.SessionResult
+	}
+	outs := make([]outcome, pop.Sessions)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//xlinkvet:confines each worker runs complete sessions whose transport state is created inside this goroutine
+		go func() {
+			defer wg.Done()
+			for sess := range jobs {
+				d := draws[sess]
+				out := outcome{ok: make([]bool, len(arms)), res: make([]core.SessionResult, len(arms))}
+				for i, arm := range arms {
+					res, err := core.RunSession(core.SessionConfig{
+						Scheme:    arm.Scheme,
+						Options:   arm.Options,
+						Paths:     d.paths,
+						Video:     d.v,
+						Seed:      d.seed,
+						Requester: video.RequesterConfig{ChunkSize: 256 << 10, MaxConcurrent: 2, MaxBufferAhead: 2500 * time.Millisecond},
+						Deadline:  d.v.Duration() + 30*time.Second,
+					})
+					if err != nil {
+						continue
+					}
+					out.ok[i], out.res[i] = true, res
+				}
+				outs[sess] = out
+			}
+		}()
+	}
+	for sess := 0; sess < pop.Sessions; sess++ {
+		jobs <- sess
+	}
+	close(jobs)
+	wg.Wait()
+
+	results := make(map[string]*ArmResult, len(arms))
+	for _, arm := range arms {
+		results[arm.Name] = &ArmResult{Name: arm.Name}
+	}
+	for sess := range outs {
+		for i, arm := range arms {
+			if outs[sess].ok[i] {
+				accumulate(results[arm.Name], draws[sess].v, outs[sess].res[i])
+			}
 		}
 	}
 	return results

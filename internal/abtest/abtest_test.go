@@ -102,3 +102,48 @@ func TestImprovement(t *testing.T) {
 		t.Fatalf("improvement %v", got)
 	}
 }
+
+// TestRunParallelMatchesRun pins the parallel fleet's contract: identical
+// aggregates to the sequential Run, session draws included, regardless of
+// worker interleaving. Run under -race this also proves the workers'
+// slot-per-session writes are published by the WaitGroup join.
+func TestRunParallelMatchesRun(t *testing.T) {
+	arms := []Arm{
+		{Name: "SP", Scheme: core.SchemeSinglePath},
+		{Name: "XLINK", Scheme: core.SchemeXLINK},
+	}
+	want := Run(smallPop(2, 4), arms)
+	got := RunParallel(smallPop(2, 4), arms, 3)
+	for name, w := range want {
+		g := got[name]
+		if g == nil {
+			t.Fatalf("%s missing from parallel results", name)
+		}
+		if g.Sessions != w.Sessions || g.Completed != w.Completed {
+			t.Errorf("%s: sessions/completed %d/%d, want %d/%d",
+				name, g.Sessions, g.Completed, w.Sessions, w.Completed)
+		}
+		if len(g.RCTs) != len(w.RCTs) {
+			t.Fatalf("%s: %d RCTs, want %d", name, len(g.RCTs), len(w.RCTs))
+		}
+		for i := range w.RCTs {
+			if g.RCTs[i] != w.RCTs[i] {
+				t.Fatalf("%s: RCT[%d] = %v, want %v (fold order drifted)",
+					name, i, g.RCTs[i], w.RCTs[i])
+			}
+		}
+		if g.RebufferTime != w.RebufferTime || g.PlayTime != w.PlayTime {
+			t.Errorf("%s: rebuffer/play %v/%v, want %v/%v",
+				name, g.RebufferTime, g.PlayTime, w.RebufferTime, w.PlayTime)
+		}
+		if g.StreamBytes != w.StreamBytes || g.ReinjBytes != w.ReinjBytes {
+			t.Errorf("%s: bytes %d/%d, want %d/%d",
+				name, g.StreamBytes, g.ReinjBytes, w.StreamBytes, w.ReinjBytes)
+		}
+	}
+	// workers <= 1 must take the sequential path and agree too.
+	seq := RunParallel(smallPop(2, 4), arms, 1)
+	if seq["XLINK"].Sessions != want["XLINK"].Sessions {
+		t.Fatal("workers=1 fallback disagrees with Run")
+	}
+}

@@ -213,3 +213,31 @@ func (r *Router) Forward(netIdx int, data []byte) {
 		b.Deliver(netIdx, data)
 	}
 }
+
+// Datagram is one unit of route-loop work: a received datagram plus the
+// network index it arrived on.
+type Datagram struct {
+	NetIdx int
+	Data   []byte
+}
+
+// Pump is the balancer's route loop: it forwards datagrams from in until
+// done closes or in is closed. Pump runs in the caller's goroutine and IS
+// the confining goroutine for the router's tables — AddBackend/RemoveBackend
+// must not race with it. Launch it as `go r.Pump(in, done)` and close done
+// to get a provable clean exit (the shape xlinkvet's goleak rule demands of
+// every long-lived goroutine); the -race test asserts the loop actually
+// terminates.
+func (r *Router) Pump(in <-chan Datagram, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case d, ok := <-in:
+			if !ok {
+				return
+			}
+			r.Forward(d.NetIdx, d.Data)
+		}
+	}
+}

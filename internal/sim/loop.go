@@ -40,6 +40,7 @@ func (t Timer) live() bool {
 // already stopped. It reports whether the event was still pending.
 //
 // xlinkvet:hot
+// xlinkvet:releases timers
 func (t Timer) Stop() bool {
 	if !t.live() {
 		return false

@@ -349,6 +349,8 @@ func (c *Conn) Path(id uint64) *Path { return c.paths[id] }
 
 // AddInterface registers a local interface (client side). Call before
 // Start.
+//
+// xlinkvet:requires idle
 func (c *Conn) AddInterface(netIdx int, tech trace.Technology) {
 	c.interfaces = append(c.interfaces, Interface{NetIdx: netIdx, Tech: tech})
 }
@@ -395,6 +397,8 @@ func (c *Conn) selectPrimaryInterface() Interface {
 
 // Start begins the client handshake. The primary path uses the
 // wireless-aware best interface.
+//
+// xlinkvet:requires idle
 func (c *Conn) Start() error {
 	if !c.cfg.IsClient {
 		return fmt.Errorf("transport: Start is client-only")
@@ -642,6 +646,8 @@ func (c *Conn) clientHandleServerInitial(now time.Duration, data []byte) {
 }
 
 // becomeEstablished transitions to the established state once.
+//
+// xlinkvet:state handshake -> established
 func (c *Conn) becomeEstablished(now time.Duration) {
 	if c.state != stateHandshake {
 		return
@@ -1136,6 +1142,8 @@ func (c *Conn) evacuatePath(now time.Duration, p *Path) {
 }
 
 // OpenStream creates a new locally initiated stream.
+//
+// xlinkvet:requires established
 func (c *Conn) OpenStream() *SendStream {
 	id := c.nextStreamID
 	c.nextStreamID += 4
@@ -1144,6 +1152,8 @@ func (c *Conn) OpenStream() *SendStream {
 
 // Stream returns the send half for a stream ID, creating it if needed
 // (servers respond on the client's stream IDs this way).
+//
+// xlinkvet:requires established
 func (c *Conn) Stream(id uint64) *SendStream {
 	if s := c.sendStreams[id]; s != nil {
 		return s
@@ -1176,6 +1186,8 @@ func (c *Conn) RecvStreamFor(id uint64) *RecvStream { return c.recvStreams[id] }
 
 // StopSending asks the peer to stop sending on a stream — how a short-video
 // client abandons chunks when the viewer swipes away.
+//
+// xlinkvet:requires established
 func (c *Conn) StopSending(id uint64, code uint64) {
 	rs := c.recvStreams[id]
 	if rs != nil && rs.finished {
@@ -1192,6 +1204,8 @@ func (c *Conn) StopSending(id uint64, code uint64) {
 // remaining paths, and local resources are released. Used when the
 // application knows an interface went away (Wi-Fi turned off, signal
 // fading below threshold).
+//
+// xlinkvet:requires established
 func (c *Conn) AbandonPath(id uint64) {
 	p := c.paths[id]
 	if p == nil || p.State == PathClosed {
@@ -1265,6 +1279,7 @@ func (c *Conn) anotherUsablePath(p *Path) bool {
 // state are reset, forcing a fresh slow start — the cost the paper
 // highlights for CM (Sec 2, "CM requires resetting the congestion window
 // after migration"). In-flight data is evacuated for retransmission.
+// xlinkvet:requires established
 func (c *Conn) MigratePrimary(netIdx int, tech trace.Technology) {
 	p := c.paths[0]
 	if p == nil || p.NetIdx == netIdx {
@@ -1359,6 +1374,8 @@ func (c *Conn) recordClose(now time.Duration, code uint64, reason string, local 
 }
 
 // enterClosing starts the local-close drain period.
+//
+// xlinkvet:state handshake,established -> closing
 func (c *Conn) enterClosing(now time.Duration, code uint64, reason string) {
 	old := c.state
 	c.state = stateClosing
@@ -1370,6 +1387,8 @@ func (c *Conn) enterClosing(now time.Duration, code uint64, reason string) {
 
 // enterDraining reacts to a peer CONNECTION_CLOSE: go silent, wait out the
 // drain period so late packets are absorbed, then terminate.
+//
+// xlinkvet:state handshake,established -> draining
 func (c *Conn) enterDraining(now time.Duration, code uint64, reason string) {
 	if c.state >= stateClosing {
 		return
@@ -1385,6 +1404,8 @@ func (c *Conn) enterDraining(now time.Duration, code uint64, reason string) {
 // closeSilently terminates without notifying the peer — idle timeout
 // (RFC 9000 §10.1) and handshake failure, where no send is possible or
 // useful.
+//
+// xlinkvet:state idle,handshake,established -> closed
 func (c *Conn) closeSilently(now time.Duration, code uint64, reason string) {
 	if c.state == stateClosed {
 		return
@@ -1395,6 +1416,8 @@ func (c *Conn) closeSilently(now time.Duration, code uint64, reason string) {
 
 // enterTerminal moves to the terminal closed state and cancels all timers,
 // quiescing the event loop.
+//
+// xlinkvet:state closing,draining -> closed
 func (c *Conn) enterTerminal(now time.Duration) {
 	old := c.state
 	c.state = stateClosed

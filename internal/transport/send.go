@@ -876,6 +876,8 @@ func (c *Conn) appendAcksFor(now time.Duration, p *Path, frames []wire.Frame, bu
 // --- Timers ---
 
 // cancelTimer stops the pending timer if any.
+//
+// xlinkvet:releases timers
 func (c *Conn) cancelTimer() {
 	if c.timerCancel != nil {
 		c.timerCancel()

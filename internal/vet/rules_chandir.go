@@ -1,0 +1,219 @@
+package vet
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// --- rule: chandir ---
+//
+// Channel ownership typestate. A channel has one closing side: the function
+// (usually the owner type's Close/shutdown method) annotated
+// `//xlinkvet:owns <chan>`. With ownership declared, the rule enforces:
+//
+//   - close by a non-owner: only annotated functions may close the channel;
+//   - double close: a close reachable after a close on some path — within
+//     one function or through a call whose callee closure closes it again;
+//   - send after close: a send on the channel reachable after a close on
+//     any interprocedural path (panics at runtime);
+//   - dead letter: an unbuffered channel that is sent to somewhere in the
+//     module but never received from anywhere — every send blocks forever.
+//
+// Channel identity mirrors lock identity: field channels by declaring type
+// ("pkg.Type.field"), variables by declaration site. Unnamed channels
+// (results of calls, map loads) are out of scope.
+
+func checkChanDir(eng *engine) []Finding {
+	var out []Finding
+
+	// Resolve ownership annotations: owners[id] lists the owning functions,
+	// ownedBy[sum] the channels one summary owns. Unresolvable annotations
+	// are findings themselves — a typo'd owns must not silently disable the
+	// close discipline.
+	owners := map[chanID][]string{}
+	ownedBy := map[*funcSummary]map[chanID]bool{}
+	for _, sum := range eng.sums {
+		for _, name := range sum.owns {
+			id, why := resolveOwns(sum, name)
+			if id == "" {
+				out = append(out, Finding{
+					Pos:  sum.pkg.Fset.Position(sum.node.Pos()),
+					Rule: "chandir",
+					Msg:  fmt.Sprintf("cannot resolve xlinkvet:owns %q on %s: %s", name, sum.name, why),
+				})
+				continue
+			}
+			owners[id] = append(owners[id], sum.name)
+			if ownedBy[sum] == nil {
+				ownedBy[sum] = map[chanID]bool{}
+			}
+			ownedBy[sum][id] = true
+		}
+	}
+
+	for _, sum := range eng.sums {
+		fset := sum.pkg.Fset
+		// Direct typestate violations within one function.
+		for _, co := range sum.chanOps {
+			switch {
+			case co.kind == chanClose && co.afterClose:
+				out = append(out, Finding{
+					Pos:  fset.Position(co.pos),
+					Rule: "chandir",
+					Msg: fmt.Sprintf("double close of %s reachable in %s: the channel is already closed on some path to this statement — panics",
+						co.id, sum.name),
+				})
+			case co.kind == chanSend && co.afterClose:
+				out = append(out, Finding{
+					Pos:  fset.Position(co.pos),
+					Rule: "chandir",
+					Msg: fmt.Sprintf("send on %s reachable after its close in %s — panics; send before closing, or guard the send on the same state the close sets",
+						co.id, sum.name),
+				})
+			}
+			if co.kind == chanClose && len(owners[co.id]) > 0 && !ownedBy[sum][co.id] {
+				out = append(out, Finding{
+					Pos:  fset.Position(co.pos),
+					Rule: "chandir",
+					Msg: fmt.Sprintf("close of %s in %s, which does not declare `xlinkvet:owns`; the closing side is %s — route shutdown through the owner",
+						co.id, sum.name, strings.Join(owners[co.id], ", ")),
+				})
+			}
+		}
+		// Interprocedural after-close: a call made while a channel is
+		// may-closed whose callee closure sends on (or closes) it again.
+		for _, cs := range sum.calls {
+			if len(cs.closed) == 0 {
+				continue
+			}
+			cf := eng.transChan(cs.callee)
+			for _, id := range sortedChanIDs(cs.closed) {
+				if ref := cf.sends[id]; ref != nil {
+					out = append(out, Finding{
+						Pos:  fset.Position(cs.pos),
+						Rule: "chandir",
+						Msg: fmt.Sprintf("call to %s in %s after %s was closed reaches a send on it (at %s%s) — panics",
+							cs.callee.Name(), sum.name, id, shortPos(fset.Position(ref.pos)), viaText(ref.via)),
+					})
+				}
+				if ref := cf.closes[id]; ref != nil {
+					out = append(out, Finding{
+						Pos:  fset.Position(cs.pos),
+						Rule: "chandir",
+						Msg: fmt.Sprintf("call to %s in %s after %s was closed reaches another close of it (at %s%s) — double close",
+							cs.callee.Name(), sum.name, id, shortPos(fset.Position(ref.pos)), viaText(ref.via)),
+					})
+				}
+			}
+		}
+	}
+
+	out = append(out, deadLetters(eng)...)
+	return out
+}
+
+// deadLetters flags unbuffered channels that are sent to somewhere in the
+// module but received from nowhere: every send blocks its goroutine forever.
+// (Test files are outside the sweep; a channel drained only by tests should
+// be buffered or given a real consumer.)
+func deadLetters(eng *engine) []Finding {
+	type makeAt struct {
+		pkg *Package
+		mk  chanMake
+	}
+	makes := map[chanID]makeAt{}
+	sends := map[chanID]bool{}
+	recvs := map[chanID]bool{}
+	for _, sum := range eng.sums {
+		for id, mk := range sum.chanMakes {
+			if cur, ok := makes[id]; !ok || mk.pos < cur.mk.pos {
+				makes[id] = makeAt{pkg: sum.pkg, mk: mk}
+			}
+		}
+		for _, co := range sum.chanOps {
+			switch co.kind {
+			case chanSend:
+				sends[co.id] = true
+			case chanRecv:
+				recvs[co.id] = true
+			}
+		}
+	}
+	var out []Finding
+	for _, id := range sortedChanIDs(makesKeys(makes)) {
+		m := makes[id]
+		if !m.mk.unbuffered || !sends[id] || recvs[id] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  m.pkg.Fset.Position(m.mk.pos),
+			Rule: "chandir",
+			Msg: fmt.Sprintf("unbuffered channel %s is sent to but never received from anywhere in the module — every send blocks forever; add a consumer or buffer the channel",
+				id),
+		})
+	}
+	return out
+}
+
+func makesKeys[V any](m map[chanID]V) map[chanID]bool {
+	out := make(map[chanID]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func sortedChanIDs(set map[chanID]bool) []chanID {
+	ids := make([]chanID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func viaText(via []string) string {
+	if len(via) == 0 {
+		return ""
+	}
+	return " via " + strings.Join(via, " → ")
+}
+
+// resolveOwns maps one `xlinkvet:owns <name>` annotation to a channel
+// identity: a field of the method's receiver type, or a package-level
+// channel variable. The second result explains a failed resolution.
+func resolveOwns(sum *funcSummary, name string) (chanID, string) {
+	if sum.fn != nil {
+		if sig, ok := sum.fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			named := derefNamed(sig.Recv().Type())
+			if named != nil && named.Obj().Pkg() != nil {
+				if st, ok := named.Underlying().(*types.Struct); ok {
+					for i := 0; i < st.NumFields(); i++ {
+						fv := st.Field(i)
+						if fv.Name() != name {
+							continue
+						}
+						if _, isChan := fv.Type().Underlying().(*types.Chan); !isChan {
+							return "", fmt.Sprintf("field %q of %s is not a channel", name, named.Obj().Name())
+						}
+						return chanID(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + name), ""
+					}
+				}
+			}
+		}
+	}
+	// Package-level channel variable, named by its declaration site like
+	// chanIdentity does.
+	if sum.pkg.TypesPkg != nil {
+		if obj, ok := sum.pkg.TypesPkg.Scope().Lookup(name).(*types.Var); ok {
+			if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+				p := sum.pkg.Fset.Position(obj.Pos())
+				return chanID(fmt.Sprintf("%s.%s@%s:%d", obj.Pkg().Path(), name, pathBase(p.Filename), p.Line)), ""
+			}
+			return "", fmt.Sprintf("package-level %q is not a channel", name)
+		}
+	}
+	return "", "no receiver field or package-level channel of that name"
+}

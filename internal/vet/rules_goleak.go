@@ -1,0 +1,89 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- rule: goleak ---
+//
+// Every `go` statement must have a provable exit path. Two failure shapes
+// are flagged:
+//
+//  1. The launched function contains — or reaches through synchronous
+//     module-internal calls — an inescapable `for {}` loop: no return, no
+//     break targeting the loop, no goto, no terminating call anywhere in its
+//     body. Such a goroutine runs until process exit; under churn (one per
+//     connection, per path, per A/B session) that is a leak. A loop that
+//     exits through a done-channel/ctx receive necessarily carries a return
+//     or break in some select arm, so the usual shutdown idioms pass without
+//     annotation. Intentional process-lifetime goroutines are declared with
+//     `//xlinkvet:bounded <reason>` on the spawn line or the target's doc.
+//
+//  2. The spawn sits inside a loop of the spawning function and the spawner
+//     never joins: no sync.WaitGroup.Wait, no channel receive or range to
+//     collect results. Spawn-per-iteration without a join is unbounded
+//     goroutine growth under exactly the fleet-scale loops (per-session,
+//     per-backend) this repo is growing.
+
+func checkGoLeak(eng *engine) []Finding {
+	var out []Finding
+	for _, sum := range eng.sums {
+		fset := sum.pkg.Fset
+		for _, sp := range sum.spawns {
+			pos := fset.Position(sp.pos)
+			if sum.pkg.boundedLine(pos) {
+				continue
+			}
+			var ref *opRef
+			switch {
+			case sp.target != nil:
+				ref = eng.divergeReach(sp.target)
+			case sp.lit != nil:
+				ref = eng.divergeOf(sp.lit)
+			}
+			if ref != nil {
+				via := ""
+				if len(ref.via) > 0 {
+					via = " via " + strings.Join(ref.via, " → ")
+				}
+				out = append(out, Finding{
+					Pos:  pos,
+					Rule: "goleak",
+					Msg: fmt.Sprintf("goroutine launched in %s (%s) never exits: %s at %s%s; give it a done-channel/context exit or annotate the spawn `xlinkvet:bounded <reason>`",
+						sum.name, sp.desc, ref.desc, shortPos(fset.Position(ref.pos)), via),
+				})
+			}
+			if sp.inLoop && !spawnerJoins(sum) {
+				out = append(out, Finding{
+					Pos:  pos,
+					Rule: "goleak",
+					Msg: fmt.Sprintf("goroutine spawned inside a loop in %s with no join: the spawner neither waits on a sync.WaitGroup nor receives from a collector channel — goroutine count grows with the iteration count",
+						sum.name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// spawnerJoins reports whether the spawning function shows any joining
+// behavior: a sync WaitGroup/Once-style Wait, or a channel receive/range
+// that could collect the spawned goroutines' results.
+func spawnerJoins(sum *funcSummary) bool {
+	for _, op := range sum.ops {
+		if op.kind != opBlock {
+			continue
+		}
+		if strings.Contains(op.desc, ".Wait") ||
+			op.desc == "channel receive" || op.desc == "range over channel" {
+			return true
+		}
+	}
+	for _, co := range sum.chanOps {
+		if co.kind == chanRecv {
+			return true
+		}
+	}
+	return false
+}

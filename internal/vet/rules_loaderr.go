@@ -1,0 +1,73 @@
+package vet
+
+import (
+	"go/scanner"
+	"go/token"
+	"go/types"
+)
+
+// --- rule: loaderr ---
+//
+// The loader's own diagnostics as findings. A file that fails to parse is
+// skipped (the rest of its package still loads) and its first syntax error
+// surfaces here with a real position, so a broken tree produces a non-zero
+// exit with an actionable report instead of a panic or a silent partial
+// sweep. Type-check errors are reported under Config.StrictLoad — the
+// fixture/selftest mode — because the engine intentionally degrades around
+// incomplete type info on normal sweeps.
+
+func checkLoadErrs(cfg *Config, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, err := range pkg.ParseErrs {
+			out = append(out, Finding{
+				Pos:  errPosition(err),
+				Rule: "loaderr",
+				Msg:  "file skipped: syntax error: " + errMessage(err),
+			})
+		}
+		if !cfg.StrictLoad {
+			continue
+		}
+		for _, err := range pkg.TypeErrs {
+			out = append(out, Finding{
+				Pos:  errPosition(err),
+				Rule: "loaderr",
+				Msg:  "type error: " + errMessage(err),
+			})
+		}
+	}
+	return out
+}
+
+// errPosition extracts the best position an error carries: the first entry
+// of a scanner.ErrorList, a scanner.Error, or a types.Error.
+func errPosition(err error) token.Position {
+	switch e := err.(type) {
+	case scanner.ErrorList:
+		if len(e) > 0 {
+			return e[0].Pos
+		}
+	case *scanner.Error:
+		return e.Pos
+	case types.Error:
+		return e.Fset.Position(e.Pos)
+	}
+	return token.Position{}
+}
+
+// errMessage strips the position prefix error strings usually embed (the
+// finding prints its own Pos).
+func errMessage(err error) string {
+	switch e := err.(type) {
+	case scanner.ErrorList:
+		if len(e) > 0 {
+			return e[0].Msg
+		}
+	case *scanner.Error:
+		return e.Msg
+	case types.Error:
+		return e.Msg
+	}
+	return err.Error()
+}

@@ -39,6 +39,11 @@ import (
 
 type lockID string
 
+// chanID names a channel stably across functions, mirroring lockID: a
+// field channel by its declaring type ("pkg.Type.field"), a package-level
+// or local variable by its declaration site ("pkg.name@file:line").
+type chanID string
+
 // opKind classifies the operations the lockheld rule forbids under a lock.
 type opKind int
 
@@ -69,6 +74,7 @@ type funcOp struct {
 	pos  token.Pos
 	desc string
 	held map[lockID]bool
+	fn   *types.Func // resolved emit target (opEmit only); nil otherwise
 }
 
 // callSite is one static call to a module-internal function.
@@ -76,7 +82,56 @@ type callSite struct {
 	callee *types.Func
 	pos    token.Pos
 	held   map[lockID]bool
-	cold   bool // made on an assert.Enabled / xlinkvet:cold branch
+	closed map[chanID]bool // channels may-closed before this call on some path
+	cold   bool            // made on an assert.Enabled / xlinkvet:cold branch
+}
+
+// chanOpKind classifies the channel operations the chandir rule reasons
+// about.
+type chanOpKind int
+
+const (
+	chanSend chanOpKind = iota
+	chanRecv
+	chanClose
+)
+
+// chanOp is one channel operation on an identified channel, recorded with
+// whether a close of the same channel precedes it on some path of this
+// function (afterClose), the raw material of the chandir typestate checks.
+type chanOp struct {
+	kind       chanOpKind
+	id         chanID
+	pos        token.Pos
+	afterClose bool
+}
+
+// chanMake records where a channel identity was created and whether it is
+// unbuffered (make with no capacity, or capacity 0).
+type chanMake struct {
+	pos        token.Pos
+	unbuffered bool
+}
+
+// spawnSite is one `go` statement: the launched target (a named function or
+// a literal's summary) and whether the spawn sits inside a loop of the
+// spawning function.
+type spawnSite struct {
+	pos    token.Pos
+	target *types.Func  // static named callee; nil for literals/dynamic
+	lit    *funcSummary // literal body summary; nil for named targets
+	inLoop bool
+	desc   string
+}
+
+// stateTransition is one parsed `xlinkvet:state <from>[,<from>] -> <to>`
+// annotation. A failed parse keeps raw and leaves to empty so the connstate
+// rule can report the malformed directive.
+type stateTransition struct {
+	froms []string
+	to    string
+	raw   string
+	pos   token.Pos
 }
 
 // allocSite is one heap-allocation site recorded by the walker: the raw
@@ -119,6 +174,18 @@ type funcSummary struct {
 	goTargets []*types.Func        // static callees launched with `go`
 	goLaunched bool                // literal launched with `go` at its definition
 	hot        bool                // declared `// xlinkvet:hot`
+
+	// Concurrency-lifecycle facts (goleak / chandir / connstate).
+	spawns     []spawnSite          // every `go` statement in this function
+	chanOps    []chanOp             // sends/receives/closes on identified channels
+	chanMakes  map[chanID]chanMake  // channels this function creates
+	diverges   token.Pos            // first inescapable `for {}` loop (NoPos: none)
+	bounded    bool                 // declared `// xlinkvet:bounded <why>`
+	owns       []string             // raw `xlinkvet:owns` channel names
+	transition *stateTransition     // parsed `xlinkvet:state` annotation
+	requires   []string             // raw `xlinkvet:requires` state names
+	releases   bool                 // declared `// xlinkvet:releases timers`
+	closeEvent bool                 // declared `// xlinkvet:closeevent`
 }
 
 // guardInfo is one resolved `xlinkvet:guardedby` field annotation.
@@ -153,6 +220,17 @@ type engine struct {
 	acqBusy   map[*types.Func]bool
 
 	goReach map[*funcSummary]bool
+
+	// Concurrency-lifecycle tables (goleak / chandir / connstate).
+	divergeMemo map[*types.Func]*opRef
+	divergeBusy map[*types.Func]bool
+	chanMemo    map[*types.Func]*chanFacts
+	chanBusy    map[*types.Func]bool
+	reqMemo     map[*types.Func][]reqRef
+	reqBusy     map[*types.Func]bool
+	releasers   map[*types.Func]bool // funcs declared `xlinkvet:releases timers`
+	closeEmits  map[*types.Func]bool // funcs declared `xlinkvet:closeevent`
+	requiresOf  map[*types.Func][]string
 }
 
 // newEngine builds summaries for every function in pkgs (which must
@@ -171,6 +249,15 @@ func newEngine(cfg *Config, pkgs []*Package) *engine {
 		acqMemo:     map[*types.Func]map[lockID]token.Pos{},
 		acqBusy:     map[*types.Func]bool{},
 		goReach:     map[*funcSummary]bool{},
+		divergeMemo: map[*types.Func]*opRef{},
+		divergeBusy: map[*types.Func]bool{},
+		chanMemo:    map[*types.Func]*chanFacts{},
+		chanBusy:    map[*types.Func]bool{},
+		reqMemo:     map[*types.Func][]reqRef{},
+		reqBusy:     map[*types.Func]bool{},
+		releasers:   map[*types.Func]bool{},
+		closeEmits:  map[*types.Func]bool{},
+		requiresOf:  map[*types.Func][]string{},
 	}
 	// Per-package summary construction is independent; run it in parallel
 	// and splice the results back in package order so everything downstream
@@ -190,6 +277,15 @@ func newEngine(cfg *Config, pkgs []*Package) *engine {
 	for _, sum := range eng.sums {
 		if sum.fn != nil {
 			eng.byFn[sum.fn] = sum
+			if sum.releases {
+				eng.releasers[sum.fn] = true
+			}
+			if sum.closeEvent {
+				eng.closeEmits[sum.fn] = true
+			}
+			if sum.requires != nil {
+				eng.requiresOf[sum.fn] = sum.requires
+			}
 		}
 	}
 	for _, sum := range eng.sums {
@@ -222,6 +318,16 @@ func summarizePackage(cfg *Config, pkg *Package) []*funcSummary {
 				pkg: pkg, fn: fn, node: decl, name: declName(decl),
 				acquires: map[lockID]token.Pos{},
 				hot:      hasDirective(decl.Doc, hotDirective),
+				bounded:  hasDirective(decl.Doc, boundedDirective),
+				owns:     directiveArgs(decl.Doc, ownsDirective),
+				requires: parseRequires(decl.Doc),
+			}
+			if rel := directiveArgs(decl.Doc, releasesDirective); len(rel) > 0 && rel[0] == "timers" {
+				sum.releases = true
+			}
+			sum.closeEvent = hasDirective(decl.Doc, closeEventDirective)
+			if args := directiveArgs(decl.Doc, stateDirective); args != nil {
+				sum.transition = parseTransition(args, decl.Name.Pos())
 			}
 			w := &walker{cfg: cfg, pkg: pkg, sum: sum, out: &sums}
 			w.addParams(decl.Type)
@@ -234,11 +340,78 @@ func summarizePackage(cfg *Config, pkg *Package) []*funcSummary {
 }
 
 // Annotation directives recognized on declarations (beyond the loader's
-// `xlinkvet:ignore` and `xlinkvet:cold` line directives).
+// `xlinkvet:ignore`, `xlinkvet:cold` and `xlinkvet:bounded` line
+// directives).
 const (
-	hotDirective  = "xlinkvet:hot"
-	loanDirective = "xlinkvet:loan"
+	hotDirective        = "xlinkvet:hot"
+	loanDirective       = "xlinkvet:loan"
+	boundedDirective    = "xlinkvet:bounded"    // goroutine lifetime is documented-bounded
+	ownsDirective       = "xlinkvet:owns"       // this function owns (and may close) the named channels
+	stateDirective      = "xlinkvet:state"      // lifecycle transition: <from>[,<from>] -> <to>
+	requiresDirective   = "xlinkvet:requires"   // method is only legal in the listed states
+	releasesDirective   = "xlinkvet:releases"   // `timers`: cancels pending timers
+	closeEventDirective = "xlinkvet:closeevent" // emits the lifecycle close trace event
 )
+
+// parseRequires extracts the states of an `xlinkvet:requires` annotation,
+// accepting both `xlinkvet:requires active,closing` and the parenthesized
+// `xlinkvet:requires(active,closing)` spelling. nil means no annotation; an
+// empty slice means an annotation that names no states (reported by the
+// connstate rule).
+func parseRequires(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, requiresDirective)
+		if !ok {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		if r, ok := strings.CutPrefix(rest, "("); ok {
+			rest = r
+			if i := strings.IndexByte(rest, ')'); i >= 0 {
+				rest = rest[:i]
+			}
+		}
+		fields := strings.Fields(rest)
+		out := []string{}
+		if len(fields) > 0 {
+			for _, s := range strings.Split(fields[0], ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// parseTransition parses `xlinkvet:state <from>[,<from>] -> <to>` argument
+// fields. On malformed input the returned transition keeps the raw text and
+// an empty `to`, which the connstate rule reports.
+func parseTransition(args []string, pos token.Pos) *stateTransition {
+	raw := strings.Join(args, " ")
+	t := &stateTransition{raw: raw, pos: pos}
+	parts := strings.Split(raw, "->")
+	if len(parts) != 2 {
+		return t
+	}
+	for _, s := range strings.Split(parts[0], ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			t.froms = append(t.froms, s)
+		}
+	}
+	toFields := strings.Fields(parts[1])
+	if len(t.froms) == 0 || len(toFields) == 0 {
+		t.froms = nil
+		return t
+	}
+	t.to = toFields[0]
+	return t
+}
 
 // hasDirective reports whether a comment group carries the given directive
 // as a whole word at the start of a comment line.
@@ -285,6 +458,7 @@ func declName(decl *ast.FuncDecl) string {
 
 type flow struct {
 	held       map[lockID]bool
+	closed     map[chanID]bool // channels closed on some path up to here (may-closed)
 	terminated bool
 	cold       bool // inside an assert.Enabled / xlinkvet:cold region
 }
@@ -296,6 +470,12 @@ func (f *flow) clone() *flow {
 	for k := range f.held {
 		c.held[k] = true
 	}
+	if len(f.closed) > 0 {
+		c.closed = make(map[chanID]bool, len(f.closed))
+		for k := range f.closed {
+			c.closed[k] = true
+		}
+	}
 	return c
 }
 
@@ -305,6 +485,17 @@ func (f *flow) heldSnapshot() map[lockID]bool {
 	}
 	c := make(map[lockID]bool, len(f.held))
 	for k := range f.held {
+		c[k] = true
+	}
+	return c
+}
+
+func (f *flow) closedSnapshot() map[chanID]bool {
+	if len(f.closed) == 0 {
+		return nil
+	}
+	c := make(map[chanID]bool, len(f.closed))
+	for k := range f.closed {
 		c[k] = true
 	}
 	return c
@@ -346,7 +537,20 @@ func joinInto(f *flow, branches ...*flow) {
 			break
 		}
 	}
+	// The closed set joins by union: a close that happened on any live
+	// branch makes a later send/close suspect ("reachable after a close on
+	// some path"), the conservative direction for the chandir rule.
+	var closed map[chanID]bool
+	for _, b := range live {
+		for k := range b.closed {
+			if closed == nil {
+				closed = map[chanID]bool{}
+			}
+			closed[k] = true
+		}
+	}
 	f.held = held
+	f.closed = closed
 	f.terminated = false
 	f.cold = cold
 }
@@ -373,6 +577,7 @@ type walker struct {
 	owned map[*types.Var]bool
 
 	noChanOps int // >0 while walking a select comm clause (non-blocking there)
+	loops     int // >0 while walking a for/range body (spawn-in-loop detection)
 }
 
 // addParams records the parameter objects declared by a function type so
@@ -409,6 +614,9 @@ func (w *walker) stmt(s ast.Stmt, f *flow) {
 		if w.noChanOps == 0 {
 			w.op(opBlock, s.Arrow, "channel send", f)
 		}
+		// Recorded even inside select clauses: a send after close panics
+		// whether or not the rendezvous was non-blocking.
+		w.chanRecord(chanSend, s.Chan, s.Arrow, f)
 	case *ast.IncDecStmt:
 		w.expr(s.X, f)
 	case *ast.AssignStmt:
@@ -419,6 +627,7 @@ func (w *walker) stmt(s ast.Stmt, f *flow) {
 			w.expr(e, f)
 		}
 		w.trackOwned(s)
+		w.trackChanMakes(s)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -471,8 +680,16 @@ func (w *walker) stmt(s ast.Stmt, f *flow) {
 		if s.Cond != nil {
 			w.expr(s.Cond, f)
 		}
+		if s.Cond == nil && !loopEscapes(s.Body) && w.sum.diverges == token.NoPos {
+			// An inescapable `for {}`: no return, loop-leaving break, goto or
+			// terminating call anywhere at loop depth. Reaching it means the
+			// goroutine never exits — the raw material of the goleak rule.
+			w.sum.diverges = s.For
+		}
 		bodyF := f.clone()
+		w.loops++
 		w.stmt(s.Body, bodyF)
+		w.loops--
 		if s.Post != nil {
 			w.stmt(s.Post, bodyF)
 		}
@@ -487,12 +704,17 @@ func (w *walker) stmt(s ast.Stmt, f *flow) {
 	case *ast.RangeStmt:
 		w.expr(s.X, f)
 		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
-			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && w.noChanOps == 0 {
-				w.op(opBlock, s.For, "range over channel", f)
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				if w.noChanOps == 0 {
+					w.op(opBlock, s.For, "range over channel", f)
+				}
+				w.chanRecord(chanRecv, s.X, s.For, f)
 			}
 		}
 		bodyF := f.clone()
+		w.loops++
 		w.stmt(s.Body, bodyF)
+		w.loops--
 		joinInto(f, f.clone(), bodyF)
 	case *ast.SwitchStmt:
 		if s.Init != nil {
@@ -575,15 +797,30 @@ func (w *walker) goStmt(s *ast.GoStmt, f *flow) {
 		w.expr(a, f)
 	}
 	w.alloc(s.Go, "goroutine launch", f)
+	// An `xlinkvet:confines` spawn constructs every confined structure it
+	// drives (e.g. a worker running complete self-contained sessions), so it
+	// does not seed the goroutine-reachability set guardedby's confined
+	// discipline checks. The spawn site itself is still recorded: goleak
+	// applies to confining goroutines like any other.
+	confines := w.pkg.confinesLine(w.pkg.Fset.Position(s.Go))
+	sp := spawnSite{pos: s.Go, inLoop: w.loops > 0}
 	switch fun := s.Call.Fun.(type) {
 	case *ast.FuncLit:
-		w.valueLit(fun, true)
+		sp.lit = w.valueLit(fun, !confines)
+		sp.desc = "function literal"
 	default:
 		w.expr(fun, f) // records guarded-field reads in e.g. `go x.f.m()`
 		if fn := w.staticCallee(s.Call); fn != nil {
-			w.sum.goTargets = append(w.sum.goTargets, fn)
+			if !confines {
+				w.sum.goTargets = append(w.sum.goTargets, fn)
+			}
+			sp.target = fn
+			sp.desc = fn.Name()
+		} else {
+			sp.desc = "dynamic call"
 		}
 	}
+	w.sum.spawns = append(w.sum.spawns, sp)
 }
 
 func (w *walker) deferStmt(s *ast.DeferStmt, f *flow) {
@@ -611,8 +848,11 @@ func (w *walker) expr(e ast.Expr, f *flow) {
 		w.call(e, f)
 	case *ast.UnaryExpr:
 		w.expr(e.X, f)
-		if e.Op == token.ARROW && w.noChanOps == 0 {
-			w.op(opBlock, e.OpPos, "channel receive", f)
+		if e.Op == token.ARROW {
+			if w.noChanOps == 0 {
+				w.op(opBlock, e.OpPos, "channel receive", f)
+			}
+			w.chanRecord(chanRecv, e.X, e.OpPos, f)
 		}
 		if e.Op == token.AND {
 			if _, isLit := unparen(e.X).(*ast.CompositeLit); isLit {
@@ -635,8 +875,10 @@ func (w *walker) expr(e ast.Expr, f *flow) {
 		w.valueLit(e, false)
 	case *ast.CompositeLit:
 		structLit := false
+		var litNamed *types.Named
 		if tv, ok := w.pkg.Info.Types[e]; ok && tv.Type != nil {
 			_, structLit = tv.Type.Underlying().(*types.Struct)
+			litNamed = derefNamed(tv.Type)
 			switch tv.Type.Underlying().(type) {
 			case *types.Slice:
 				w.alloc(e.Pos(), "slice literal allocation", f)
@@ -650,6 +892,15 @@ func (w *walker) expr(e ast.Expr, f *flow) {
 				// construction, which is not yet shared: not an access.
 				if !structLit {
 					w.expr(kv.Key, f)
+				} else if litNamed != nil && litNamed.Obj().Pkg() != nil {
+					// `done: make(chan struct{})` in a constructor literal
+					// creates the field channel.
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						if unbuffered, isMake := w.makeChan(kv.Value); isMake {
+							id := chanID(litNamed.Obj().Pkg().Path() + "." + litNamed.Obj().Name() + "." + key.Name)
+							w.recordChanMake(id, kv.Value.Pos(), unbuffered)
+						}
+					}
 				}
 				w.expr(kv.Value, f)
 				continue
@@ -697,7 +948,7 @@ func (w *walker) access(sel *ast.Ident, f *flow) {
 // valueLit summarizes a function literal that escapes as a value (callback
 // registration, timer body, goroutine body): it runs later, so its held
 // set starts empty.
-func (w *walker) valueLit(lit *ast.FuncLit, goLaunched bool) {
+func (w *walker) valueLit(lit *ast.FuncLit, goLaunched bool) *funcSummary {
 	sum := &funcSummary{
 		pkg: w.pkg, node: lit,
 		name:       "function literal in " + w.sum.name,
@@ -708,6 +959,7 @@ func (w *walker) valueLit(lit *ast.FuncLit, goLaunched bool) {
 	lw.addParams(lit.Type)
 	lw.stmts(lit.Body.List, newFlow())
 	*w.out = append(*w.out, sum)
+	return sum
 }
 
 // inlineLit walks a literal that executes within the current flow
@@ -776,6 +1028,10 @@ func (w *walker) call(call *ast.CallExpr, f *flow) {
 		switch obj.Name() {
 		case "panic":
 			f.terminated = true
+		case "close":
+			if len(call.Args) == 1 {
+				w.chanRecord(chanClose, call.Args[0], call.Pos(), f)
+			}
 		case "make":
 			w.alloc(call.Pos(), "make allocation", f)
 		case "new":
@@ -853,7 +1109,10 @@ func (w *walker) staticCall(fn *types.Func, call *ast.CallExpr, f *flow) {
 		return
 	}
 	if matchPkg(pkg.Path(), w.cfg.ObsPkgs) && recvTypeName(fn) == "Origin" {
-		w.op(opEmit, call.Pos(), "obs trace emit "+fn.Name(), f)
+		w.sum.ops = append(w.sum.ops, funcOp{
+			kind: opEmit, pos: call.Pos(), desc: "obs trace emit " + fn.Name(),
+			held: f.heldSnapshot(), fn: fn,
+		})
 		return
 	}
 	if sig, ok := fn.Type().(*types.Signature); ok {
@@ -862,7 +1121,10 @@ func (w *walker) staticCall(fn *types.Func, call *ast.CallExpr, f *flow) {
 	// Module-internal static call (methods included). Interface methods
 	// resolve to *types.Func too but never have a summary; the engine
 	// treats them as leaves.
-	w.sum.calls = append(w.sum.calls, callSite{callee: fn, pos: call.Pos(), held: f.heldSnapshot(), cold: f.cold})
+	w.sum.calls = append(w.sum.calls, callSite{
+		callee: fn, pos: call.Pos(),
+		held: f.heldSnapshot(), closed: f.closedSnapshot(), cold: f.cold,
+	})
 }
 
 // alloc records one heap-allocation site under the current flow.
@@ -1209,6 +1471,211 @@ func (w *walker) staticCallee(call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// --- channel identity and lifecycle recording ---
+
+// chanIdentity names a channel stably across functions, mirroring
+// lockIdentity: a field channel by its declaring type, a package-level or
+// local variable by its declaration site. Non-channel expressions and
+// channels the engine cannot name yield "".
+func (w *walker) chanIdentity(x ast.Expr) chanID {
+	x = unparen(x)
+	tv, ok := w.pkg.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return ""
+	}
+	switch v := x.(type) {
+	case *ast.SelectorExpr:
+		if xtv, ok := w.pkg.Info.Types[v.X]; ok && xtv.Type != nil {
+			if named := derefNamed(xtv.Type); named != nil && named.Obj().Pkg() != nil {
+				return chanID(named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Sel.Name)
+			}
+		}
+		// A package-qualified channel variable (`pkg.ch`) resolves below.
+		if obj, isVar := w.pkg.Info.Uses[v.Sel].(*types.Var); isVar && isPackageLevel(obj) {
+			p := w.pkg.Fset.Position(obj.Pos())
+			return chanID(fmt.Sprintf("%s.%s@%s:%d", obj.Pkg().Path(), obj.Name(), filepath.Base(p.Filename), p.Line))
+		}
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[v]
+		if obj == nil {
+			obj = w.pkg.Info.Defs[v]
+		}
+		if obj != nil && obj.Pkg() != nil {
+			p := w.pkg.Fset.Position(obj.Pos())
+			return chanID(fmt.Sprintf("%s.%s@%s:%d", obj.Pkg().Path(), v.Name, filepath.Base(p.Filename), p.Line))
+		}
+	}
+	return ""
+}
+
+// chanRecord logs one send/receive/close on an identified channel with the
+// may-closed state at that point; a close updates the flow so later ops in
+// this function see afterClose.
+func (w *walker) chanRecord(kind chanOpKind, x ast.Expr, pos token.Pos, f *flow) {
+	id := w.chanIdentity(x)
+	if id == "" {
+		return
+	}
+	w.sum.chanOps = append(w.sum.chanOps, chanOp{kind: kind, id: id, pos: pos, afterClose: f.closed[id]})
+	if kind == chanClose {
+		if f.closed == nil {
+			f.closed = map[chanID]bool{}
+		}
+		f.closed[id] = true
+	}
+}
+
+// trackChanMakes records channel creations from assignments:
+// `done := make(chan struct{})`, `c.out = make(chan int, 8)`.
+func (w *walker) trackChanMakes(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		unbuffered, ok := w.makeChan(s.Rhs[i])
+		if !ok {
+			continue
+		}
+		w.recordChanMake(w.chanIdentity(lhs), s.Rhs[i].Pos(), unbuffered)
+	}
+}
+
+// makeChan reports whether e is a `make(chan ...)` call and whether the
+// resulting channel is unbuffered (no capacity argument, or a constant 0).
+func (w *walker) makeChan(e ast.Expr) (unbuffered, ok bool) {
+	call, isCall := unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	id, isIdent := unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false, false
+	}
+	if b, isB := w.pkg.Info.Uses[id].(*types.Builtin); !isB || b.Name() != "make" {
+		return false, false
+	}
+	tv, okT := w.pkg.Info.Types[call]
+	if !okT || tv.Type == nil {
+		return false, false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return true, true
+	}
+	if ctv, okC := w.pkg.Info.Types[call.Args[1]]; okC && ctv.Value != nil && ctv.Value.String() == "0" {
+		return true, true
+	}
+	return false, true
+}
+
+// recordChanMake stores the first creation site seen for a channel identity.
+func (w *walker) recordChanMake(id chanID, pos token.Pos, unbuffered bool) {
+	if id == "" {
+		return
+	}
+	if w.sum.chanMakes == nil {
+		w.sum.chanMakes = map[chanID]chanMake{}
+	}
+	if _, exists := w.sum.chanMakes[id]; !exists {
+		w.sum.chanMakes[id] = chanMake{pos: pos, unbuffered: unbuffered}
+	}
+}
+
+// loopEscapes reports whether the body of a condition-less `for {}` loop
+// can leave the loop or the function: a return, a break targeting this loop,
+// any labeled break/continue or goto, or a terminating call (panic, os.Exit,
+// runtime.Goexit, log.Fatal*) at loop depth. Function literals inside the
+// body run on other frames and don't count; nested for/range/switch/select
+// re-target unlabeled break, so breaks there don't escape this loop.
+func loopEscapes(body *ast.BlockStmt) bool {
+	return stmtsEscape(body.List, 0)
+}
+
+func stmtsEscape(list []ast.Stmt, depth int) bool {
+	for _, s := range list {
+		if stmtEscapes(s, depth) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtEscapes walks one statement; depth counts the break-capturing
+// constructs (for/range/switch/select) between s and the loop under test.
+func stmtEscapes(s ast.Stmt, depth int) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			return true
+		case token.BREAK:
+			return s.Label != nil || depth == 0
+		case token.CONTINUE:
+			return s.Label != nil
+		}
+		return false
+	case *ast.ExprStmt:
+		return exprEscapes(s.X)
+	case *ast.BlockStmt:
+		return stmtsEscape(s.List, depth)
+	case *ast.LabeledStmt:
+		return stmtEscapes(s.Stmt, depth)
+	case *ast.IfStmt:
+		if s.Init != nil && stmtEscapes(s.Init, depth) {
+			return true
+		}
+		if stmtEscapes(s.Body, depth) {
+			return true
+		}
+		return s.Else != nil && stmtEscapes(s.Else, depth)
+	case *ast.ForStmt:
+		return stmtEscapes(s.Body, depth+1)
+	case *ast.RangeStmt:
+		return stmtEscapes(s.Body, depth+1)
+	case *ast.SwitchStmt:
+		return stmtEscapes(s.Body, depth+1)
+	case *ast.TypeSwitchStmt:
+		return stmtEscapes(s.Body, depth+1)
+	case *ast.SelectStmt:
+		return stmtEscapes(s.Body, depth+1)
+	case *ast.CaseClause:
+		return stmtsEscape(s.Body, depth)
+	case *ast.CommClause:
+		return stmtsEscape(s.Body, depth)
+	}
+	return false
+}
+
+// exprEscapes recognizes terminating calls syntactically (the helper runs
+// without type information: a shadowed `panic` or a local `os` is accepted
+// imprecisely, erring toward "the loop can exit" — fewer goleak reports,
+// never a spurious one).
+func exprEscapes(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + fun.Sel.Name {
+			case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // --- guardedby annotation collection ---
 
 const guardedByDirective = "xlinkvet:guardedby"
@@ -1466,6 +1933,203 @@ func (eng *engine) computeGoReach() {
 			}
 		}
 	}
+}
+
+// --- concurrency-lifecycle closures ---
+
+// divergeReach returns the nearest inescapable `for {}` loop reachable from
+// fn through synchronous module-internal calls, with the call chain that
+// leads to it, or nil when every reachable path can terminate (or fn is
+// annotated `xlinkvet:bounded`).
+func (eng *engine) divergeReach(fn *types.Func) *opRef {
+	if r, ok := eng.divergeMemo[fn]; ok {
+		return r
+	}
+	if eng.divergeBusy[fn] {
+		return nil // recursion: the cycle's loops are found elsewhere
+	}
+	eng.divergeBusy[fn] = true
+	defer delete(eng.divergeBusy, fn)
+
+	sum := eng.byFn[fn]
+	if sum == nil {
+		eng.divergeMemo[fn] = nil
+		return nil
+	}
+	r := eng.divergeOf(sum)
+	eng.divergeMemo[fn] = r
+	return r
+}
+
+// divergeOf evaluates one summary — a named function or a goroutine
+// literal: its own inescapable loop, or the first one reached through a
+// callee. A `xlinkvet:bounded` annotation on the declaration vouches for
+// the whole subtree.
+func (eng *engine) divergeOf(sum *funcSummary) *opRef {
+	if sum.bounded {
+		return nil
+	}
+	if sum.diverges != token.NoPos {
+		return &opRef{pos: sum.diverges, desc: "inescapable `for {}` loop"}
+	}
+	for _, cs := range sum.calls {
+		if sub := eng.divergeReach(cs.callee); sub != nil {
+			via := append([]string{cs.callee.Name()}, sub.via...)
+			if len(via) > 5 {
+				via = via[:5]
+			}
+			return &opRef{pos: sub.pos, desc: sub.desc, via: via}
+		}
+	}
+	return nil
+}
+
+// chanRef is one reachable channel operation with the call chain (callee
+// names, outermost first) that leads to it.
+type chanRef struct {
+	pos token.Pos
+	via []string
+}
+
+// chanFacts aggregates the channel sends and closes reachable from one
+// function through synchronous module-internal calls, one representative
+// site per channel identity.
+type chanFacts struct {
+	sends  map[chanID]*chanRef
+	closes map[chanID]*chanRef
+}
+
+// transChan returns the channel facts reachable from fn.
+func (eng *engine) transChan(fn *types.Func) *chanFacts {
+	if cf, ok := eng.chanMemo[fn]; ok {
+		return cf
+	}
+	if eng.chanBusy[fn] {
+		return &chanFacts{}
+	}
+	eng.chanBusy[fn] = true
+	defer delete(eng.chanBusy, fn)
+
+	cf := &chanFacts{sends: map[chanID]*chanRef{}, closes: map[chanID]*chanRef{}}
+	sum := eng.byFn[fn]
+	if sum == nil {
+		eng.chanMemo[fn] = cf
+		return cf
+	}
+	for _, op := range sum.chanOps {
+		switch op.kind {
+		case chanSend:
+			if cf.sends[op.id] == nil {
+				cf.sends[op.id] = &chanRef{pos: op.pos}
+			}
+		case chanClose:
+			if cf.closes[op.id] == nil {
+				cf.closes[op.id] = &chanRef{pos: op.pos}
+			}
+		}
+	}
+	merge := func(dst, src map[chanID]*chanRef, callee string) {
+		for id, ref := range src {
+			if dst[id] != nil {
+				continue
+			}
+			via := append([]string{callee}, ref.via...)
+			if len(via) > 5 {
+				via = via[:5]
+			}
+			dst[id] = &chanRef{pos: ref.pos, via: via}
+		}
+	}
+	for _, cs := range sum.calls {
+		sub := eng.transChan(cs.callee)
+		merge(cf.sends, sub.sends, cs.callee.Name())
+		merge(cf.closes, sub.closes, cs.callee.Name())
+	}
+	eng.chanMemo[fn] = cf
+	return cf
+}
+
+// reqRef is one reachable state-gated method (declared xlinkvet:requires):
+// the method, the call position in the querying function, and the chain of
+// intermediate callees.
+type reqRef struct {
+	fn  *types.Func
+	pos token.Pos
+	via []string
+}
+
+// reqMethods returns every requires-annotated method reachable from fn
+// through synchronous module-internal calls. Descent stops at each
+// annotated method: its own callees run under a contract it re-checked at
+// its boundary.
+func (eng *engine) reqMethods(fn *types.Func) []reqRef {
+	if rs, ok := eng.reqMemo[fn]; ok {
+		return rs
+	}
+	if eng.reqBusy[fn] {
+		return nil
+	}
+	eng.reqBusy[fn] = true
+	defer delete(eng.reqBusy, fn)
+
+	var out []reqRef
+	seen := map[*types.Func]bool{}
+	sum := eng.byFn[fn]
+	if sum == nil {
+		eng.reqMemo[fn] = out
+		return out
+	}
+	for _, cs := range sum.calls {
+		if _, gated := eng.requiresOf[cs.callee]; gated {
+			if !seen[cs.callee] {
+				seen[cs.callee] = true
+				out = append(out, reqRef{fn: cs.callee, pos: cs.pos})
+			}
+			continue
+		}
+		for _, sub := range eng.reqMethods(cs.callee) {
+			if seen[sub.fn] {
+				continue
+			}
+			seen[sub.fn] = true
+			via := append([]string{cs.callee.Name()}, sub.via...)
+			if len(via) > 5 {
+				via = via[:5]
+			}
+			out = append(out, reqRef{fn: sub.fn, pos: cs.pos, via: via})
+		}
+	}
+	eng.reqMemo[fn] = out
+	return out
+}
+
+// reachesMarked reports whether fn, any synchronous module-internal callee,
+// or any obs emit performed along the way is in the marked set. The
+// connstate terminal-hygiene checks use it with the releasers and
+// closeEmits tables.
+func (eng *engine) reachesMarked(fn *types.Func, marked map[*types.Func]bool, seen map[*types.Func]bool) bool {
+	if marked[fn] {
+		return true
+	}
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	sum := eng.byFn[fn]
+	if sum == nil {
+		return false
+	}
+	for _, op := range sum.ops {
+		if op.fn != nil && marked[op.fn] {
+			return true
+		}
+	}
+	for _, cs := range sum.calls {
+		if eng.reachesMarked(cs.callee, marked, seen) {
+			return true
+		}
+	}
+	return false
 }
 
 // heldNames formats a held set for findings.

@@ -185,6 +185,10 @@ func TestGoReach(t *testing.T) {
 	if eng.goReach[push] {
 		t.Fatal("Push is only called from the owner loop; must not be goroutine-reachable")
 	}
+	confined := sumByName(t, eng, "function literal in ConfinedWorker")
+	if eng.goReach[confined] {
+		t.Fatal("an xlinkvet:confines spawn must not seed goroutine reachability")
+	}
 }
 
 // TestTaintParamSink checks the param-sink fixpoint: alloc's make() makes

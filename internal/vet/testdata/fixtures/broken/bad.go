@@ -1,0 +1,5 @@
+// bad.go fails to parse: the loader must skip it with a loaderr finding
+// (syntax error) instead of aborting the sweep.
+package fix
+
+func Broken( {

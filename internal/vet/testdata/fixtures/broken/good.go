@@ -1,0 +1,8 @@
+// Package fix is an xlinkvet self-test fixture for the loaderr rule: the
+// package pairs one syntax-broken file (bad.go, skipped with a finding)
+// with one type error in an otherwise healthy file, proving the loader
+// degrades to diagnostics instead of panicking. 2 findings expected.
+package fix
+
+// TypeErr references an undefined name: 1 finding under StrictLoad.
+var TypeErr = undefinedName // finding: loaderr (type error)

@@ -1,0 +1,113 @@
+// Package fix is an xlinkvet self-test fixture for the chandir rule:
+// channel ownership (`xlinkvet:owns`), double close, send-after-close
+// (direct and through calls), dead-letter unbuffered channels, and
+// unresolvable ownership annotations. 8 findings expected.
+package fix
+
+type box struct {
+	events chan int
+	done   chan struct{}
+}
+
+// Close is the declared owner of done: its close is legal.
+//
+// xlinkvet:owns done
+func (b *box) Close() {
+	close(b.done)
+}
+
+// RogueClose closes a channel it does not own: 1 finding.
+func (b *box) RogueClose() {
+	close(b.done) // finding: chandir (non-owner close)
+}
+
+// DoubleClose closes the same channel twice in sequence: 1 finding.
+func (b *box) DoubleClose() {
+	close(b.events)
+	close(b.events) // finding: chandir (double close)
+}
+
+// MaybeDouble closes on one branch, then unconditionally: the join keeps
+// the may-closed bit, so the second close is suspect: 1 finding.
+func (b *box) MaybeDouble(flush bool) {
+	if flush {
+		close(b.events)
+	}
+	close(b.events) // finding: chandir (double close on the flush path)
+}
+
+// closeEvents is the helper the deep shape calls through; clean on its own.
+func (b *box) closeEvents() {
+	close(b.events)
+}
+
+// DoubleCloseDeep closes, then calls a helper that closes again: 1 finding
+// at the call site.
+func (b *box) DoubleCloseDeep() {
+	close(b.events)
+	b.closeEvents() // finding: chandir (reaches another close)
+}
+
+// SendAfterCloseDirect sends on a channel it just closed: 1 finding.
+func (b *box) SendAfterCloseDirect() {
+	close(b.events)
+	b.events <- 0 // finding: chandir (send after close)
+}
+
+// emit sends on events; clean on its own.
+func (b *box) emit(v int) {
+	b.events <- v
+}
+
+// SendAfterCloseDeep closes, then calls a helper that sends: 1 finding at
+// the call site.
+func (b *box) SendAfterCloseDeep() {
+	close(b.events)
+	b.emit(1) // finding: chandir (reaches a send after close)
+}
+
+// sink's drops channel is unbuffered and module-wide has a sender but no
+// receiver: every Report blocks forever. 1 finding at the make site.
+type sink struct {
+	drops chan int
+}
+
+func newSink() *sink {
+	return &sink{drops: make(chan int)} // finding: chandir (dead letter)
+}
+
+// Report feeds the dead letter channel.
+func (s *sink) Report(v int) {
+	s.drops <- v
+}
+
+// BadOwns names something that is not a channel of the receiver or the
+// package: 1 finding (a typo must not silently drop the discipline).
+//
+// xlinkvet:owns missing
+func (b *box) BadOwns() {}
+
+// queue's jobs channel is buffered: a sender with no module-side receiver
+// is backpressure, not a guaranteed deadlock — no finding.
+type queue struct {
+	jobs chan int
+}
+
+func newQueue() *queue {
+	return &queue{jobs: make(chan int, 8)}
+}
+
+// Push feeds the buffered queue: no finding.
+func (q *queue) Push(v int) {
+	q.jobs <- v
+}
+
+// PairedOK sends on an unbuffered channel a spawned consumer drains: no
+// finding.
+func PairedOK() {
+	ready := make(chan struct{})
+	go func() {
+		<-ready
+	}()
+	ready <- struct{}{}
+}

@@ -1,0 +1,108 @@
+// Package fix is an xlinkvet self-test fixture for the connstate rule:
+// malformed and unknown lifecycle annotations, backward transitions,
+// state-gated methods reachable from closing+ transitions, and terminal
+// hygiene (timer release + close trace). 8 findings expected.
+package fix
+
+type machine struct {
+	state int
+}
+
+// stopTimers disarms the pending retransmission timer.
+//
+// xlinkvet:releases timers
+func (m *machine) stopTimers() {}
+
+// traceClose emits the lifecycle close event.
+//
+// xlinkvet:closeevent
+func (m *machine) traceClose() {}
+
+// startHandshake begins the handshake: no finding.
+//
+// xlinkvet:state idle -> handshaking
+func (m *machine) startHandshake() { m.state = 1 }
+
+// establish completes the handshake: no finding.
+//
+// xlinkvet:state handshaking -> active
+func (m *machine) establish() { m.state = 2 }
+
+// sendData is only legal while the connection is active.
+//
+// xlinkvet:requires active
+func (m *machine) sendData() {}
+
+// beginClose starts the drain and touches nothing state-gated: no finding.
+//
+// xlinkvet:state active -> closing
+func (m *machine) beginClose() { m.state = 3 }
+
+// terminate is the clean terminal transition: it releases timers and traces
+// the close — no finding.
+//
+// xlinkvet:state closing,draining -> closed
+func (m *machine) terminate() {
+	m.stopTimers()
+	m.traceClose()
+	m.state = 5
+}
+
+// badTarget transitions to a state that does not exist: 1 finding.
+//
+// xlinkvet:state active -> shutdown
+func (m *machine) badTarget() { m.state = 9 } // finding: connstate (unknown state)
+
+// reopen moves the lifecycle backward: 1 finding.
+//
+// xlinkvet:state closing -> active
+func (m *machine) reopen() { m.state = 2 } // finding: connstate (backward transition)
+
+// malformed lacks the `->`: 1 finding.
+//
+// xlinkvet:state closing to closed
+func (m *machine) malformed() {} // finding: connstate (malformed annotation)
+
+// typoGate requires a misspelled state: 1 finding.
+//
+// xlinkvet:requires actve
+func (m *machine) typoGate() {} // finding: connstate (unknown requires state)
+
+// closeAndSend transitions to closing but still calls the active-gated
+// send: 1 finding at the call.
+//
+// xlinkvet:state active -> closing
+func (m *machine) closeAndSend() {
+	m.state = 3
+	m.sendData() // finding: connstate (requires active, reached in closing)
+}
+
+// flush is an unannotated helper that sends.
+func (m *machine) flush() {
+	m.sendData()
+}
+
+// drainAndSend reaches the gated send through a helper: 1 finding with a
+// via-path at the flush call.
+//
+// xlinkvet:state active -> draining
+func (m *machine) drainAndSend() {
+	m.state = 4
+	m.flush() // finding: connstate (via flush)
+}
+
+// leakTimers traces the close but leaves timers armed: 1 finding.
+//
+// xlinkvet:state closing -> closed
+func (m *machine) leakTimers() { // finding: connstate (no timer release)
+	m.traceClose()
+	m.state = 5
+}
+
+// silentClose releases timers but never traces the close: 1 finding.
+//
+// xlinkvet:state draining -> closed
+func (m *machine) silentClose() { // finding: connstate (no close trace)
+	m.stopTimers()
+	m.state = 5
+}

@@ -1,0 +1,141 @@
+// Package fix is an xlinkvet self-test fixture for the goleak rule:
+// goroutines with no provable exit path (inescapable `for {}` loops,
+// directly or through callees) and unjoined spawn-in-loop shapes.
+// 7 findings expected.
+package fix
+
+import "sync"
+
+type hub struct {
+	in   chan int
+	done chan struct{}
+}
+
+// SpinForever launches a literal that spins with no exit: 1 finding.
+func SpinForever() {
+	go func() { // finding: goleak
+		for {
+		}
+	}()
+}
+
+// spin never returns; clean on its own (only launching it is charged).
+func spin() {
+	for {
+	}
+}
+
+// SpawnSpin launches a named function that never exits: 1 finding.
+func SpawnSpin() {
+	go spin() // finding: goleak
+}
+
+// relay looks harmless but reaches spin's loop through a call.
+func relay() {
+	spin()
+}
+
+// SpawnVia launches relay: 1 finding, attributed through the via-path.
+func SpawnVia() {
+	go relay() // finding: goleak (via relay)
+}
+
+// PumpNoExit drains h.in forever: every select arm re-enters the loop, so
+// there is no exit path: 1 finding.
+func (h *hub) PumpNoExit() {
+	go func() { // finding: goleak
+		for {
+			select {
+			case v := <-h.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+func work(i int) { _ = i }
+
+// SpawnInLoop launches one worker per iteration and never joins: 1 finding.
+func SpawnInLoop(n int) {
+	for i := 0; i < n; i++ {
+		go work(i) // finding: goleak (unjoined spawn in loop)
+	}
+}
+
+// SpawnInRange is the range-loop variant: 1 finding.
+func SpawnInRange(items []int) {
+	for _, it := range items {
+		go work(it) // finding: goleak
+	}
+}
+
+// LeakyFanout spawns literals per iteration without a join: 1 finding.
+func LeakyFanout(items []int) {
+	for _, it := range items {
+		it := it
+		go func() { work(it) }() // finding: goleak
+	}
+}
+
+// JoinedFleet spawns per item but waits for every worker: no finding.
+func JoinedFleet(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		it := it
+		go func() {
+			defer wg.Done()
+			work(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// CollectedFanout spawns per item and drains one result per spawn from a
+// collector channel: no finding.
+func CollectedFanout(items []int) int {
+	results := make(chan int, len(items))
+	for _, it := range items {
+		it := it
+		go func() { results <- it }()
+	}
+	total := 0
+	for range items {
+		total += <-results
+	}
+	return total
+}
+
+// Pump drains h.in until done closes: the done arm returns, so the loop has
+// an exit path — no finding, no annotation needed.
+func (h *hub) Pump() {
+	go func() {
+		for {
+			select {
+			case <-h.done:
+				return
+			case v := <-h.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// heartbeat intentionally lives for the whole process.
+//
+// xlinkvet:bounded fixture: documented process-lifetime metrics pump
+func heartbeat() {
+	for {
+	}
+}
+
+// SpawnHeartbeat launches the declared-bounded heartbeat: no finding.
+func SpawnHeartbeat() {
+	go heartbeat()
+}
+
+// SpawnVouched vouches at the spawn line instead: no finding.
+func SpawnVouched() {
+	//xlinkvet:bounded fixture: documented process-lifetime spin
+	go spin()
+}

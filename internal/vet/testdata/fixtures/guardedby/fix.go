@@ -59,6 +59,17 @@ func (c *counter) Push(v int) {
 	c.q = append(c.q, v)
 }
 
+// ConfinedWorker launches a goroutine that constructs the counter it
+// drives: the `xlinkvet:confines` spawn transfers confinement into the
+// goroutine, so its confined-field touches are legal — no finding.
+func ConfinedWorker() {
+	//xlinkvet:confines fixture: the worker creates the counter it drives
+	go func() {
+		own := &counter{}
+		own.q = append(own.q, 1)
+	}()
+}
+
 // Suppressed documents an access the analyzer cannot prove safe: no finding.
 func (c *counter) Suppressed() int {
 	//xlinkvet:ignore guardedby — fixture: reader is wait-free by external contract

@@ -39,12 +39,34 @@
 //     alias derived by slicing/field access) into a field, global, map,
 //     channel, goroutine or closure is flagged, including when the store
 //     happens inside a helper the loan was passed to.
+//   - goleak: every `go` statement must have a provable exit path — the
+//     launched function must not contain (or reach) an inescapable `for {}`
+//     loop unless the spawn or the target carries `xlinkvet:bounded
+//     <reason>`; spawning inside a loop without a joining sync.WaitGroup or
+//     collector-channel receive in the spawner is flagged too.
+//   - chandir: channel ownership typestate. `xlinkvet:owns <chan>` marks the
+//     function allowed to close a channel; a close elsewhere, a reachable
+//     double close, a send reachable after a close on any interprocedural
+//     path, and an unbuffered channel that is sent to but never received
+//     from module-wide are flagged.
+//   - connstate: an annotated lifecycle state machine
+//     (idle→handshaking→active→closing→draining→closed). `xlinkvet:state
+//     <from>[,<from>] -> <to>` marks transition methods; `xlinkvet:requires
+//     <states>` gates methods to states. Transitions must move forward,
+//     methods gated on early states must not be reachable from closing+
+//     transitions, and every transition to closed must release timers
+//     (`xlinkvet:releases timers`) and trace a close event
+//     (`xlinkvet:closeevent`).
+//   - loaderr: not a style rule but the loader's own diagnostics — syntax
+//     errors (always) and type errors (under StrictLoad) surface as findings
+//     with positions instead of aborting the sweep.
 //
-// The lockheld, guardedby, hotalloc and loan rules run on the
-// interprocedural summary engine in summary.go: per-function summaries of
-// lock transitions, blocking operations, callback invocations, trace emits,
-// guarded-field accesses, allocation sites and static call sites, with
-// module-wide closures over the call graph.
+// The lockheld, guardedby, hotalloc, loan, goleak, chandir and connstate
+// rules run on the interprocedural summary engine in summary.go:
+// per-function summaries of lock transitions, blocking operations, callback
+// invocations, trace emits, guarded-field accesses, allocation sites,
+// goroutine spawn sites, channel operations, lifecycle annotations and
+// static call sites, with module-wide closures over the call graph.
 //
 // Findings can be suppressed per line with `//xlinkvet:ignore <rules>` on
 // the same or the preceding line, where <rules> is a comma-separated rule
@@ -100,6 +122,10 @@ type Config struct {
 	ObsPkgs []string
 	// SkipPkgs are not analyzed at all (binaries, examples, tooling).
 	SkipPkgs []string
+	// StrictLoad escalates type-check errors to loaderr findings. Parse
+	// errors are always reported; type errors are opt-in because the engine
+	// degrades gracefully around incomplete type info.
+	StrictLoad bool
 }
 
 // FixtureConfig returns a config that applies every rule to the single
@@ -112,6 +138,7 @@ func FixtureConfig(module, path string) *Config {
 		WirePkgs:          []string{path, module + "/internal/wire"},
 		IngestPkgs:        []string{path},
 		ObsPkgs:           []string{module + "/internal/obs"},
+		StrictLoad:        true,
 	}
 }
 
@@ -186,8 +213,12 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 	findings = append(findings, checkGuardedBy(eng)...)
 	findings = append(findings, checkHotAlloc(eng)...)
 	findings = append(findings, checkLoan(eng)...)
+	findings = append(findings, checkGoLeak(eng)...)
+	findings = append(findings, checkChanDir(eng)...)
+	findings = append(findings, checkConnState(eng)...)
 	findings = append(findings, checkPanicPath(cfg, active)...)
 	findings = append(findings, checkTaintSize(cfg, active)...)
+	findings = append(findings, checkLoadErrs(cfg, active)...)
 
 	var kept []Finding
 	for _, f := range findings {

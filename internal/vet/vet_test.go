@@ -43,6 +43,10 @@ func TestFixturesFire(t *testing.T) {
 		{"taintsize", "taintsize", 3},
 		{"hotalloc", "hotalloc", 8},
 		{"loan", "loan", 7},
+		{"goleak", "goleak", 7},
+		{"chandir", "chandir", 8},
+		{"connstate", "connstate", 8},
+		{"broken", "loaderr", 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

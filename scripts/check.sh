@@ -1,9 +1,11 @@
 #!/bin/sh
 # Full verification gate for the XLINK reproduction: build, go vet, the
 # repo-specific xlinkvet analyzer (self-test first, then the real tree —
-# including the interprocedural lockheld/guardedby/taintsize rules and the
-# escape-analysis hotalloc/loan buffer-ownership rules, so a new heap
-# allocation on a hot path or a retained loaned buffer fails here, before
+# including the interprocedural lockheld/guardedby/taintsize rules, the
+# escape-analysis hotalloc/loan buffer-ownership rules, and the
+# concurrency-lifecycle goleak/chandir/connstate rules, so a new heap
+# allocation on a hot path, a retained loaned buffer, a leaked goroutine,
+# or an out-of-order lifecycle transition fails here, before
 # any alloc-gate test runs), the test suite in release and
 # xlinkdebug-assertion modes, the race detector, an allocs/op regression
 # gate against the committed benchmark snapshot, and a short fuzz smoke on
@@ -22,7 +24,23 @@ step() {
 step go build ./...
 step go vet ./...
 step go run ./cmd/xlinkvet -selftest
-step go run ./cmd/xlinkvet ./...
+# The analyzer's own suite under the race detector: the engine summarizes
+# packages in parallel, and the new selftests (goleak/chandir/connstate/
+# loaderr fixtures, explain table, JSON goldens) must hold there too.
+# -count=1 so the gate re-checks instead of replaying a cached pass.
+step go test -race -count=1 ./internal/vet/ ./cmd/xlinkvet/
+# Whole-tree sweep under a wall-clock budget: the concurrency-lifecycle
+# engine grew the pass, and it must stay far too cheap to be worth
+# skipping. 30 s is ~10x the current cost.
+echo "==> go run ./cmd/xlinkvet ./... (30s budget)"
+VET_START="$(date +%s)"
+go run ./cmd/xlinkvet ./...
+VET_ELAPSED=$(( $(date +%s) - VET_START ))
+echo "xlinkvet sweep: ${VET_ELAPSED}s"
+if [ "$VET_ELAPSED" -ge 30 ]; then
+	echo "xlinkvet sweep exceeded the 30s budget" >&2
+	exit 1
+fi
 step go test ./...
 step go test -tags xlinkdebug ./...
 step go test -race ./...

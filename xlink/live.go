@@ -291,6 +291,7 @@ func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig
 		return nil, err
 	}
 	for i, sock := range socks {
+		//xlinkvet:bounded one reader per dialed interface, joined by Close via ep.done; readLoop exits when its socket is closed
 		go ep.readLoop(i, sock)
 	}
 	return ep, nil
@@ -522,6 +523,9 @@ func (ep *Endpoint) LocalAddrs() []net.Addr {
 // Close shuts the endpoint down. The first Close emits the connection's
 // scorecard (conn:scorecard) and merges it into the registry, so /metrics
 // served after shutdown carries the session rollup.
+//
+// xlinkvet:owns done
+// xlinkvet:state active,closing -> closed
 func (ep *Endpoint) Close() {
 	ep.mu.Lock()
 	if ep.conn != nil {

@@ -2,6 +2,7 @@ package xlink
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 
 	"repro/internal/obs"
@@ -93,9 +94,9 @@ func scorecardToJSON(card obs.Scorecard) scorecardJSON {
 // /metrics reads only the internally-synchronized registry and never takes
 // the endpoint lock; /debug snapshots under the lock, so it is safe (if
 // momentarily serializing) to scrape while the connection moves data.
-// Mount it wherever the operational surface lives, e.g.
-//
-//	go http.ListenAndServe("127.0.0.1:9090", ep.DebugHandler())
+// Mount it on a server you own the lifetime of — ServeDebug below does
+// exactly that — rather than a fire-and-forget ListenAndServe goroutine,
+// which has no shutdown path.
 func (ep *Endpoint) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -129,4 +130,28 @@ func (ep *Endpoint) DebugHandler() http.Handler {
 		enc.Encode(st)
 	})
 	return mux
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:0") and serves DebugHandler from a
+// background goroutine with a provable exit: the returned stop function
+// closes the server's listener, which makes Serve return, and then waits on
+// the goroutine's exited channel before returning. Callers therefore cannot
+// leak the scrape server — the shape xlinkvet's goleak rule asks for. The
+// bound address is returned so tests and operators can bind port 0.
+func (ep *Endpoint) ServeDebug(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: ep.DebugHandler()}
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		srv.Serve(ln)
+	}()
+	stop := func() {
+		srv.Close()
+		<-exited
+	}
+	return ln.Addr().String(), stop, nil
 }
