@@ -190,6 +190,27 @@ func (l *Link) Send(data []byte) {
 	}
 }
 
+// SendBatch offers pkts to the link in order, returning how many were
+// accepted into the queue. Admission (loss, droptail, down) is evaluated
+// per packet exactly as Send does, so a batched sender produces the same
+// event sequence — same RNG draws, same queue occupancy at each admission,
+// same first-enqueue delivery scheduling — as one that calls Send in a
+// loop. The packets are copied on admission; the slice and its buffers are
+// borrowed for the duration of the call only.
+//
+// xlinkvet:loan pkts
+func (l *Link) SendBatch(pkts [][]byte) int {
+	accepted := 0
+	for _, d := range pkts {
+		before := l.stats.DroppedPkts
+		l.Send(d)
+		if l.stats.DroppedPkts == before {
+			accepted++
+		}
+	}
+	return accepted
+}
+
 // opportunityTime returns the absolute time of the opportunity under the
 // cursor.
 func (l *Link) opportunityTime() time.Duration {

@@ -68,6 +68,18 @@ func (p *Path) SendToServer(data []byte) { p.up.Send(data) }
 // SendToClient offers a server-originated packet to the downlink.
 func (p *Path) SendToClient(data []byte) { p.down.Send(data) }
 
+// SendToServerBatch offers a batch of client-originated packets to the
+// uplink (see Link.SendBatch for the equivalence contract).
+//
+// xlinkvet:loan pkts
+func (p *Path) SendToServerBatch(pkts [][]byte) int { return p.up.SendBatch(pkts) }
+
+// SendToClientBatch offers a batch of server-originated packets to the
+// downlink.
+//
+// xlinkvet:loan pkts
+func (p *Path) SendToClientBatch(pkts [][]byte) int { return p.down.SendBatch(pkts) }
+
 // SetDown disables or enables both directions.
 func (p *Path) SetDown(down bool) {
 	p.up.SetDown(down)
@@ -168,4 +180,24 @@ func (n *Network) ServerSend(idx int, data []byte) {
 	if idx >= 0 && idx < len(n.Paths) {
 		n.Paths[idx].SendToClient(data)
 	}
+}
+
+// ClientSendBatch transmits a batch of client packets on path idx.
+//
+// xlinkvet:loan pkts
+func (n *Network) ClientSendBatch(idx int, pkts [][]byte) int {
+	if idx >= 0 && idx < len(n.Paths) {
+		return n.Paths[idx].SendToServerBatch(pkts)
+	}
+	return 0
+}
+
+// ServerSendBatch transmits a batch of server packets on path idx.
+//
+// xlinkvet:loan pkts
+func (n *Network) ServerSendBatch(idx int, pkts [][]byte) int {
+	if idx >= 0 && idx < len(n.Paths) {
+		return n.Paths[idx].SendToClientBatch(pkts)
+	}
+	return 0
 }

@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // Typed event emitters. Every method is nil-receiver-safe and takes only
 // scalar arguments so the disabled (nil Origin) path performs no work and
@@ -360,4 +363,62 @@ func (o *Origin) FECDecision(now, dt time.Duration, lossRate float64, sourceSymb
 	o.i("repairs", int64(repairs))
 	o.b("protect", protect)
 	o.end()
+}
+
+// batchSizeBounds buckets the per-path batch-size histogram: batches are
+// SendBatchSize-capped (default 16), so power-of-two buckets up to 64
+// resolve the whole useful range.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// BatchFlush records one SendBatch flush of n sealed packets on a path
+// (DESIGN.md §16). Besides the trace event it feeds the batching metrics:
+// the per-path batch-size histogram and the flush counter, both cached on
+// the trace so the steady-state record path does not allocate.
+//
+// xlinkvet:hot
+func (o *Origin) BatchFlush(now time.Duration, pathID uint64, n int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvBatchFlush)
+	o.u64("path", pathID)
+	o.i("packets", int64(n))
+	o.end()
+	t := o.t
+	//xlinkvet:cold — first flush builds and caches the counter handle
+	if t.batchFlushes == nil {
+		t.batchFlushes = t.reg.Counter(MetricBatchFlushes)
+	}
+	h := t.batchSizeHists[pathID]
+	//xlinkvet:cold — first flush per path builds and caches its labeled histogram handle (With allocates)
+	if h == nil {
+		if t.batchSizeHists == nil {
+			t.batchSizeHists = make(map[uint64]*Histogram)
+		}
+		h = t.reg.Histogram(MetricBatchSize.With("path", strconv.FormatUint(pathID, 10)), batchSizeBounds)
+		t.batchSizeHists[pathID] = h
+	}
+	t.batchFlushes.Inc()
+	h.Observe(float64(n))
+}
+
+// AckCoalesced records one batch-end coalesced loss-detection pass
+// (DESIGN.md §16): acks ACK frames, spread over paths paths, were folded
+// into a single detectLost/gc sweep per path instead of one per frame.
+//
+// xlinkvet:hot
+func (o *Origin) AckCoalesced(now time.Duration, acks, paths int) {
+	if o == nil {
+		return
+	}
+	o.begin(now, EvAckCoalesced)
+	o.i("acks", int64(acks))
+	o.i("paths", int64(paths))
+	o.end()
+	t := o.t
+	//xlinkvet:cold — first coalesced batch builds and caches the counter handle
+	if t.coalescedAcks == nil {
+		t.coalescedAcks = t.reg.Counter(MetricCoalescedAcks)
+	}
+	t.coalescedAcks.Add(uint64(acks))
 }

@@ -74,6 +74,11 @@ const (
 	EvVideoRebufferStart EventName = "video:rebuffer_start"
 	EvVideoRebufferEnd   EventName = "video:rebuffer_end"
 	EvVideoFinished      EventName = "video:finished"
+	// Batched packet I/O (DESIGN.md §16): one SendBatch flush of N sealed
+	// packets on a path, and one batch-end coalesced loss-detection pass
+	// covering N ACK frames.
+	EvBatchFlush   EventName = "transport:batch_flush"
+	EvAckCoalesced EventName = "transport:ack_coalesced"
 	// Fault injection (so injected faults and transport reactions share
 	// one timeline).
 	EvFaultInjected EventName = "fault:injected"
@@ -109,6 +114,12 @@ type Trace struct {
 	evCounters map[EventName]*Counter // xlinkvet:guardedby confined
 	// anomalies caches the anomaly-trigger counter handle.
 	anomalies *Counter
+	// Batching metric handles (DESIGN.md §16): the per-path batch-size
+	// histograms are labeled via With, which allocates, so each handle is
+	// built on a path's first flush and cached here; the counters likewise.
+	batchSizeHists map[uint64]*Histogram // xlinkvet:guardedby confined
+	batchFlushes   *Counter
+	coalescedAcks  *Counter
 }
 
 // NewTrace creates an empty full trace: every event is appended to the

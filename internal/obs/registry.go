@@ -45,6 +45,12 @@ const (
 	// Session distributions (log-bucketed histograms, seconds).
 	MetricSessionRCTSeconds      MetricName = "xlink_session_rct_seconds"
 	MetricSessionRebufferSeconds MetricName = "xlink_session_rebuffer_seconds"
+	// Batched packet I/O (DESIGN.md §16): per-path batch-size distribution
+	// (labeled {path="<id>"}), SendBatch flush count, and ACK frames whose
+	// loss detection was coalesced into a batch-end pass.
+	MetricBatchSize     MetricName = "xlink_batch_size"
+	MetricBatchFlushes  MetricName = "xlink_batch_flushes_total"
+	MetricCoalescedAcks MetricName = "xlink_coalesced_acks_total"
 	// Flight-recorder anomaly triggers.
 	MetricAnomalies MetricName = "xlink_anomalies_total"
 	// Load-balancer routing outcomes, labeled per backend.

@@ -196,6 +196,12 @@ type Config struct {
 	// OnClosed fires once when the connection leaves service — local
 	// close, peer close, idle timeout, or handshake failure.
 	OnClosed func(now time.Duration, code uint64, reason string, local bool)
+	// SendBatchSize caps how many sealed packets a single maybeSend pass
+	// accumulates per path before flushing them to the DatagramSender in
+	// one SendBatch call (DESIGN.md §16). 1 disables batching and sends
+	// each packet immediately as it is sealed — the pre-batching behavior,
+	// kept as the A/B baseline. Zero means the default (16).
+	SendBatchSize int
 	// Tracer, when set, receives qlog-style structured events for every
 	// packet, path, lifecycle, CC and re-injection decision this
 	// connection makes (see internal/obs). nil is the no-op default: the
@@ -230,6 +236,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PathGiveUpPTOs == 0 {
 		c.PathGiveUpPTOs = 5
+	}
+	if c.SendBatchSize <= 0 {
+		c.SendBatchSize = 16
 	}
 	if c.FECSymbolSize <= 0 {
 		c.FECSymbolSize = 1024

@@ -207,6 +207,23 @@ type Conn struct {
 	recvFrames []wire.Frame // xlinkvet:guardedby confined
 	inRecv     bool
 
+	// Batch I/O state (DESIGN.md §16). Send side: sendRing holds the seal
+	// buffers for packets parked on per-path pending batches within one
+	// maybeSend pass, batchOrder is the first-touch flush order, and
+	// batching is true only inside a batched pass (SendBatchSize > 1).
+	// Receive side: inBatch marks a HandleDatagramBatch in progress —
+	// wakeSend is suppressed and ACK-triggered loss detection is deferred —
+	// and ackDirty lists the paths owing that deferred loss pass at batch
+	// end. batchCoalescedAcks counts the ACK frames whose loss detection
+	// was coalesced this batch, for the ack_coalesced trace event.
+	sendRing           [][]byte // xlinkvet:guardedby confined
+	sendRingUsed       int
+	batchOrder         []*Path // xlinkvet:guardedby confined
+	batching           bool
+	inBatch            bool
+	ackDirty           []*Path // xlinkvet:guardedby confined
+	batchCoalescedAcks int
+
 	// Cached per-pass orderings (DESIGN.md §11): rebuilt only when their
 	// dirty flag is set, instead of re-filtered and re-sorted on every send
 	// pass. streamOrder is (priority, id) over sendStreams; usableBase is
@@ -485,8 +502,65 @@ func (c *Conn) deriveSessionKeys(clientRandom, serverRandom []byte) error {
 // xlinkvet:hot
 // xlinkvet:loan data
 func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
-	if c.state == stateClosed || len(data) == 0 {
+	if !c.ingestDatagram(now, netIdx, data) {
 		return
+	}
+	c.maybeSend(now)
+	c.rearmTimer()
+}
+
+// HandleDatagramBatch ingests pkts — N datagrams that arrived back-to-back
+// on netIdx — with per-batch coalescing (DESIGN.md §16): the packets are
+// decrypted and their frames dispatched one by one, but ACK-triggered loss
+// detection runs once per touched path at batch end (OnAckNoLoss during
+// the loop, one OnLossTimeout in flushAckDirty), followed by a single send
+// pass and one timer re-arm, instead of N of each. A one-packet batch
+// delegates to HandleDatagram, so the sim path — netem delivers exactly
+// one datagram per event — behaves byte-identically to the unbatched
+// transport. The slice and every packet buffer are borrowed from the I/O
+// layer for the duration of the call (see DatagramSender's ownership note).
+//
+// xlinkvet:hot
+// xlinkvet:loan pkts
+func (c *Conn) HandleDatagramBatch(now time.Duration, netIdx int, pkts [][]byte) {
+	if len(pkts) == 0 || c.state == stateClosed {
+		return
+	}
+	if len(pkts) == 1 {
+		c.HandleDatagram(now, netIdx, pkts[0])
+		return
+	}
+	c.inBatch = true
+	tail := false
+	for _, d := range pkts {
+		if c.ingestDatagram(now, netIdx, d) {
+			tail = true
+		}
+		//xlinkvet:cold — terminal close mid-batch: not the steady-state receive path
+		if c.state == stateClosed {
+			break
+		}
+	}
+	// Deferred loss detection runs while inBatch still suppresses wakeSend;
+	// the single send pass below picks up everything it re-queued.
+	c.flushAckDirty(now)
+	c.inBatch = false
+	if tail {
+		c.maybeSend(now)
+		c.rearmTimer()
+	}
+}
+
+// ingestDatagram runs the receive half of HandleDatagram — lifecycle
+// guards, stats, trace, decrypt and frame dispatch — without the trailing
+// send pass and timer re-arm. It reports whether the caller owes that tail
+// (false for packets absorbed in a terminal state).
+//
+// xlinkvet:hot
+// xlinkvet:loan data
+func (c *Conn) ingestDatagram(now time.Duration, netIdx int, data []byte) bool {
+	if c.state == stateClosed || len(data) == 0 {
+		return false
 	}
 	//xlinkvet:cold — draining: terminal state, not the steady-state receive path
 	if c.state == stateDraining {
@@ -495,7 +569,7 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 		c.stats.RecvPackets++
 		c.stats.RecvBytes += uint64(len(data))
 		c.tr.PacketReceived(now, netIdx, len(data))
-		return
+		return false
 	}
 	//xlinkvet:cold — closing: terminal state, not the steady-state receive path
 	if c.state == stateClosing {
@@ -509,7 +583,7 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 		if c.closeRecvCount&(c.closeRecvCount-1) == 0 {
 			c.resendClose(now)
 		}
-		return
+		return false
 	}
 	c.stats.RecvPackets++
 	c.stats.RecvBytes += uint64(len(data))
@@ -520,8 +594,39 @@ func (c *Conn) HandleDatagram(now time.Duration, netIdx int, data []byte) {
 	} else {
 		c.handleShortPacket(now, netIdx, data)
 	}
-	c.maybeSend(now)
-	c.rearmTimer()
+	return true
+}
+
+// noteAckDirty registers p for the batch-end deferred loss-detection pass,
+// deduplicating with a linear scan (connections hold a handful of paths).
+//
+// xlinkvet:hot
+func (c *Conn) noteAckDirty(p *Path) {
+	for _, q := range c.ackDirty {
+		if q == p {
+			return
+		}
+	}
+	//xlinkvet:ignore hotalloc — ackDirty is per-batch scratch; capacity reaches the path count and is reused
+	c.ackDirty = append(c.ackDirty, p)
+}
+
+// flushAckDirty runs the loss detection deferred by OnAckNoLoss: one pass
+// per path that processed ACKs this batch, at the same now the ACKs were
+// processed at, so a batch is outcome-equivalent to per-packet processing.
+//
+// xlinkvet:hot
+func (c *Conn) flushAckDirty(now time.Duration) {
+	if c.batchCoalescedAcks > 0 {
+		c.tr.AckCoalesced(now, c.batchCoalescedAcks, len(c.ackDirty))
+		c.batchCoalescedAcks = 0
+	}
+	for i, p := range c.ackDirty {
+		lost := p.Space.OnLossTimeout(now)
+		c.handleLost(now, p, lost, "time")
+		c.ackDirty[i] = nil
+	}
+	c.ackDirty = c.ackDirty[:0]
 }
 
 // handleInitialDatagram processes a long-header (handshake) packet.
@@ -1057,12 +1162,21 @@ func (c *Conn) deliverStreamData(now time.Duration, rs *RecvStream, offset uint6
 	}
 }
 
-// processAck applies an ACK to the target path's space.
+// processAck applies an ACK to the target path's space. Inside a receive
+// batch, loss detection is deferred to flushAckDirty at batch end; the rest
+// of the ACK reaction (RTT, CC, chunk bookkeeping) is identical.
 func (c *Conn) processAck(now time.Duration, target *Path, ranges []wire.AckRange, delay time.Duration) {
 	if target == nil {
 		return
 	}
-	res := target.Space.OnAck(ranges, delay, now)
+	var res recovery.AckResult
+	if c.inBatch {
+		res = target.Space.OnAckNoLoss(ranges, delay, now)
+		c.noteAckDirty(target)
+		c.batchCoalescedAcks++
+	} else {
+		res = target.Space.OnAck(ranges, delay, now)
+	}
 	if len(res.Acked) > 0 {
 		// Acked delivery proves the path works in the send direction.
 		c.unsuspectPath(now, target)

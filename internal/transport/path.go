@@ -97,6 +97,12 @@ type Path struct {
 	ackScratch       wire.AckFrame
 	ackMPScratch     wire.AckMPFrame
 
+	// batchPend holds packets sealed for this path during the current
+	// batched send pass (DESIGN.md §16), waiting for one SendBatch flush.
+	// The buffers are slots of the connection's send ring; the slice is
+	// per-pass scratch whose capacity reaches SendBatchSize and is reused.
+	batchPend [][]byte // xlinkvet:guardedby confined
+
 	// Stats.
 	SentBytes     uint64
 	RecvBytes     uint64

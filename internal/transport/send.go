@@ -16,9 +16,10 @@ func (c *Conn) shortHeaderOverhead() int {
 }
 
 // wakeSend requests a send pass. Safe to call from any handler; the pass
-// runs inline unless we are already inside one.
+// runs inline unless we are already inside one, or inside a receive batch
+// — HandleDatagramBatch runs exactly one pass at batch end instead.
 func (c *Conn) wakeSend() {
-	if c.inSend || c.state >= stateClosing {
+	if c.inSend || c.inBatch || c.state >= stateClosing {
 		return
 	}
 	now := c.env.Now()
@@ -37,7 +38,13 @@ func (c *Conn) maybeSend(now time.Duration) {
 		return
 	}
 	c.inSend = true
-	defer func() { c.inSend = false }()
+	// Batch mode (DESIGN.md §16): every packet sealed during this pass is
+	// parked on its path's pending slice and flushed to the sender in
+	// SendBatch calls — once per path at pass end (first-touch order), or
+	// mid-pass when a path fills a full batch. SendBatchSize==1 keeps the
+	// immediate-send path, byte-for-byte the pre-batching behavior.
+	c.batching = c.cfg.SendBatchSize > 1
+	defer func() { c.inSend = false; c.batching = false }()
 
 	// Invalidate the cached usable-path base once per pass: handlers that
 	// ran since the last pass may have changed path state, DCIDs or
@@ -66,6 +73,87 @@ func (c *Conn) maybeSend(now time.Duration) {
 		}
 	}
 	c.sendCtrlBypass(now)
+	c.flushBatches(now)
+}
+
+// nextSendBuf hands out the buffer the next packet is sealed into. In
+// immediate mode that is the connection's single reusable sendBuf; in batch
+// mode it is the next slot of the send ring, which stays referenced from
+// the path's pending batch until flushBatches hands it to the sender, so
+// packets sealed later in the same pass cannot clobber it.
+//
+// xlinkvet:hot
+func (c *Conn) nextSendBuf() []byte {
+	if !c.batching {
+		return c.sendBuf[:0]
+	}
+	//xlinkvet:cold — ring growth: one buffer per pass high-water mark, reused forever after
+	if c.sendRingUsed == len(c.sendRing) {
+		c.sendRing = append(c.sendRing, make([]byte, 0, cc.MaxDatagramSize))
+	}
+	return c.sendRing[c.sendRingUsed][:0]
+}
+
+// dispatchPacket hands a freshly sealed packet to the network: immediately
+// in unbatched mode, or onto p's pending batch otherwise. pkt must have
+// been sealed into nextSendBuf's return.
+//
+// xlinkvet:hot
+func (c *Conn) dispatchPacket(now time.Duration, p *Path, pkt []byte) {
+	if !c.batching {
+		c.sendBuf = pkt[:0]
+		c.sender.SendDatagram(p.NetIdx, pkt)
+		return
+	}
+	// Write the (possibly grown) backing array back into its ring slot so
+	// the capacity is kept for the next pass.
+	c.sendRing[c.sendRingUsed] = pkt[:0]
+	c.sendRingUsed++
+	if len(p.batchPend) == 0 {
+		//xlinkvet:ignore hotalloc — batchOrder/batchPend are per-pass scratch, capacity reaches its high-water mark and is reused
+		c.batchOrder = append(c.batchOrder, p)
+	}
+	//xlinkvet:ignore hotalloc — batchPend is per-pass scratch, capacity reaches its high-water mark and is reused
+	p.batchPend = append(p.batchPend, pkt)
+	if len(p.batchPend) >= c.cfg.SendBatchSize {
+		c.flushBatchPath(now, p)
+	}
+}
+
+// flushBatchPath sends p's pending batch in one SendBatch call. The packet
+// buffers are ring slots owned by the connection; the sender borrows them
+// for the duration of the call (the loan contract on SendBatch).
+//
+// xlinkvet:hot
+func (c *Conn) flushBatchPath(now time.Duration, p *Path) {
+	if len(p.batchPend) == 0 {
+		return
+	}
+	n := len(p.batchPend)
+	c.sender.SendBatch(p.NetIdx, p.batchPend)
+	c.tr.BatchFlush(now, p.ID, n)
+	for i := range p.batchPend {
+		p.batchPend[i] = nil
+	}
+	p.batchPend = p.batchPend[:0]
+}
+
+// flushBatches drains every path's pending batch in first-touch order —
+// the order the first packet for each path was sealed in, which keeps the
+// cross-link event-scheduling order identical to immediate sends — and
+// recycles the send ring for the next pass.
+//
+// xlinkvet:hot
+func (c *Conn) flushBatches(now time.Duration) {
+	if !c.batching {
+		return
+	}
+	for i, p := range c.batchOrder {
+		c.flushBatchPath(now, p)
+		c.batchOrder[i] = nil
+	}
+	c.batchOrder = c.batchOrder[:0]
+	c.sendRingUsed = 0
 }
 
 // sendCtrlBypass flushes queued unpinned control frames when every path is
@@ -104,8 +192,7 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 		return
 	}
 	pn := p.Space.NextPN()
-	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
-	c.sendBuf = pkt[:0]
+	pkt := sealShortInto(c.nextSendBuf(), c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 	if eliciting {
 		//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
 		p.Space.OnPacketSent(&recovery.SentPacket{
@@ -113,7 +200,7 @@ func (c *Conn) sendCtrlBypass(now time.Duration) {
 			Meta: meta,
 		})
 	}
-	c.sender.SendDatagram(p.NetIdx, pkt)
+	c.dispatchPacket(now, p, pkt)
 	p.SentPackets++
 	p.SentBytes += uint64(len(pkt))
 	c.stats.SentPackets++
@@ -275,8 +362,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		return false
 	}
 	pn := p.Space.NextPN()
-	pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
-	c.sendBuf = pkt[:0]
+	pkt := sealShortInto(c.nextSendBuf(), c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 	if eliciting {
 		//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
 		p.Space.OnPacketSent(&recovery.SentPacket{
@@ -285,7 +371,7 @@ func (c *Conn) sendOnePacket(now time.Duration) bool {
 		})
 		p.CC.OnPacketSent(now, len(pkt))
 	}
-	c.sender.SendDatagram(p.NetIdx, pkt)
+	c.dispatchPacket(now, p, pkt)
 	p.SentPackets++
 	p.SentBytes += uint64(len(pkt))
 	p.ReinjectBytes += uint64(reinjBytes)
@@ -317,8 +403,7 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 		}
 		c.ctrlQ = append(c.ctrlQ[:i], c.ctrlQ[i+1:]...)
 		pn := p.Space.NextPN()
-		pkt := sealShortInto(c.sendBuf[:0], c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
-		c.sendBuf = pkt[:0]
+		pkt := sealShortInto(c.nextSendBuf(), c.txSealer, p.DCID, uint32(p.ID), pn, p.Space.LargestAcked(), frames)
 		if wire.AckEliciting(item.frame) {
 			//xlinkvet:ignore hotalloc — SentPacket outlives the call (recovery owns it until ack/loss); inside the 22-alloc budget
 			p.Space.OnPacketSent(&recovery.SentPacket{
@@ -326,7 +411,7 @@ func (c *Conn) sendProbePacket(now time.Duration) bool {
 				Meta: meta,
 			})
 		}
-		c.sender.SendDatagram(p.NetIdx, pkt)
+		c.dispatchPacket(now, p, pkt)
 		p.SentPackets++
 		p.SentBytes += uint64(len(pkt))
 		c.stats.SentPackets++
@@ -835,9 +920,8 @@ func (c *Conn) flushAcks(now time.Duration, force bool) {
 		frames := append(c.sendFrames[:0], f)
 		c.sendFrames = frames[:0]
 		pn := carrier.Space.NextPN()
-		pkt := sealShortInto(c.sendBuf[:0], c.txSealer, carrier.DCID, uint32(carrier.ID), pn, carrier.Space.LargestAcked(), frames)
-		c.sendBuf = pkt[:0]
-		c.sender.SendDatagram(carrier.NetIdx, pkt)
+		pkt := sealShortInto(c.nextSendBuf(), c.txSealer, carrier.DCID, uint32(carrier.ID), pn, carrier.Space.LargestAcked(), frames)
+		c.dispatchPacket(now, carrier, pkt)
 		carrier.SentPackets++
 		carrier.SentBytes += uint64(len(pkt))
 		c.stats.SentPackets++

@@ -80,8 +80,9 @@ func ParseFrame(b []byte) (Frame, int, error) {
 		//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
 		return &PaddingFrame{Count: run}, run, nil
 	case typ == TypePing:
-		//xlinkvet:ignore hotalloc — parsed frame outlives the call (returned to the dispatch loop); inside the round-trip alloc budget
-		return &PingFrame{}, n, nil
+		// PING is stateless; every parse returns the same shared instance so
+		// ping-heavy batches stay allocation-free.
+		return &sharedPing, n, nil
 	case typ == TypeAck:
 		f, m, err = parseAck(rest)
 	case typ == TypeResetStream:
@@ -142,10 +143,22 @@ func ParseAll(b []byte) ([]Frame, error) {
 
 // AppendFrames decodes every frame in a packet payload, appending to frames
 // (pass a reused slice truncated to [:0] to avoid the per-packet slice
-// allocation; the parsed frame values themselves are still allocated). On
-// error the appended prefix is discarded and nil is returned.
+// allocation; the parsed frame values themselves are still allocated).
+// Padding runs are consumed without materializing a PaddingFrame: padding
+// carries no semantics, every receiver ignores it, and the receive hot path
+// parses each packet — minimum-size packets would otherwise cost one
+// allocation apiece. Use ParseFrame to inspect padding explicitly. On error
+// the appended prefix is discarded and nil is returned.
 func AppendFrames(frames []Frame, b []byte) ([]Frame, error) {
 	for len(b) > 0 {
+		if b[0] == byte(TypePadding) {
+			i := 1
+			for i < len(b) && b[i] == byte(TypePadding) {
+				i++
+			}
+			b = b[i:]
+			continue
+		}
 		f, n, err := ParseFrame(b)
 		if err != nil {
 			return nil, err

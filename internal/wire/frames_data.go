@@ -25,6 +25,10 @@ func (f *PaddingFrame) String() string { return fmt.Sprintf("PADDING(%d)", f.Cou
 // PingFrame elicits an acknowledgement.
 type PingFrame struct{}
 
+// sharedPing is the instance every PING parse returns; the frame is
+// stateless, so sharing keeps ping-heavy receive batches allocation-free.
+var sharedPing PingFrame
+
 // Append implements Frame.
 func (f *PingFrame) Append(b []byte) []byte { return append(b, byte(TypePing)) }
 

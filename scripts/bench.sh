@@ -19,7 +19,7 @@ RAW="bench-${LABEL}.txt"
 # package holds the paper-figure benchmarks (full experiment runs) and is
 # driven with -benchtime=1x regardless of BENCHTIME: one run per figure is
 # the meaningful unit, and KeyMetrics are deterministic per seed.
-MICRO_PKGS="./internal/wire ./internal/crypto ./internal/rangeset ./internal/sim ./internal/transport ./internal/chaos"
+MICRO_PKGS="./internal/wire ./internal/crypto ./internal/rangeset ./internal/sim ./internal/transport ./internal/chaos ./xlink"
 
 echo "== bench: micro packages (benchtime=${BENCHTIME}) =="
 go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME}" ${MICRO_PKGS} | tee "${RAW}"

@@ -51,10 +51,16 @@ step go test -race -tags xlinkdebug -count=1 ./internal/chaos/
 # golden NDJSON trace byte for byte (-count=1 defeats the test cache so the
 # gate re-runs even when nothing changed).
 step go test -count=1 ./internal/chaos/ -run TestGoldenTrace
+# Sharded live event loop under the race detector (DESIGN.md §16): socket
+# readers posting to shard channels, shard goroutines batching into the
+# transports, foreign-goroutine writers and endpoint/group shutdown all
+# interleaving over real UDP.
+step go test -race -count=1 ./xlink/ -run TestLiveShardedEventLoop
 # Allocation gates (DESIGN.md §11): warm hot paths must hold their alloc/op
-# budgets — zero for sim timers, crypto seal/open, rangeset updates and the
+# budgets — zero for sim timers, crypto seal/open, rangeset updates, the
 # telemetry record path (counters/gauges/histograms and the flight-recorder
-# ring, DESIGN.md §14), a fixed ceiling for the transport round trip.
+# ring, DESIGN.md §14) and the send-side batch fill/flush (§16), a fixed
+# ceiling for the transport round trip and the batched 16-packet receive.
 # -count=1 so the gates really re-measure instead of replaying a cached pass.
 step go test -count=1 -run 'TestAllocGate' ./internal/sim/ ./internal/crypto/ ./internal/rangeset/ ./internal/transport/ ./internal/obs/
 # Benchmark smoke: every benchmark must still run (one iteration — this

@@ -3,7 +3,9 @@ package xlink
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/assert"
@@ -85,6 +87,12 @@ type Endpoint struct {
 	// must observe stream data in delivery order.
 	cbQ      []func() // xlinkvet:guardedby mu
 	flushing bool     // xlinkvet:guardedby mu
+	// shard is the event loop this endpoint's packets are processed on,
+	// assigned once at creation (before any readLoop starts) and immutable
+	// after. ownedLoops is the private single-shard group created when the
+	// user supplied no LiveConfig.Loops; Close signals it.
+	shard      *eventLoopShard
+	ownedLoops *EventLoopGroup
 }
 
 // enqueueCallback defers a user callback; the endpoint lock must be held.
@@ -214,6 +222,13 @@ type LiveConfig struct {
 	// and a metric registry (see DebugHandler).
 	Tracer *obs.Trace
 	Seed   int64
+	// Loops, when set, shards this endpoint's packet processing onto a
+	// shared EventLoopGroup (one endpoint maps to one shard, round-robin).
+	// Server fleets share one per-core group so N endpoints cost N socket
+	// readers plus a fixed number of event loops, not N processing
+	// goroutines. nil gives the endpoint a private single-shard group that
+	// its Close tears down.
+	Loops *EventLoopGroup
 }
 
 // Listen starts a live server endpoint on addr (e.g. "127.0.0.1:4242").
@@ -227,6 +242,7 @@ func Listen(addr string, cfg LiveConfig) (*Endpoint, error) {
 		return nil, err
 	}
 	ep := newEndpoint([]*net.UDPConn{sock})
+	ep.attachLoops(cfg.Loops)
 	x := core.New(cfg.Scheme, cfg.Options)
 	tcfg := x.ServerConfig(cfg.Seed)
 	tr := applyLive(ep, &tcfg, cfg)
@@ -265,6 +281,7 @@ func Dial(remote string, ifaceAddrs []string, techs []Technology, cfg LiveConfig
 		socks = append(socks, sock)
 	}
 	ep := newEndpoint(socks)
+	ep.attachLoops(cfg.Loops)
 	peers := make([]*net.UDPAddr, 0, len(socks))
 	for range socks {
 		peers = append(peers, raddr)
@@ -305,6 +322,17 @@ func newEndpoint(socks []*net.UDPConn) *Endpoint {
 	}
 	ep.env = realEnv{clock: sim.NewRealClock(), ep: ep}
 	return ep
+}
+
+// attachLoops binds the endpoint to a shard of the given group, creating a
+// private single-shard group when the user supplied none. Must run before
+// any readLoop starts (shard is immutable after publication).
+func (ep *Endpoint) attachLoops(g *EventLoopGroup) {
+	if g == nil {
+		g = NewEventLoopGroup(1)
+		ep.ownedLoops = g
+	}
+	ep.shard = g.attach()
 }
 
 // applyLive copies the user callbacks into the transport config, wrapping
@@ -365,32 +393,260 @@ func (ep *Endpoint) SendDatagram(netIdx int, data []byte) {
 	}
 }
 
-// readLoop pumps one socket into the connection.
-func (ep *Endpoint) readLoop(netIdx int, sock *net.UDPConn) {
-	buf := make([]byte, 2048)
+// SendBatch implements transport.DatagramSender's bulk form: one write per
+// packet on the interface's socket (the stdlib exposes no sendmmsg, so the
+// syscall batching point stays behind this single seam), returning how many
+// were written. The transport-side win — one virtual dispatch and one
+// flush per batch — is independent of the syscall count. Invoked under
+// ep.mu like SendDatagram.
+//
+// xlinkvet:loan pkts
+func (ep *Endpoint) SendBatch(netIdx int, pkts [][]byte) int {
+	socks, peer := ep.socks, ep.peer //xlinkvet:ignore guardedby — invoked by the transport under ep.mu; see SendDatagram doc
+	if netIdx >= len(socks) || netIdx >= len(peer) || peer[netIdx] == nil {
+		return 0
+	}
+	sent := 0
+	for _, d := range pkts {
+		if _, err := socks[netIdx].WriteToUDP(d, peer[netIdx]); err == nil {
+			sent++
+		}
+	}
+	return sent
+}
+
+// readBufSize fits any datagram the transport seals (MaxDatagramSize plus
+// headroom); every ring buffer is this large.
+const readBufSize = 2048
+
+// liveBatchSize caps how many raw packets one shard turn drains into a
+// single locked HandleDatagramBatch pass.
+const liveBatchSize = 16
+
+// rawPacket is one datagram handed from a socket reader to its endpoint's
+// shard. buf is a ring buffer on loan from the shard's free list: the shard
+// returns it after the batch is delivered, and the transport's receive
+// boundary (see transport.DatagramSender's ownership note) guarantees the
+// connection does not retain it past HandleDatagramBatch.
+type rawPacket struct {
+	ep   *Endpoint
+	sock int // receiving socket's netIdx (client); servers resolve per packet
+	from *net.UDPAddr
+	buf  []byte
+}
+
+// EventLoopGroup shards live-endpoint packet processing across per-core
+// event loops. Socket readers never touch a connection: they post raw
+// packets to their endpoint's shard over a channel (the lock-free handoff),
+// and the shard goroutine drains up to liveBatchSize packets per turn,
+// delivering each endpoint's run as one HandleDatagramBatch under one lock
+// acquisition. Endpoints attach round-robin at creation, so all traffic for
+// a connection stays on one shard and batches form naturally under load.
+//
+// A group may be shared by many endpoints (LiveConfig.Loops); endpoints
+// without one get a private single-shard group. Close the endpoints first,
+// then the group: Close signals the shard goroutines to exit and Wait joins
+// them.
+type EventLoopGroup struct {
+	shards []*eventLoopShard
+	next   atomic.Uint64
+	wg     sync.WaitGroup
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+// eventLoopShard is one event loop: an inbound raw-packet channel and the
+// buffer free list backing its readers. in is written by socket readers and
+// drained only by the shard goroutine; free recycles ring buffers between
+// the two. Neither channel is ever closed — lifecycle runs through the
+// group's done channel.
+type eventLoopShard struct {
+	in   chan rawPacket
+	free chan []byte
+}
+
+// NewEventLoopGroup starts a group of n shard goroutines (n <= 0 means one
+// per CPU core).
+func NewEventLoopGroup(n int) *EventLoopGroup {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	g := &EventLoopGroup{done: make(chan struct{})}
+	for i := 0; i < n; i++ {
+		ring := 4 * liveBatchSize
+		sh := &eventLoopShard{
+			in:   make(chan rawPacket, ring),
+			free: make(chan []byte, ring),
+		}
+		for j := 0; j < ring; j++ {
+			sh.free <- make([]byte, readBufSize)
+		}
+		g.shards = append(g.shards, sh)
+		g.wg.Add(1)
+		//xlinkvet:bounded one goroutine per shard, joined by Close/Wait via g.done and g.wg
+		go g.run(sh)
+	}
+	return g
+}
+
+// Close signals every shard goroutine to exit after its current batch. It
+// does not wait (an endpoint callback may Close re-entrantly from a shard
+// goroutine); use Wait to join.
+//
+// xlinkvet:owns done
+func (g *EventLoopGroup) Close() {
+	if g.closed.CompareAndSwap(false, true) {
+		close(g.done)
+	}
+}
+
+// Wait joins the shard goroutines after Close. Must not be called from a
+// shard-delivered callback (it would wait on itself).
+func (g *EventLoopGroup) Wait() { g.wg.Wait() }
+
+// attach assigns the next endpoint to a shard, round-robin.
+func (g *EventLoopGroup) attach() *eventLoopShard {
+	return g.shards[int(g.next.Add(1)-1)%len(g.shards)]
+}
+
+// takeBuf hands a ring buffer to a socket reader, falling back to a fresh
+// allocation when the ring is exhausted (slow shard under burst load) so
+// readers never deadlock against their own consumer.
+func (sh *eventLoopShard) takeBuf() []byte {
+	select {
+	case buf := <-sh.free:
+		return buf
+	default:
+		//xlinkvet:ignore hotalloc — ring exhausted under burst: grow instead of blocking the reader
+		return make([]byte, readBufSize)
+	}
+}
+
+// recycle returns a ring buffer to the free list, dropping it when the list
+// is full (it was an overflow allocation).
+func (sh *eventLoopShard) recycle(buf []byte) {
+	select {
+	case sh.free <- buf[:cap(buf)]:
+	default:
+	}
+}
+
+// run is one shard's event loop: block for the first packet of a turn,
+// opportunistically drain whatever else is already queued (up to
+// liveBatchSize), and deliver the turn as per-endpoint batches. This is the
+// per-batch hot loop: its steady state allocates nothing — buffers come
+// from the ring and the batch scratch is reused across turns.
+//
+// xlinkvet:hot
+func (g *EventLoopGroup) run(sh *eventLoopShard) {
+	defer g.wg.Done()
+	//xlinkvet:ignore hotalloc — per-shard scratch, allocated once at goroutine start and reused every turn
+	batch := make([]rawPacket, 0, liveBatchSize)
+	//xlinkvet:ignore hotalloc — per-shard scratch, allocated once at goroutine start and reused every turn
+	pkts := make([][]byte, 0, liveBatchSize)
 	for {
+		select {
+		case <-g.done:
+			return
+		case rp := <-sh.in:
+			batch = append(batch[:0], rp)
+		drain:
+			for len(batch) < liveBatchSize {
+				select {
+				case rp2 := <-sh.in:
+					batch = append(batch, rp2)
+				default:
+					break drain
+				}
+			}
+			sh.dispatch(batch, &pkts)
+		}
+	}
+}
+
+// dispatch splits a turn's packets into contiguous per-endpoint runs,
+// delivers each run under that endpoint's lock, and recycles the ring
+// buffers.
+//
+// xlinkvet:hot
+func (sh *eventLoopShard) dispatch(batch []rawPacket, pkts *[][]byte) {
+	i := 0
+	for i < len(batch) {
+		ep := batch[i].ep
+		j := i + 1
+		for j < len(batch) && batch[j].ep == ep {
+			j++
+		}
+		ep.deliverBatch(batch[i:j], pkts)
+		i = j
+	}
+	for k := range batch {
+		sh.recycle(batch[k].buf)
+		batch[k] = rawPacket{}
+	}
+}
+
+// deliverBatch ingests one endpoint's run of raw packets under a single
+// lock acquisition, grouping contiguous same-interface packets into
+// HandleDatagramBatch calls. Servers resolve the interface index per packet
+// (learnPeerLocked needs ep.mu, which is held here).
+//
+// xlinkvet:hot
+func (ep *Endpoint) deliverBatch(run []rawPacket, pkts *[][]byte) {
+	ep.mu.Lock()
+	now := ep.env.Now()
+	isClient := ep.conn.IsClient()
+	i := 0
+	for i < len(run) {
+		idx := run[i].sock
+		if !isClient {
+			idx = ep.learnPeerLocked(run[i].from)
+		}
+		//xlinkvet:ignore hotalloc — pkts is the shard's per-turn scratch; capacity tops out at liveBatchSize and is reused
+		ps := append((*pkts)[:0], run[i].buf)
+		j := i + 1
+		for j < len(run) {
+			jdx := run[j].sock
+			if !isClient {
+				jdx = ep.learnPeerLocked(run[j].from)
+			}
+			if jdx != idx {
+				break
+			}
+			ps = append(ps, run[j].buf) //xlinkvet:ignore hotalloc — shard scratch; see above
+			j++
+		}
+		ep.conn.HandleDatagramBatch(now, idx, ps) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
+		*pkts = ps[:0]
+		i = j
+	}
+	ep.mu.Unlock()
+	ep.flushCallbacks()
+}
+
+// readLoop pumps one socket into the endpoint's shard. It owns no
+// connection state: each datagram lands in a ring buffer on loan from the
+// shard's free list and is posted over the handoff channel; the shard
+// returns the buffer after delivery (see rawPacket). Compared to the old
+// per-packet make+copy+lock loop, the steady state here allocates nothing
+// but the kernel's source address.
+//
+// xlinkvet:hot
+func (ep *Endpoint) readLoop(netIdx int, sock *net.UDPConn) {
+	sh := ep.shard
+	for {
+		buf := sh.takeBuf()
 		n, from, err := sock.ReadFromUDP(buf)
 		if err != nil {
-			select {
-			case <-ep.done:
-				return
-			default:
-				return
-			}
+			sh.recycle(buf)
+			return // socket closed by Endpoint.Close
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		ep.mu.Lock()
-		// The server learns client addresses from arriving packets; with
-		// a single socket the interface index is recovered from the
-		// source address ordering (one address per client interface).
-		idx := netIdx
-		if !ep.conn.IsClient() {
-			idx = ep.learnPeerLocked(from)
+		select {
+		case sh.in <- rawPacket{ep: ep, sock: netIdx, from: from, buf: buf[:n]}:
+		case <-ep.done:
+			sh.recycle(buf)
+			return
 		}
-		ep.conn.HandleDatagram(ep.env.Now(), idx, pkt) //xlinkvet:ignore lockheld — transport driven under ep.mu by design; see Stream.Write doc
-		ep.mu.Unlock()
-		ep.flushCallbacks()
 	}
 }
 
@@ -549,5 +805,11 @@ func (ep *Endpoint) Close() {
 	ep.mu.Unlock()
 	for _, s := range socks {
 		s.Close()
+	}
+	// A privately owned event loop group dies with its endpoint; Close only
+	// signals (a user callback may Close re-entrantly from the shard
+	// goroutine), the goroutine exits after its current batch.
+	if ep.ownedLoops != nil {
+		ep.ownedLoops.Close()
 	}
 }
